@@ -1,0 +1,70 @@
+#pragma once
+
+// Shared plumbing for the experiment binaries (DESIGN.md §3): argument
+// handling, replication helpers, and consistent table/CSV output. Every bench
+// accepts --reps, --seed, and --csv; experiment-specific knobs are documented
+// in each main().
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/generators.hpp"
+#include "core/protocols/registry.hpp"
+#include "core/runner.hpp"
+#include "core/state.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace qoslb::bench {
+
+struct CommonArgs {
+  std::size_t reps = 10;
+  std::uint64_t seed = 0xC0FFEE;
+  bool csv = false;
+};
+
+inline CommonArgs read_common(ArgParser& args, std::size_t default_reps = 10) {
+  CommonArgs common;
+  common.reps = static_cast<std::size_t>(
+      args.get_int("reps", static_cast<long long>(default_reps)));
+  common.seed = static_cast<std::uint64_t>(args.get_int("seed", 0xC0FFEE));
+  common.csv = args.get_flag("csv");
+  return common;
+}
+
+inline void emit(const TablePrinter& table, const CommonArgs& common) {
+  if (common.csv)
+    table.print_csv(std::cout);
+  else
+    table.print(std::cout);
+}
+
+/// One replication of `kind` on a fresh uniform-feasible instance. The
+/// default start is the all-on-one worst case: a random start on a slack
+/// instance is typically already satisfied, so the convergence claims are
+/// measured as recovery from the adversarial initial state (pass
+/// start="random" for the easy regime).
+inline ReplicatedRun run_uniform_feasible_once(
+    const std::string& kind, double lambda, std::size_t n, std::size_t m,
+    double slack, double heterogeneity, std::uint64_t seed,
+    std::uint64_t max_rounds = 1u << 20, const std::string& start = "all0") {
+  Xoshiro256 rng(seed);
+  const Instance instance = make_uniform_feasible(n, m, slack, heterogeneity, rng);
+  State state = start == "random" ? State::random(instance, rng)
+                                  : State::all_on(instance, 0);
+  ProtocolSpec spec;
+  spec.kind = kind;
+  spec.lambda = lambda;
+  const auto protocol = make_protocol(spec);
+  RunConfig config;
+  config.max_rounds = max_rounds;
+  ReplicatedRun run;
+  run.result = run_protocol(*protocol, state, rng, config);
+  run.num_users = instance.num_users();
+  return run;
+}
+
+}  // namespace qoslb::bench

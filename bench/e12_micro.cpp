@@ -1,0 +1,137 @@
+// E12 (Table 4) — Microbenchmarks of the hot operations (google-benchmark).
+//
+// Keeps the cost model honest: per-probe, per-move, and per-round costs that
+// the experiment-level message counts multiply out to, plus the cost of the
+// exact optimizer used as the E7 baseline.
+
+#include <benchmark/benchmark.h>
+
+#include "core/generators.hpp"
+#include "core/protocols/adaptive_sampling.hpp"
+#include "core/protocols/admission_control.hpp"
+#include "core/protocols/uniform_sampling.hpp"
+#include "core/satisfaction.hpp"
+#include "opt/dinic.hpp"
+#include "opt/satisfaction.hpp"
+#include "rng/distributions.hpp"
+#include "rng/philox.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace qoslb {
+namespace {
+
+void BM_Xoshiro(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng());
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_PhiloxAt(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(Philox4x32::at(42, i++));
+}
+BENCHMARK(BM_PhiloxAt);
+
+void BM_UniformBelow(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(uniform_u64_below(rng, 12345));
+}
+BENCHMARK(BM_UniformBelow);
+
+void BM_Threshold(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  const Instance inst = make_uniform_feasible(1024, 64, 0.5, 1.5, rng);
+  UserId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst.threshold(u, 0));
+    u = (u + 1) % 1024;
+  }
+}
+BENCHMARK(BM_Threshold);
+
+void BM_StateMove(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  const Instance inst = make_uniform_feasible(1024, 64, 0.5, 1.0, rng);
+  State s = State::round_robin(inst);
+  ResourceId r = 0;
+  for (auto _ : state) {
+    s.move(0, r);
+    r = (r + 1) % 64;
+  }
+}
+BENCHMARK(BM_StateMove);
+
+void BM_CountSatisfied(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  const Instance inst = make_uniform_feasible(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0)) / 16, 0.5, 1.5, rng);
+  const State s = State::round_robin(inst);
+  for (auto _ : state) benchmark::DoNotOptimize(s.count_satisfied());
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CountSatisfied)->Arg(1024)->Arg(16384);
+
+void BM_EquilibriumCheckFastPath(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  const Instance inst = make_uniform_feasible(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0)) / 16, 0.5, 1.5, rng);
+  const State s = State::round_robin(inst);
+  for (auto _ : state) benchmark::DoNotOptimize(is_satisfaction_equilibrium(s));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EquilibriumCheckFastPath)->Arg(1024)->Arg(16384);
+
+void BM_ProtocolRound(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  const Instance inst = make_uniform_feasible(4096, 256, 0.5, 1.5, rng);
+  AdaptiveSampling protocol;
+  State s = State::all_on(inst, 0);
+  Counters counters;
+  for (auto _ : state) {
+    protocol.step(s, rng, counters);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ProtocolRound);
+
+void BM_AdmissionRound(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  const Instance inst = make_uniform_feasible(4096, 256, 0.5, 1.5, rng);
+  AdmissionControl protocol;
+  State s = State::all_on(inst, 0);
+  Counters counters;
+  for (auto _ : state) {
+    protocol.step(s, rng, counters);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_AdmissionRound);
+
+void BM_DinicBipartite(benchmark::State& state) {
+  // 64 users x 4 resources matching (the E7 inner solve).
+  Xoshiro256 rng(1);
+  std::vector<int> thresholds(48);
+  for (auto& t : thresholds) t = static_cast<int>(uniform_int(rng, 1, 16));
+  const auto matrix = identical_threshold_matrix(thresholds, 4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(satisfied_for_occupancies(matrix, {12, 12, 12, 12}));
+}
+BENCHMARK(BM_DinicBipartite);
+
+void BM_ExactOptimizer(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  std::vector<int> thresholds(32);
+  for (auto& t : thresholds) t = static_cast<int>(uniform_int(rng, 1, 12));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(max_satisfied_identical(thresholds, 3));
+}
+BENCHMARK(BM_ExactOptimizer);
+
+}  // namespace
+}  // namespace qoslb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Asynchronous datacenter admission — the message-passing realization.
+//
+// No rounds, no global clock: every user and server is an independent agent
+// exchanging PROBE / LOAD / MIGRATE-REQUEST / GRANT / REJECT / LEAVE messages
+// over a network with random per-message latency (the discrete-event engine
+// in src/sim). This is the deployment shape of protocol P4: each server only
+// needs a load counter and its residents' thresholds; each client only needs
+// its own requirement. The example shows the system quiescing — the event
+// queue literally drains when everyone is satisfied — and compares message
+// budgets across network-jitter levels.
+
+#include <iostream>
+
+#include "core/async/async_protocols.hpp"
+#include "core/generators.hpp"
+#include "util/table.hpp"
+
+using namespace qoslb;
+
+int main() {
+  Xoshiro256 rng(31);
+  const Instance instance = make_uniform_feasible(
+      /*n=*/2000, /*m=*/100, /*slack=*/0.25, /*heterogeneity=*/1.5, rng);
+
+  std::cout << "async datacenter: 2000 jobs, 100 servers, all jobs start on "
+               "server 0 (rack power-on)\n\n";
+
+  TablePrinter table({"jitter", "virtual_time", "events", "probes",
+                      "migrations", "rejects", "all_satisfied"});
+  for (const double jitter : {0.0, 0.5, 2.0, 8.0}) {
+    AsyncConfig config;
+    config.seed = 5;
+    config.latency_jitter = jitter;
+    config.random_start = false;
+    const AsyncRunResult result = run_async_admission(instance, config);
+    table.cell(jitter, 2)
+        .cell(result.virtual_time, 5)
+        .cell(static_cast<unsigned long long>(result.events))
+        .cell(static_cast<unsigned long long>(result.counters.probes))
+        .cell(static_cast<unsigned long long>(result.counters.migrations))
+        .cell(static_cast<unsigned long long>(result.counters.rejects))
+        .cell(result.all_satisfied ? "yes" : "no")
+        .end_row();
+  }
+  table.print(std::cout);
+
+  std::cout << "\nHigher jitter stretches virtual time but the protocol's\n"
+               "message budget stays flat: correctness never depended on\n"
+               "synchrony, only the schedule does.\n";
+  return 0;
+}

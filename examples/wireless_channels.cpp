@@ -1,0 +1,99 @@
+// Wireless channel selection — a domain scenario for topology-restricted
+// sampling.
+//
+// Access points are laid out on an 8×8 grid (wrap-around torus of 64 cells);
+// a client can only roam to APs adjacent to its current cell. Each AP's
+// airtime is shared among its associated clients; a client is in SLA while
+// its airtime share covers its traffic class. The example contrasts the
+// torus-restricted protocol with the hypothetical "any AP reachable"
+// baseline on the same workload, and demonstrates the locality trap: a
+// stadium-exit burst (everyone at one AP) is fully absorbed under global
+// reach but strands most clients under neighbor-only roaming.
+
+#include <iostream>
+#include <string>
+
+#include "core/generators.hpp"
+#include "core/protocols/registry.hpp"
+#include "core/runner.hpp"
+#include "core/state.hpp"
+#include "net/generators.hpp"
+#include "util/table.hpp"
+
+using namespace qoslb;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t rounds = 0;
+  std::uint64_t migrations = 0;
+  double satisfied_frac = 0.0;
+};
+
+Outcome run_case(const Instance& instance, const Graph* graph,
+                 bool concentrated, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  State state = concentrated ? State::all_on(instance, 0)
+                             : State::random(instance, rng);
+  ProtocolSpec spec;
+  if (graph != nullptr) {
+    spec.kind = "nbr-admission";
+    spec.graph = graph;
+  } else {
+    spec.kind = "admission";
+  }
+  const auto protocol = make_protocol(spec);
+  RunConfig config;
+  config.max_rounds = 100000;
+  const RunResult result = run_protocol(*protocol, state, rng, config);
+  return Outcome{result.rounds, result.counters.migrations,
+                 static_cast<double>(result.final_satisfied) /
+                     static_cast<double>(instance.num_users())};
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kClients = 1500;
+  constexpr std::size_t kAccessPoints = 64;
+  const Graph torus = make_torus(8, 8);
+
+  Xoshiro256 gen_rng(11);
+  const Instance instance =
+      make_uniform_feasible(kClients, kAccessPoints, /*slack=*/0.2,
+                            /*heterogeneity=*/1.4, gen_rng);
+
+  std::cout << "wireless scenario: " << kClients << " clients, "
+            << kAccessPoints << " APs on an 8x8 torus\n\n";
+
+  TablePrinter table({"workload", "roaming", "rounds", "migrations",
+                      "in_sla_frac"});
+  struct Case {
+    const char* workload;
+    const char* roaming;
+    const Graph* graph;
+    bool concentrated;
+  };
+  const Case cases[] = {
+      {"evening mix (random)", "neighbors-only", &torus, false},
+      {"evening mix (random)", "any-AP", nullptr, false},
+      {"stadium exit (burst)", "neighbors-only", &torus, true},
+      {"stadium exit (burst)", "any-AP", nullptr, true},
+  };
+  for (const Case& c : cases) {
+    const Outcome outcome = run_case(instance, c.graph, c.concentrated, 99);
+    table.cell(c.workload)
+        .cell(c.roaming)
+        .cell(static_cast<long long>(outcome.rounds))
+        .cell(static_cast<long long>(outcome.migrations))
+        .cell(outcome.satisfied_frac)
+        .end_row();
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe burst row shows the locality trap: with neighbor-only\n"
+               "roaming, the APs adjacent to the stadium fill up and become\n"
+               "barriers (satisfied clients do not move), so most of the\n"
+               "crowd stays stranded; global reach absorbs everyone.\n";
+  return 0;
+}

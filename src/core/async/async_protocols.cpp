@@ -1,0 +1,323 @@
+#include "core/async/async_protocols.hpp"
+
+#include <limits>
+#include <set>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "sim/des.hpp"
+#include "util/check.hpp"
+
+namespace qoslb {
+namespace {
+
+// Agent layout: resources occupy agent ids [0, m), users [m, m+n).
+
+class ResourceAgent : public DesAgent {
+ public:
+  /// `gated` selects the admission handshake (P4). Ungated resources accept
+  /// every join and instead notify residents displaced by the arrival — the
+  /// optimistic realization (P2).
+  ResourceAgent(ResourceId rid, Counters* counters, bool gated = true)
+      : rid_(rid), counters_(counters), gated_(gated) {}
+
+  /// Registers an initial resident before the simulation starts.
+  void seed_resident(AgentId user, int threshold) {
+    residents_[user] = threshold;
+    by_threshold_[threshold].insert(user);
+  }
+
+  int load() const { return static_cast<int>(residents_.size()); }
+
+  void on_message(const Message& msg, DesEngine& engine) override {
+    switch (msg.type) {
+      case MsgType::kProbe: {
+        Message reply;
+        reply.type = MsgType::kLoadReply;
+        reply.src = rid_;
+        reply.dst = msg.src;
+        reply.a = load();
+        engine.send(reply);
+        break;
+      }
+      case MsgType::kMigrateRequest: {
+        const int requester_threshold = static_cast<int>(msg.a);
+        const int post_load = load() + 1;
+        const bool fits_requester = post_load <= requester_threshold;
+        const bool fits_residents = post_load <= satisfied_resident_min();
+        Message reply;
+        reply.src = rid_;
+        reply.dst = msg.src;
+        if (!gated_ || (fits_requester && fits_residents)) {
+          residents_[msg.src] = requester_threshold;
+          by_threshold_[requester_threshold].insert(msg.src);
+          reply.type = MsgType::kGrant;
+          reply.a = load();
+          ++counters_->grants;
+          ++counters_->migrations;
+          if (!gated_) notify_newly_displaced(engine, msg.src);
+        } else {
+          reply.type = MsgType::kReject;
+          ++counters_->rejects;
+        }
+        engine.send(reply);
+        break;
+      }
+      case MsgType::kLeave: {
+        const auto it = residents_.find(msg.src);
+        QOSLB_CHECK(it != residents_.end(), "leave from non-resident");
+        const auto bucket = by_threshold_.find(it->second);
+        bucket->second.erase(msg.src);
+        if (bucket->second.empty()) by_threshold_.erase(bucket);
+        residents_.erase(it);
+        notify_newly_satisfied(engine);
+        break;
+      }
+      default:
+        break;  // resources ignore other message kinds
+    }
+  }
+
+ private:
+  /// Minimum threshold among residents that are satisfied at the current
+  /// load; residents already unsatisfied cannot be hurt further and do not
+  /// gate admission (same rule as the synchronous P4). O(log n) via the
+  /// threshold index.
+  int satisfied_resident_min() const {
+    const auto it = by_threshold_.lower_bound(load());
+    return it == by_threshold_.end() ? std::numeric_limits<int>::max()
+                                     : it->first;
+  }
+
+  /// After a departure, residents whose threshold now covers the load become
+  /// satisfied in place (exactly the threshold == load bucket); tell them so
+  /// they stop searching.
+  void notify_newly_satisfied(DesEngine& engine) {
+    const auto it = by_threshold_.find(load());
+    if (it == by_threshold_.end()) return;
+    for (const AgentId user : it->second) {
+      Message reply;
+      reply.type = MsgType::kLoadReply;
+      reply.src = rid_;
+      reply.dst = user;
+      reply.a = load();
+      engine.send(reply);
+    }
+  }
+
+  /// Ungated arrivals can push previously satisfied residents over their
+  /// threshold: exactly the threshold == load()-1 bucket. Tell them (the
+  /// joiner learns its own fate from the grant's load payload).
+  void notify_newly_displaced(DesEngine& engine, AgentId joiner) {
+    const auto it = by_threshold_.find(load() - 1);
+    if (it == by_threshold_.end()) return;
+    for (const AgentId user : it->second) {
+      if (user == joiner) continue;
+      Message reply;
+      reply.type = MsgType::kLoadReply;
+      reply.src = rid_;
+      reply.dst = user;
+      reply.a = load();
+      engine.send(reply);
+    }
+  }
+
+  ResourceId rid_;
+  Counters* counters_;
+  bool gated_;
+  std::map<AgentId, int> residents_;  // resident user agent id -> threshold here
+  std::map<int, std::set<AgentId>> by_threshold_;  // threshold -> residents
+};
+
+class UserAgent : public DesAgent {
+ public:
+  /// `lambda` is the optimistic-commit probability (only drawn for ungated
+  /// runs; the gated protocol always requests and lets the resource decide).
+  UserAgent(UserId uid, const Instance* instance, ResourceId start,
+            Counters* counters, bool gated = true, double lambda = 1.0)
+      : uid_(uid), instance_(instance), current_(start), counters_(counters),
+        gated_(gated), lambda_(lambda) {}
+
+  ResourceId current_resource() const { return current_; }
+
+  void on_start(DesEngine& engine) override { probe_own(engine); }
+
+  void on_message(const Message& msg, DesEngine& engine) override {
+    switch (msg.type) {
+      case MsgType::kLoadReply:
+        handle_load_reply(msg, engine);
+        break;
+      case MsgType::kGrant: {
+        // Leave the old resource, adopt the new one.
+        Message leave;
+        leave.type = MsgType::kLeave;
+        leave.src = agent_id(engine);
+        leave.dst = current_;
+        engine.send(leave);
+        current_ = static_cast<ResourceId>(msg.src);
+        pending_request_ = false;
+        // Ungated joins can overshoot: the grant reports the post-join load,
+        // so an unlucky joiner keeps searching.
+        if (static_cast<int>(msg.a) > threshold_on(current_)) {
+          searching_ = true;
+          probe_own(engine);
+        } else {
+          searching_ = false;
+        }
+        break;
+      }
+      case MsgType::kReject:
+        pending_request_ = false;
+        if (searching_) probe_own(engine, /*delay=*/2.0);
+        break;
+      case MsgType::kTimer:
+        probe_own(engine);
+        break;
+      default:
+        break;
+    }
+  }
+
+ private:
+  AgentId agent_id(DesEngine& engine) const {
+    (void)engine;
+    return static_cast<AgentId>(instance_->num_resources() + uid_);
+  }
+
+  int threshold_on(ResourceId r) const { return instance_->threshold(uid_, r); }
+
+  void probe_own(DesEngine& engine, double delay = 1.0) {
+    Message probe;
+    probe.type = MsgType::kProbe;
+    probe.src = agent_id(engine);
+    probe.dst = current_;
+    ++counters_->probes;
+    engine.send(probe, delay);
+  }
+
+  void probe_random_other(DesEngine& engine) {
+    const std::size_t m = instance_->num_resources();
+    if (m <= 1) return;
+    ResourceId target = current_;
+    while (target == current_)
+      target = static_cast<ResourceId>(uniform_u64_below(engine.rng(), m));
+    Message probe;
+    probe.type = MsgType::kProbe;
+    probe.src = agent_id(engine);
+    probe.dst = target;
+    ++counters_->probes;
+    engine.send(probe);
+  }
+
+  void handle_load_reply(const Message& msg, DesEngine& engine) {
+    const auto from = static_cast<ResourceId>(msg.src);
+    const int load = static_cast<int>(msg.a);
+    if (from == current_) {
+      if (load <= threshold_on(current_)) {
+        searching_ = false;  // satisfied in place
+      } else {
+        searching_ = true;
+        if (!pending_request_) probe_random_other(engine);
+      }
+      return;
+    }
+    // Reply from a candidate resource.
+    if (!searching_ || pending_request_) return;
+    if (load + 1 <= threshold_on(from)) {
+      if (!gated_ && !bernoulli(engine.rng(), lambda_)) {
+        probe_own(engine, /*delay=*/1.0);  // damped: skip this opportunity
+        return;
+      }
+      Message request;
+      request.type = MsgType::kMigrateRequest;
+      request.src = agent_id(engine);
+      request.dst = from;
+      request.a = threshold_on(from);
+      ++counters_->migrate_requests;
+      pending_request_ = true;
+      engine.send(request);
+    } else {
+      probe_own(engine, /*delay=*/1.0);  // rescan from the top
+    }
+  }
+
+  UserId uid_;
+  const Instance* instance_;
+  ResourceId current_;
+  Counters* counters_;
+  bool gated_;
+  double lambda_;
+  bool searching_ = false;
+  bool pending_request_ = false;
+};
+
+}  // namespace
+
+namespace {
+
+AsyncRunResult run_async(const Instance& instance, const AsyncConfig& config,
+                         bool gated, double lambda) {
+  const std::size_t m = instance.num_resources();
+  const std::size_t n = instance.num_users();
+
+  AsyncRunResult result;
+  DesEngine engine(config.seed, config.latency_jitter);
+
+  std::vector<std::unique_ptr<ResourceAgent>> resources;
+  std::vector<std::unique_ptr<UserAgent>> users;
+  resources.reserve(m);
+  users.reserve(n);
+
+  for (ResourceId r = 0; r < m; ++r) {
+    resources.push_back(
+        std::make_unique<ResourceAgent>(r, &result.counters, gated));
+    const AgentId id = engine.add_agent(resources.back().get());
+    QOSLB_CHECK(id == r, "resource agent ids must equal resource ids");
+  }
+
+  Xoshiro256 placement_rng(config.seed ^ 0xA5A5A5A5ULL);
+  for (UserId u = 0; u < n; ++u) {
+    const ResourceId start =
+        config.random_start
+            ? static_cast<ResourceId>(uniform_u64_below(placement_rng, m))
+            : ResourceId{0};
+    users.push_back(std::make_unique<UserAgent>(u, &instance, start,
+                                                &result.counters, gated,
+                                                lambda));
+    const AgentId id = engine.add_agent(users.back().get());
+    QOSLB_CHECK(id == m + u, "user agent ids must follow resource ids");
+    resources[start]->seed_resident(id, instance.threshold(u, start));
+  }
+
+  result.events = engine.run(config.max_events);
+  result.virtual_time = engine.now();
+  result.counters.events = result.events;
+
+  // Final satisfaction from the users' own view (consistent when the queue
+  // drained; best-effort when max_events was hit).
+  std::vector<int> loads(m, 0);
+  for (const auto& user : users) ++loads[user->current_resource()];
+  for (UserId u = 0; u < n; ++u) {
+    const ResourceId r = users[u]->current_resource();
+    if (loads[r] <= instance.threshold(u, r)) ++result.satisfied;
+  }
+  result.all_satisfied = result.satisfied == n;
+  return result;
+}
+
+}  // namespace
+
+AsyncRunResult run_async_admission(const Instance& instance,
+                                   const AsyncConfig& config) {
+  return run_async(instance, config, /*gated=*/true, /*lambda=*/1.0);
+}
+
+AsyncRunResult run_async_optimistic(const Instance& instance, double lambda,
+                                    const AsyncConfig& config) {
+  QOSLB_REQUIRE(lambda > 0.0 && lambda <= 1.0, "lambda must be in (0,1]");
+  return run_async(instance, config, /*gated=*/false, lambda);
+}
+
+}  // namespace qoslb

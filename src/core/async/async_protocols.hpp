@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "sim/accounting.hpp"
+
+namespace qoslb {
+
+/// Configuration for the asynchronous (event-driven) protocol runs. The
+/// DES engine delivers each message after its base delay plus Uniform(0,
+/// latency_jitter) — there is no global round clock, matching the
+/// asynchronous message-passing model of the distributed-computing setting.
+struct AsyncConfig {
+  std::uint64_t seed = 1;
+  double latency_jitter = 0.5;
+  std::uint64_t max_events = 5'000'000;
+  bool random_start = true;  // false: all users start on resource 0
+};
+
+struct AsyncRunResult {
+  bool all_satisfied = false;
+  std::size_t satisfied = 0;
+  double virtual_time = 0.0;   // time of the last delivered event
+  std::uint64_t events = 0;
+  Counters counters;
+};
+
+/// Runs the asynchronous admission protocol — the message-passing
+/// realization of P4 (AdmissionControl): users probe their own resource,
+/// search random alternatives when unsatisfied, and migrate only after an
+/// explicit GRANT from the target resource; resources grant only if the
+/// post-admission load keeps the requester and all currently satisfied
+/// residents satisfied, and notify residents that become satisfied in place
+/// when departures free capacity. Feasible instances quiesce (the event queue
+/// drains); infeasible ones are cut off at max_events.
+AsyncRunResult run_async_admission(const Instance& instance,
+                                   const AsyncConfig& config = {});
+
+/// Runs the *optimistic* asynchronous protocol — the message-passing
+/// realization of P2 (UniformSampling) with migration probability `lambda`:
+/// a user that sees a satisfying load simply joins (JOIN is not gated), so
+/// decisions taken on in-flight information can overshoot, displace
+/// residents, and re-trigger their searches. This is the asynchronous
+/// herding failure mode the admission handshake removes; with λ well below
+/// 1 the dynamics still settle in practice. Same config/termination
+/// semantics as run_async_admission.
+AsyncRunResult run_async_optimistic(const Instance& instance, double lambda,
+                                    const AsyncConfig& config = {});
+
+}  // namespace qoslb

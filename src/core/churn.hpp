@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/state.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace qoslb {
+
+/// Dynamic-world transforms (experiment E11, robustness tests): Instance and
+/// State are immutable-shaped, so churn is expressed as building the
+/// successor world — a new instance plus an assignment that carries over
+/// every surviving user. The transforms preserve determinism (all sampling
+/// from the caller's generator).
+struct World {
+  Instance instance;
+  std::vector<ResourceId> assignment;
+};
+
+/// Extracts the current world from a state (for chaining transforms).
+World snapshot_world(const State& state);
+
+/// Replaces `count` uniformly chosen users with fresh ones whose
+/// requirements are drawn uniformly from [q_lo, q_hi] and whose placement is
+/// uniform random.
+World replace_users(const World& world, std::size_t count, double q_lo,
+                    double q_hi, Xoshiro256& rng);
+
+/// Adds `count` new users (requirements from [q_lo, q_hi]) on resource
+/// `placement`, or uniformly at random when placement == kNoResource.
+World add_users(const World& world, std::size_t count, double q_lo, double q_hi,
+                Xoshiro256& rng, ResourceId placement = kNoResource);
+
+/// Removes `count` uniformly chosen users.
+World remove_users(const World& world, std::size_t count, Xoshiro256& rng);
+
+/// Fails resource `r`: the resource disappears and its users are scattered
+/// uniformly over the survivors. Requires at least two resources.
+World fail_resource(const World& world, ResourceId r, Xoshiro256& rng);
+
+}  // namespace qoslb

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "core/protocol.hpp"
+
+namespace qoslb {
+
+/// ε-greedy hybrid of the two solution concepts (E19): unsatisfied users run
+/// the damped satisfaction dynamic (probe one resource, migrate with
+/// probability λ when it satisfies), while *satisfied* users, with small
+/// probability ε per round, run one step of the quality-improvement dynamic
+/// (Berenbrink-style coin on a strict improvement). ε = 0 is pure
+/// satisfaction sampling (stops at "good enough"); ε → 1 approaches the
+/// quality-sampling dynamic (polishes to a Nash balance). Stability is the
+/// matching interpolation: satisfaction equilibrium for ε = 0, quality Nash
+/// otherwise — because with any ε > 0 satisfied users keep drifting until no
+/// strict improvement remains.
+class HybridEpsilonGreedy : public Protocol {
+ public:
+  HybridEpsilonGreedy(double migrate_prob, double epsilon);
+
+  std::string name() const override;
+
+  void step(State& state, Xoshiro256& rng, Counters& counters) override;
+
+  bool is_stable(const State& state) const override;
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  double migrate_prob_;
+  double epsilon_;
+};
+
+}  // namespace qoslb

@@ -1,0 +1,103 @@
+#include "core/dynamics/quality_game.hpp"
+
+#include "rng/distributions.hpp"
+
+namespace qoslb {
+namespace {
+
+// Strict improvement needs a margin: qualities are capacity ratios and exact
+// float ties (identical capacities, equal loads) must not count as moves.
+constexpr double kStrictMargin = 1e-12;
+
+double post_move_quality(const State& state, UserId u, ResourceId r) {
+  const Instance& instance = state.instance();
+  const int post_load =
+      state.resource_of(u) == r ? state.load(r) : state.load(r) + 1;
+  return instance.quality(r, post_load);
+}
+
+}  // namespace
+
+ResourceId best_quality_deviation(const State& state, UserId u) {
+  const ResourceId current = state.resource_of(u);
+  const double own = state.quality_of(u);
+  ResourceId best = kNoResource;
+  double best_quality = own;
+  for (ResourceId r = 0; r < state.num_resources(); ++r) {
+    if (r == current) continue;
+    const double quality = post_move_quality(state, u, r);
+    if (quality > best_quality + kStrictMargin) {
+      best = r;
+      best_quality = quality;
+    }
+  }
+  return best;
+}
+
+bool is_quality_nash(const State& state) {
+  for (UserId u = 0; u < state.num_users(); ++u)
+    if (best_quality_deviation(state, u) != kNoResource) return false;
+  return true;
+}
+
+void QualityBestResponse::step(State& state, Xoshiro256& rng,
+                               Counters& counters) {
+  if (order_ == Order::kRandom) {
+    // Sample users until one can improve (bounded by n attempts).
+    for (std::size_t attempt = 0; attempt < state.num_users(); ++attempt) {
+      const auto u = static_cast<UserId>(
+          uniform_u64_below(rng, state.num_users()));
+      counters.probes += state.num_resources();
+      const ResourceId target = best_quality_deviation(state, u);
+      if (target != kNoResource) {
+        state.move(u, target);
+        ++counters.migrations;
+        return;
+      }
+    }
+    return;
+  }
+  for (std::size_t scanned = 0; scanned < state.num_users(); ++scanned) {
+    const UserId u = cursor_;
+    cursor_ = static_cast<UserId>((cursor_ + 1) % state.num_users());
+    counters.probes += state.num_resources();
+    const ResourceId target = best_quality_deviation(state, u);
+    if (target != kNoResource) {
+      state.move(u, target);
+      ++counters.migrations;
+      return;
+    }
+  }
+}
+
+void QualitySampling::step(State& state, Xoshiro256& rng, Counters& counters) {
+  const Instance& instance = state.instance();
+  const std::vector<int> snapshot = state.loads();
+
+  struct Move {
+    UserId user;
+    ResourceId target;
+  };
+  std::vector<Move> moves;
+  for (UserId u = 0; u < state.num_users(); ++u) {
+    const ResourceId current = state.resource_of(u);
+    const auto r = static_cast<ResourceId>(
+        uniform_u64_below(rng, state.num_resources()));
+    ++counters.probes;
+    if (r == current) continue;
+    // Normalized loads: identical capacities reduce to the original integer
+    // Berenbrink rule; related capacities compare per-unit shares.
+    const double src =
+        static_cast<double>(snapshot[current]) / instance.capacity(current);
+    const double dst =
+        static_cast<double>(snapshot[r] + 1) / instance.capacity(r);
+    if (dst + kStrictMargin >= src) continue;
+    if (bernoulli(rng, 1.0 - dst / src)) moves.push_back(Move{u, r});
+  }
+  for (const Move& move : moves) {
+    state.move(move.user, move.target);
+    ++counters.migrations;
+  }
+}
+
+}  // namespace qoslb

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/state.hpp"
+
+namespace qoslb {
+
+/// The quality-maximization game underlying the QoS model: user utility is
+/// the experienced quality s_r/ℓ_r itself (a weighted singleton congestion
+/// game), not the binary satisfaction predicate. Satisfaction dynamics stop
+/// at "good enough"; quality dynamics continue until no user can strictly
+/// improve — a Nash equilibrium of the congestion game. This module provides
+/// the Nash predicate and the classical dynamics for it, used by E14 to
+/// compare the two solution concepts on the same instances.
+
+/// True iff no user can strictly raise its quality with a unilateral move.
+bool is_quality_nash(const State& state);
+
+/// The resource offering user u the best post-move quality, excluding its
+/// current one; kNoResource if every alternative is no better or equal.
+ResourceId best_quality_deviation(const State& state, UserId u);
+
+/// Sequential best-response dynamics for quality: one user per step moves to
+/// its best strictly-improving resource. Stability = quality Nash. Converges
+/// by Rosenthal potential descent (core/potential.hpp).
+class QualityBestResponse : public Protocol {
+ public:
+  enum class Order { kRandom, kRoundRobin };
+  explicit QualityBestResponse(Order order = Order::kRandom) : order_(order) {}
+
+  std::string name() const override {
+    return order_ == Order::kRandom ? "quality-br" : "quality-br-rr";
+  }
+  void step(State& state, Xoshiro256& rng, Counters& counters) override;
+  bool is_stable(const State& state) const override {
+    return is_quality_nash(state);
+  }
+  void reset() override { cursor_ = 0; }
+
+ private:
+  Order order_;
+  UserId cursor_ = 0;
+};
+
+/// Concurrent quality-improvement sampling: every user probes one random
+/// resource per round and migrates with probability
+/// 1 − (normalized destination load)/(normalized source load) when strictly
+/// better — the Berenbrink et al. rule driven by quality rather than raw
+/// load (they coincide on identical capacities). Stability = quality Nash.
+class QualitySampling : public Protocol {
+ public:
+  QualitySampling() = default;
+  std::string name() const override { return "quality-sampling"; }
+  void step(State& state, Xoshiro256& rng, Counters& counters) override;
+  bool is_stable(const State& state) const override {
+    return is_quality_nash(state);
+  }
+};
+
+}  // namespace qoslb

@@ -1,0 +1,39 @@
+#include "core/experiment.hpp"
+
+#include <vector>
+
+#include "rng/splitmix64.hpp"
+#include "stats/quantile.hpp"
+#include "util/check.hpp"
+
+namespace qoslb {
+
+AggregatedRuns aggregate_runs(
+    std::uint64_t root_seed, std::size_t replications,
+    const std::function<ReplicatedRun(std::uint64_t seed)>& body) {
+  QOSLB_REQUIRE(replications > 0, "need at least one replication");
+  AggregatedRuns agg;
+  agg.replications = replications;
+  std::vector<double> rounds;
+  rounds.reserve(replications);
+  std::size_t converged = 0;
+
+  for (std::size_t r = 0; r < replications; ++r) {
+    const ReplicatedRun run = body(derive_seed(root_seed, r));
+    if (run.result.converged) ++converged;
+    agg.rounds.add(static_cast<double>(run.result.rounds));
+    rounds.push_back(static_cast<double>(run.result.rounds));
+    agg.migrations.add(static_cast<double>(run.result.counters.migrations));
+    agg.messages.add(static_cast<double>(run.result.counters.messages()));
+    QOSLB_CHECK(run.num_users > 0, "replication reported zero users");
+    agg.satisfied_fraction.add(static_cast<double>(run.result.final_satisfied) /
+                               static_cast<double>(run.num_users));
+  }
+  agg.converged_fraction =
+      static_cast<double>(converged) / static_cast<double>(replications);
+  agg.rounds_p95 = quantile(rounds, 0.95);
+  agg.rounds_max = quantile(rounds, 1.0);
+  return agg;
+}
+
+}  // namespace qoslb

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/runner.hpp"
+#include "stats/summary.hpp"
+
+namespace qoslb {
+
+/// Aggregate over independent replications of one experiment configuration
+/// (one row of an experiment table).
+struct AggregatedRuns {
+  std::size_t replications = 0;
+  double converged_fraction = 0.0;
+  RunningStat rounds;               // rounds to convergence (capped runs included)
+  RunningStat migrations;
+  RunningStat messages;
+  RunningStat satisfied_fraction;   // at the end of each run
+  double rounds_p95 = 0.0;
+  double rounds_max = 0.0;
+};
+
+/// Runs `body` once per derived child seed and aggregates. `body` builds the
+/// instance/state/protocol for the given seed and returns the RunResult plus
+/// the user count (for the satisfied fraction).
+struct ReplicatedRun {
+  RunResult result;
+  std::size_t num_users = 0;
+};
+
+AggregatedRuns aggregate_runs(
+    std::uint64_t root_seed, std::size_t replications,
+    const std::function<ReplicatedRun(std::uint64_t seed)>& body);
+
+}  // namespace qoslb

@@ -1,0 +1,62 @@
+#include "core/instance.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace qoslb {
+namespace {
+
+// Tolerance for the threshold floor: capacities and requirements are often
+// constructed as ratios (q = s / T), where floating-point rounding can land
+// s/q infinitesimally below the intended integer.
+constexpr double kFloorEpsilon = 1e-9;
+
+}  // namespace
+
+Instance::Instance(std::vector<double> capacities, std::vector<double> requirements)
+    : capacities_(std::move(capacities)), requirements_(std::move(requirements)) {
+  QOSLB_REQUIRE(!capacities_.empty(), "instance needs at least one resource");
+  QOSLB_REQUIRE(!requirements_.empty(), "instance needs at least one user");
+  for (const double s : capacities_) {
+    QOSLB_REQUIRE(std::isfinite(s) && s > 0.0, "capacities must be positive");
+    if (s != capacities_.front()) identical_ = false;
+  }
+  inv_requirements_.reserve(requirements_.size());
+  for (const double q : requirements_) {
+    QOSLB_REQUIRE(std::isfinite(q) && q > 0.0, "requirements must be positive");
+    inv_requirements_.push_back(1.0 / q);
+  }
+}
+
+Instance Instance::identical(std::size_t m_resources, double capacity,
+                             std::vector<double> requirements) {
+  QOSLB_REQUIRE(m_resources >= 1, "need at least one resource");
+  return Instance(std::vector<double>(m_resources, capacity), std::move(requirements));
+}
+
+double Instance::capacity(ResourceId r) const {
+  QOSLB_REQUIRE(r < capacities_.size(), "resource out of range");
+  return capacities_[r];
+}
+
+double Instance::requirement(UserId u) const {
+  QOSLB_REQUIRE(u < requirements_.size(), "user out of range");
+  return requirements_[u];
+}
+
+double Instance::quality(ResourceId r, int load) const {
+  QOSLB_REQUIRE(load >= 1, "quality defined for load >= 1");
+  return capacity(r) / static_cast<double>(load);
+}
+
+int Instance::threshold(UserId u, ResourceId r) const {
+  QOSLB_REQUIRE(u < requirements_.size(), "user out of range");
+  QOSLB_REQUIRE(r < capacities_.size(), "resource out of range");
+  const double ratio = capacities_[r] * inv_requirements_[u];
+  const double floored = std::floor(ratio + kFloorEpsilon);
+  const double cap = static_cast<double>(num_users());
+  return static_cast<int>(std::min(floored, cap));
+}
+
+}  // namespace qoslb

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace qoslb {
+
+/// An instance of the QoS load-balancing problem (DESIGN.md §1).
+///
+/// `m` resources with capacities `s_r > 0` and `n` users with QoS
+/// requirements `q_u > 0`. A resource serving `ℓ` users offers quality
+/// `s_r / ℓ` to each of them (processor sharing); user `u` is satisfied iff
+/// the quality meets its requirement, i.e. iff `ℓ ≤ threshold(u, r)` with
+/// `threshold(u, r) = ⌊s_r / q_u⌋`.
+///
+/// Immutable after construction; States reference an Instance and must not
+/// outlive it.
+class Instance {
+ public:
+  /// General constructor: per-resource capacities, per-user requirements.
+  Instance(std::vector<double> capacities, std::vector<double> requirements);
+
+  /// All resources share one capacity (the paper's base model).
+  static Instance identical(std::size_t m_resources, double capacity,
+                            std::vector<double> requirements);
+
+  std::size_t num_users() const { return requirements_.size(); }
+  std::size_t num_resources() const { return capacities_.size(); }
+
+  double capacity(ResourceId r) const;
+  double requirement(UserId u) const;
+
+  /// Quality offered by resource `r` at occupancy `load` (load ≥ 1).
+  double quality(ResourceId r, int load) const;
+
+  /// Maximum occupancy of `r` at which user `u` is still satisfied; 0 means
+  /// `u` can never be satisfied on `r`. Clamped to num_users() (occupancy can
+  /// never exceed n, so larger thresholds are indistinguishable).
+  int threshold(UserId u, ResourceId r) const;
+
+  /// True if every resource has the same capacity (enables the O(n+m)
+  /// equilibrium fast path).
+  bool identical_capacities() const { return identical_; }
+
+ private:
+  std::vector<double> capacities_;
+  std::vector<double> requirements_;
+  std::vector<double> inv_requirements_;  // 1/q_u, precomputed for threshold()
+  bool identical_ = true;
+};
+
+}  // namespace qoslb

@@ -1,0 +1,114 @@
+#include "core/io/instance_io.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace qoslb {
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument("qoslb io: " + message);
+}
+
+/// Next non-empty, non-comment line; throws at EOF.
+std::string next_line(std::istream& in, const char* what) {
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    return std::string(trimmed);
+  }
+  fail(std::string("unexpected end of input while reading ") + what);
+}
+
+std::size_t read_count(std::istream& in, const std::string& keyword) {
+  const std::string line = next_line(in, keyword.c_str());
+  std::istringstream parts(line);
+  std::string word;
+  long long count = -1;
+  if (!(parts >> word >> count) || word != keyword || count < 0)
+    fail("expected '" + keyword + " <count>', got '" + line + "'");
+  return static_cast<std::size_t>(count);
+}
+
+double read_double(std::istream& in, const char* what) {
+  const std::string line = next_line(in, what);
+  std::size_t consumed = 0;
+  double value = 0;
+  try {
+    value = std::stod(line, &consumed);
+  } catch (const std::exception&) {
+    fail(std::string("bad number for ") + what + ": '" + line + "'");
+  }
+  if (consumed != line.size())
+    fail(std::string("trailing garbage after ") + what + ": '" + line + "'");
+  return value;
+}
+
+void expect_magic(std::istream& in, const char* magic) {
+  const std::string line = next_line(in, magic);
+  if (line != magic) fail(std::string("expected '") + magic + "', got '" + line + "'");
+}
+
+}  // namespace
+
+void write_instance(std::ostream& out, const Instance& instance) {
+  const auto previous = out.precision(std::numeric_limits<double>::max_digits10);
+  out << "qoslb-instance v1\n";
+  out << "resources " << instance.num_resources() << '\n';
+  for (ResourceId r = 0; r < instance.num_resources(); ++r)
+    out << instance.capacity(r) << '\n';
+  out << "users " << instance.num_users() << '\n';
+  for (UserId u = 0; u < instance.num_users(); ++u)
+    out << instance.requirement(u) << '\n';
+  out.precision(previous);
+}
+
+Instance read_instance(std::istream& in) {
+  expect_magic(in, "qoslb-instance v1");
+  const std::size_t m = read_count(in, "resources");
+  std::vector<double> capacities(m);
+  for (auto& capacity : capacities) capacity = read_double(in, "capacity");
+  const std::size_t n = read_count(in, "users");
+  std::vector<double> requirements(n);
+  for (auto& requirement : requirements)
+    requirement = read_double(in, "requirement");
+  try {
+    return Instance(std::move(capacities), std::move(requirements));
+  } catch (const std::invalid_argument& error) {
+    fail(std::string("invalid instance data: ") + error.what());
+  }
+}
+
+void write_state(std::ostream& out, const State& state) {
+  out << "qoslb-state v1\n";
+  out << "users " << state.num_users() << '\n';
+  for (UserId u = 0; u < state.num_users(); ++u)
+    out << state.resource_of(u) << '\n';
+}
+
+State read_state(std::istream& in, const Instance& instance) {
+  expect_magic(in, "qoslb-state v1");
+  const std::size_t n = read_count(in, "users");
+  if (n != instance.num_users())
+    fail("state has " + std::to_string(n) + " users, instance has " +
+         std::to_string(instance.num_users()));
+  std::vector<ResourceId> assignment(n);
+  for (auto& r : assignment) {
+    const double value = read_double(in, "resource id");
+    const auto id = static_cast<long long>(value);
+    if (value != static_cast<double>(id) || id < 0 ||
+        static_cast<std::size_t>(id) >= instance.num_resources())
+      fail("bad resource id " + std::to_string(value));
+    r = static_cast<ResourceId>(id);
+  }
+  return State(instance, std::move(assignment));
+}
+
+}  // namespace qoslb

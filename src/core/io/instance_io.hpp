@@ -1,0 +1,39 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "core/instance.hpp"
+#include "core/state.hpp"
+
+namespace qoslb {
+
+/// Plain-text serialization for instances and states, so the CLI can save a
+/// generated workload and replay it later (or exchange it with other tools).
+///
+/// Format (line-oriented, '#' comments allowed between sections):
+///
+///   qoslb-instance v1
+///   resources <m>
+///   <m capacity lines>
+///   users <n>
+///   <n requirement lines>
+///
+///   qoslb-state v1
+///   users <n>
+///   <n resource-id lines>
+///
+/// Numbers are written with 17 significant digits so the round trip is
+/// value-exact for doubles.
+
+void write_instance(std::ostream& out, const Instance& instance);
+
+/// Throws std::invalid_argument on malformed input.
+Instance read_instance(std::istream& in);
+
+void write_state(std::ostream& out, const State& state);
+
+/// The instance must match the state being read (user count, resource
+/// range); throws std::invalid_argument otherwise.
+State read_state(std::istream& in, const Instance& instance);
+
+}  // namespace qoslb

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/xoshiro256.hpp"
+
+namespace qoslb {
+
+/// Open-system (M/G-style) realization of QoS load balancing: users arrive
+/// as a Poisson stream, live for a geometrically distributed number of
+/// rounds, and the admission protocol runs continuously in between. There is
+/// no "convergence" in an open system — the question (experiment E15) is the
+/// steady-state *violation fraction* (user-rounds spent unsatisfied) as the
+/// offered load approaches saturation.
+struct OpenSystemConfig {
+  std::size_t num_resources = 64;
+  double capacity = 1.0;
+  /// Expected arrivals per round (Poisson).
+  double arrival_rate = 8.0;
+  /// Expected lifetime in rounds (departure probability 1/mean per round).
+  double mean_lifetime = 200.0;
+  /// Requirement band for arrivals; offered load per resource is
+  /// arrival_rate · mean_lifetime · E[q] / (m · capacity).
+  double q_lo = 0.02;
+  double q_hi = 0.05;
+  std::uint64_t rounds = 2000;
+  std::uint64_t warmup_rounds = 500;  // excluded from the metrics
+  std::uint64_t seed = 1;
+};
+
+struct OpenSystemMetrics {
+  double mean_population = 0.0;
+  double mean_unsatisfied = 0.0;
+  /// Unsatisfied user-rounds / total user-rounds, after warmup.
+  double violation_fraction = 0.0;
+  /// Arrivals that departed without ever being satisfied.
+  std::uint64_t never_satisfied = 0;
+  /// Mean rounds from arrival to first satisfaction (satisfied arrivals only).
+  double mean_rounds_to_satisfaction = 0.0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t probes = 0;
+};
+
+/// Runs the open system with the admission-gated protocol.
+OpenSystemMetrics run_open_system(const OpenSystemConfig& config);
+
+}  // namespace qoslb

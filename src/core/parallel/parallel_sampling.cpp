@@ -1,0 +1,102 @@
+#include "core/parallel/parallel_sampling.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/protocols/common.hpp"
+#include "rng/distributions.hpp"
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace qoslb {
+namespace {
+
+/// Per-user decision with Philox randomness at counter (round, user):
+/// draw 0 picks the probed resource, draw 1 is the migration coin.
+struct ChunkResult {
+  std::vector<MigrationRequest> moves;
+  std::uint64_t probes = 0;
+};
+
+ChunkResult decide_range(const State& state, const std::vector<int>& snapshot,
+                         UserId begin, UserId end, std::uint64_t key,
+                         double migrate_prob) {
+  const Instance& instance = state.instance();
+  const std::size_t m = state.num_resources();
+  ChunkResult result;
+  for (UserId u = begin; u < end; ++u) {
+    const ResourceId current = state.resource_of(u);
+    if (snapshot[current] <= instance.threshold(u, current)) continue;
+
+    const std::uint64_t base = static_cast<std::uint64_t>(u) * 2;
+    PhiloxEngine rng(key, base);
+    const auto r = static_cast<ResourceId>(uniform_u64_below(rng, m));
+    ++result.probes;
+    if (r == current) continue;
+    if (snapshot[r] + 1 > instance.threshold(u, r)) continue;
+    // Fresh draw at a fixed counter so rejection sampling inside
+    // uniform_u64_below cannot shift the coin's position.
+    PhiloxEngine coin(key, base + 1);
+    if (uniform_real(coin) < migrate_prob)
+      result.moves.push_back(MigrationRequest{u, r});
+  }
+  return result;
+}
+
+}  // namespace
+
+ParallelUniformSampling::ParallelUniformSampling(double migrate_prob,
+                                                 std::uint64_t seed,
+                                                 std::size_t threads)
+    : migrate_prob_(migrate_prob), seed_(seed) {
+  QOSLB_REQUIRE(migrate_prob > 0.0 && migrate_prob <= 1.0,
+                "migrate_prob must be in (0,1]");
+  if (threads != 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+ParallelUniformSampling::~ParallelUniformSampling() = default;
+
+std::size_t ParallelUniformSampling::threads() const {
+  return pool_ ? pool_->size() : 1;
+}
+
+std::string ParallelUniformSampling::name() const {
+  return "par-uniform(lambda=" + format_double(migrate_prob_, 3) +
+         ",threads=" + std::to_string(threads()) + ")";
+}
+
+void ParallelUniformSampling::step(State& state, Xoshiro256& rng,
+                                   Counters& counters) {
+  (void)rng;  // randomness is counter-based; see the class comment
+  const std::vector<int> snapshot = state.loads();
+  const std::uint64_t key = mix64(seed_ ^ (round_ * 0x9E3779B97F4A7C15ULL));
+  ++round_;
+
+  const auto n = static_cast<UserId>(state.num_users());
+  const std::size_t workers = threads();
+  const UserId chunk = (n + static_cast<UserId>(workers) - 1) /
+                       static_cast<UserId>(workers);
+
+  std::vector<ChunkResult> results(workers);
+  if (pool_) {
+    pool_->parallel_for(workers, [&](std::size_t w) {
+      const UserId begin = static_cast<UserId>(w) * chunk;
+      const UserId end = std::min<UserId>(n, begin + chunk);
+      if (begin < end)
+        results[w] = decide_range(state, snapshot, begin, end, key,
+                                  migrate_prob_);
+    });
+  } else {
+    results[0] = decide_range(state, snapshot, 0, n, key, migrate_prob_);
+  }
+
+  // Merge in chunk order: user ids ascending, independent of thread timing.
+  for (const ChunkResult& result : results) {
+    counters.probes += result.probes;
+    apply_all(state, result.moves, counters);
+  }
+}
+
+}  // namespace qoslb

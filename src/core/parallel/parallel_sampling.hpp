@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/protocol.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qoslb {
+
+/// Shared-memory-parallel uniform sampling (hpc-parallel substrate demo).
+///
+/// Semantically identical to UniformSampling(λ, 1 probe): in each round every
+/// unsatisfied user probes one uniform resource and migrates with
+/// probability λ if satisfied there. The decision phase — embarrassingly
+/// parallel, since all decisions read the same round-start snapshot — fans
+/// out over a ThreadPool in fixed user-range chunks.
+///
+/// Reproducibility is the point: each user's randomness comes from the
+/// Philox counter-based generator keyed by (protocol seed, round, user), so
+/// the outcome is **bit-identical for every thread count**, including the
+/// serial path. The external engine passed to step() is ignored (and the
+/// protocol documents that): sequential RNG state cannot be shared across
+/// threads without ordering, which is exactly what counter-based streams
+/// remove.
+class ParallelUniformSampling : public Protocol {
+ public:
+  /// `threads == 0` selects hardware concurrency; `threads == 1` runs the
+  /// serial reference path (no pool).
+  ParallelUniformSampling(double migrate_prob, std::uint64_t seed,
+                          std::size_t threads = 0);
+  ~ParallelUniformSampling() override;
+
+  std::string name() const override;
+
+  void step(State& state, Xoshiro256& rng, Counters& counters) override;
+
+  void reset() override { round_ = 0; }
+
+  std::size_t threads() const;
+
+ private:
+  double migrate_prob_;
+  std::uint64_t seed_;
+  std::uint64_t round_ = 0;
+  std::unique_ptr<ThreadPool> pool_;  // null for the serial path
+};
+
+}  // namespace qoslb

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+
+#include "core/satisfaction.hpp"
+#include "core/state.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sim/accounting.hpp"
+
+namespace qoslb {
+
+/// A distributed (or sequential-baseline) QoS load-balancing dynamic.
+///
+/// `step()` executes one synchronous round: every decision is taken against
+/// the loads observed at the round boundary, and all migrations are applied
+/// together — the synchronous model of the paper. Sequential baselines
+/// perform a single move per step. Message costs are charged to `counters`
+/// under the cost model documented in sim/accounting.hpp.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual void step(State& state, Xoshiro256& rng, Counters& counters) = 0;
+
+  /// The stability notion this dynamic converges to. The default is the
+  /// satisfaction equilibrium; the pure load-balancing baseline overrides
+  /// with Nash stability of the balancing game.
+  virtual bool is_stable(const State& state) const {
+    return is_satisfaction_equilibrium(state);
+  }
+
+  /// Clears adaptive per-run state (e.g. contention estimates) so a protocol
+  /// object can be reused across replications.
+  virtual void reset() {}
+};
+
+}  // namespace qoslb

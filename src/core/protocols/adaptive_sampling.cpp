@@ -1,0 +1,61 @@
+#include "core/protocols/adaptive_sampling.hpp"
+
+#include <algorithm>
+
+#include "core/protocols/common.hpp"
+#include "rng/distributions.hpp"
+#include "util/check.hpp"
+
+namespace qoslb {
+
+AdaptiveSampling::AdaptiveSampling(int probes_per_round) : probes_(probes_per_round) {
+  QOSLB_REQUIRE(probes_per_round >= 1, "need at least one probe per round");
+}
+
+std::string AdaptiveSampling::name() const {
+  return probes_ == 1 ? "adaptive" : "adaptive(k=" + std::to_string(probes_) + ")";
+}
+
+void AdaptiveSampling::step(State& state, Xoshiro256& rng, Counters& counters) {
+  const Instance& instance = state.instance();
+  const std::vector<int> snapshot = state.loads();
+  if (last_intents_.size() != state.num_resources()) {
+    last_intents_.assign(state.num_resources(), 0);
+    prev_intents_.assign(state.num_resources(), 0);
+  }
+
+  std::vector<std::uint32_t> intents(state.num_resources(), 0);
+  std::vector<MigrationRequest> moves;
+  for (UserId u = 0; u < state.num_users(); ++u) {
+    const ResourceId current = state.resource_of(u);
+    if (snapshot[current] <= instance.threshold(u, current)) continue;
+
+    ResourceId best = kNoResource;
+    double best_quality = 0.0;
+    for (int probe = 0; probe < probes_; ++probe) {
+      const auto r = static_cast<ResourceId>(
+          uniform_u64_below(rng, state.num_resources()));
+      ++counters.probes;
+      if (r == current) continue;
+      if (snapshot[r] + 1 > instance.threshold(u, r)) continue;
+      const double quality = instance.quality(r, snapshot[r] + 1);
+      if (best == kNoResource || quality > best_quality) {
+        best = r;
+        best_quality = quality;
+      }
+    }
+    if (best == kNoResource) continue;
+    ++intents[best];
+    const int slack = instance.threshold(u, best) - snapshot[best];
+    const std::uint32_t contention =
+        std::max(last_intents_[best], prev_intents_[best]);
+    const double p = std::min(
+        1.0, static_cast<double>(slack) / std::max<std::uint32_t>(1, contention));
+    if (bernoulli(rng, p)) moves.push_back(MigrationRequest{u, best});
+  }
+  prev_intents_ = std::move(last_intents_);
+  last_intents_ = std::move(intents);
+  apply_all(state, moves, counters);
+}
+
+}  // namespace qoslb

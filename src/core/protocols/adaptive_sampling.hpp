@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace qoslb {
+
+/// P3 — contention-adaptive sampling (Fischer–Räcke–Vöcking-style damping,
+/// fully distributed): like UniformSampling, but a user that found a
+/// satisfying resource `r` migrates with probability
+///
+///     p = min(1, slack / max(1, contention_r))
+///
+/// where `slack = threshold(u, r) − load(r)` is the room the user observes
+/// and `contention_r` is the larger of the migration-intent counts resource
+/// `r` observed in the previous *two* rounds — information a resource can
+/// report in its LOAD reply without any global knowledge. The expected
+/// inflow into a contended resource thus tracks its free capacity,
+/// eliminating herding without a tuned global λ. The two-round maximum is
+/// load-bearing: with a one-round memory a herd that alternates between two
+/// resources always sees a zero estimate for its next target and never damps
+/// (period-2 livelock on the E5 herding instance); the hysteresis keeps the
+/// estimate hot across the alternation.
+class AdaptiveSampling : public Protocol {
+ public:
+  explicit AdaptiveSampling(int probes_per_round = 1);
+
+  std::string name() const override;
+
+  void step(State& state, Xoshiro256& rng, Counters& counters) override;
+
+  void reset() override {
+    last_intents_.clear();
+    prev_intents_.clear();
+  }
+
+ private:
+  int probes_;
+  std::vector<std::uint32_t> last_intents_;  // per-resource intents, round t-1
+  std::vector<std::uint32_t> prev_intents_;  // per-resource intents, round t-2
+};
+
+}  // namespace qoslb

@@ -1,0 +1,45 @@
+#include "core/protocols/admission_control.hpp"
+
+#include "core/protocols/common.hpp"
+#include "rng/distributions.hpp"
+#include "util/check.hpp"
+
+namespace qoslb {
+
+AdmissionControl::AdmissionControl(int probes_per_round) : probes_(probes_per_round) {
+  QOSLB_REQUIRE(probes_per_round >= 1, "need at least one probe per round");
+}
+
+std::string AdmissionControl::name() const {
+  return probes_ == 1 ? "admission" : "admission(k=" + std::to_string(probes_) + ")";
+}
+
+void AdmissionControl::step(State& state, Xoshiro256& rng, Counters& counters) {
+  const Instance& instance = state.instance();
+  const std::vector<int> snapshot = state.loads();
+
+  std::vector<MigrationRequest> requests;
+  for (UserId u = 0; u < state.num_users(); ++u) {
+    const ResourceId current = state.resource_of(u);
+    if (snapshot[current] <= instance.threshold(u, current)) continue;
+
+    ResourceId best = kNoResource;
+    double best_quality = 0.0;
+    for (int probe = 0; probe < probes_; ++probe) {
+      const auto r = static_cast<ResourceId>(
+          uniform_u64_below(rng, state.num_resources()));
+      ++counters.probes;
+      if (r == current) continue;
+      if (snapshot[r] + 1 > instance.threshold(u, r)) continue;
+      const double quality = instance.quality(r, snapshot[r] + 1);
+      if (best == kNoResource || quality > best_quality) {
+        best = r;
+        best_quality = quality;
+      }
+    }
+    if (best != kNoResource) requests.push_back(MigrationRequest{u, best});
+  }
+  apply_with_admission(state, requests, counters);
+}
+
+}  // namespace qoslb

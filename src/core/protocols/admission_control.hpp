@@ -1,0 +1,27 @@
+#pragma once
+
+#include "core/protocol.hpp"
+
+namespace qoslb {
+
+/// P4 — resource-gated admission: a two-phase round. Unsatisfied users probe
+/// one random resource and send a MIGRATE request where the observed load
+/// would satisfy them; each resource then *grants* the longest
+/// threshold-descending prefix of its requesters that keeps everyone (the
+/// admitted and the currently satisfied residents) satisfied, and rejects the
+/// rest. Rounds therefore never decrease the satisfied count — migration is
+/// conservative, which is what buys the geometric decay of the unsatisfied
+/// population (E3) at the cost of REQUEST/GRANT/REJECT messages.
+class AdmissionControl : public Protocol {
+ public:
+  explicit AdmissionControl(int probes_per_round = 1);
+
+  std::string name() const override;
+
+  void step(State& state, Xoshiro256& rng, Counters& counters) override;
+
+ private:
+  int probes_;
+};
+
+}  // namespace qoslb

@@ -1,0 +1,47 @@
+#include "core/protocols/berenbrink.hpp"
+
+#include <algorithm>
+
+#include "core/protocols/common.hpp"
+#include "rng/distributions.hpp"
+
+namespace qoslb {
+
+void BerenbrinkBalancing::step(State& state, Xoshiro256& rng, Counters& counters) {
+  const Instance& instance = state.instance();
+  const std::vector<int> snapshot = state.loads();
+
+  std::vector<MigrationRequest> moves;
+  for (UserId u = 0; u < state.num_users(); ++u) {
+    const ResourceId current = state.resource_of(u);
+    const auto r = static_cast<ResourceId>(
+        uniform_u64_below(rng, state.num_resources()));
+    ++counters.probes;
+    if (r == current) continue;
+    // Normalized (capacity-relative) loads handle related resources; for
+    // identical capacities this reduces to the original integer rule.
+    const double src = static_cast<double>(snapshot[current]) / instance.capacity(current);
+    const double dst = static_cast<double>(snapshot[r] + 1) / instance.capacity(r);
+    if (dst >= src) continue;
+    const double p = 1.0 - dst / src;
+    if (bernoulli(rng, p)) moves.push_back(MigrationRequest{u, r});
+  }
+  apply_all(state, moves, counters);
+}
+
+bool BerenbrinkBalancing::is_stable(const State& state) const {
+  const Instance& instance = state.instance();
+  if (instance.identical_capacities())
+    return state.max_load() - state.min_load() <= 1;
+  for (UserId u = 0; u < state.num_users(); ++u) {
+    const ResourceId current = state.resource_of(u);
+    const double own = state.quality_of(u);
+    for (ResourceId r = 0; r < state.num_resources(); ++r) {
+      if (r == current) continue;
+      if (instance.quality(r, state.load(r) + 1) > own) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qoslb

@@ -1,0 +1,75 @@
+#include "core/protocols/common.hpp"
+
+#include <algorithm>
+
+namespace qoslb {
+
+void apply_all(State& state, const std::vector<MigrationRequest>& requests,
+               Counters& counters) {
+  for (const MigrationRequest& req : requests) {
+    state.move(req.user, req.target);
+    ++counters.migrations;
+  }
+}
+
+std::vector<int> resident_min_thresholds(const State& state) {
+  const Instance& instance = state.instance();
+  std::vector<int> min_threshold(state.num_resources(),
+                                 static_cast<int>(state.num_users()) + 1);
+  for (UserId u = 0; u < state.num_users(); ++u) {
+    const ResourceId r = state.resource_of(u);
+    const int t = instance.threshold(u, r);
+    // Only satisfied residents gate admission: an already-unsatisfied
+    // resident cannot be hurt further, and protecting it would permanently
+    // block resources that hold infeasible users.
+    if (t >= state.load(r)) min_threshold[r] = std::min(min_threshold[r], t);
+  }
+  return min_threshold;
+}
+
+void apply_with_admission(State& state,
+                          const std::vector<MigrationRequest>& requests,
+                          Counters& counters) {
+  counters.migrate_requests += requests.size();
+  if (requests.empty()) return;
+
+  const Instance& instance = state.instance();
+  const std::vector<int> resident_min = resident_min_thresholds(state);
+
+  // Group requests by target resource.
+  std::vector<std::vector<UserId>> by_target(state.num_resources());
+  for (const MigrationRequest& req : requests)
+    by_target[req.target].push_back(req.user);
+
+  for (ResourceId r = 0; r < state.num_resources(); ++r) {
+    auto& requesters = by_target[r];
+    if (requesters.empty()) continue;
+    std::sort(requesters.begin(), requesters.end(),
+              [&](UserId a, UserId b) {
+                const int ta = instance.threshold(a, r);
+                const int tb = instance.threshold(b, r);
+                if (ta != tb) return ta > tb;
+                return a < b;  // deterministic tie-break
+              });
+    const int base_load = state.load(r);
+    std::size_t admitted = 0;
+    while (admitted < requesters.size()) {
+      const int k = static_cast<int>(admitted) + 1;
+      const int post_load = base_load + k;
+      const int kth_threshold = instance.threshold(requesters[admitted], r);
+      if (post_load > resident_min[r] || post_load > kth_threshold) break;
+      ++admitted;
+    }
+    for (std::size_t i = 0; i < requesters.size(); ++i) {
+      if (i < admitted) {
+        state.move(requesters[i], r);
+        ++counters.migrations;
+        ++counters.grants;
+      } else {
+        ++counters.rejects;
+      }
+    }
+  }
+}
+
+}  // namespace qoslb

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/state.hpp"
+#include "core/types.hpp"
+#include "sim/accounting.hpp"
+
+namespace qoslb {
+
+/// A migration wish produced in the decision phase of a synchronous round.
+struct MigrationRequest {
+  UserId user;
+  ResourceId target;
+};
+
+/// Applies optimistic (ungated) migrations; every request is executed.
+void apply_all(State& state, const std::vector<MigrationRequest>& requests,
+               Counters& counters);
+
+/// Resource-gated admission (protocol P4/P5-admission of DESIGN.md): each
+/// resource sorts its requesters by descending threshold and admits the
+/// longest prefix k such that the post-admission load keeps both the
+/// admitted requesters and the current residents satisfied:
+///     load + k ≤ min(resident_min_threshold, k-th admitted threshold).
+/// Rejected requesters stay where they are. Returns number of migrations.
+void apply_with_admission(State& state,
+                          const std::vector<MigrationRequest>& requests,
+                          Counters& counters);
+
+/// Minimum threshold among the *currently satisfied* residents of each
+/// resource (num_users()+1 when there is none, i.e. no resident constraint).
+/// Unsatisfied residents do not gate admission — they cannot be hurt further.
+std::vector<int> resident_min_thresholds(const State& state);
+
+}  // namespace qoslb

@@ -1,0 +1,74 @@
+#include "core/protocols/neighborhood_sampling.hpp"
+
+#include "core/protocols/common.hpp"
+#include "rng/distributions.hpp"
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace qoslb {
+
+NeighborhoodSampling::NeighborhoodSampling(const Graph& resource_graph,
+                                           Commit commit, double migrate_prob,
+                                           int probes_per_round)
+    : graph_(&resource_graph),
+      commit_(commit),
+      migrate_prob_(migrate_prob),
+      probes_(probes_per_round) {
+  QOSLB_REQUIRE(migrate_prob > 0.0 && migrate_prob <= 1.0,
+                "migrate_prob must be in (0,1]");
+  QOSLB_REQUIRE(probes_per_round >= 1, "need at least one probe per round");
+}
+
+std::string NeighborhoodSampling::name() const {
+  return commit_ == Commit::kAdmission
+             ? "nbr-admission"
+             : "nbr-uniform(lambda=" + format_double(migrate_prob_, 3) + ")";
+}
+
+void NeighborhoodSampling::step(State& state, Xoshiro256& rng,
+                                Counters& counters) {
+  const Instance& instance = state.instance();
+  QOSLB_REQUIRE(graph_->num_vertices() == state.num_resources(),
+                "resource graph size mismatch");
+  const std::vector<int> snapshot = state.loads();
+
+  std::vector<MigrationRequest> requests;
+  for (UserId u = 0; u < state.num_users(); ++u) {
+    const ResourceId current = state.resource_of(u);
+    if (snapshot[current] <= instance.threshold(u, current)) continue;
+    const auto neighbors = graph_->neighbors(current);
+    if (neighbors.empty()) continue;
+
+    ResourceId best = kNoResource;
+    double best_quality = 0.0;
+    for (int probe = 0; probe < probes_; ++probe) {
+      const ResourceId r = neighbors[uniform_u64_below(rng, neighbors.size())];
+      ++counters.probes;
+      if (snapshot[r] + 1 > instance.threshold(u, r)) continue;
+      const double quality = instance.quality(r, snapshot[r] + 1);
+      if (best == kNoResource || quality > best_quality) {
+        best = r;
+        best_quality = quality;
+      }
+    }
+    if (best == kNoResource) continue;
+    if (commit_ == Commit::kOptimistic && !bernoulli(rng, migrate_prob_)) continue;
+    requests.push_back(MigrationRequest{u, best});
+  }
+
+  if (commit_ == Commit::kAdmission)
+    apply_with_admission(state, requests, counters);
+  else
+    apply_all(state, requests, counters);
+}
+
+bool NeighborhoodSampling::is_stable(const State& state) const {
+  for (UserId u = 0; u < state.num_users(); ++u) {
+    if (state.satisfied(u)) continue;
+    for (const ResourceId r : graph_->neighbors(state.resource_of(u)))
+      if (satisfied_after_move(state, u, r)) return false;
+  }
+  return true;
+}
+
+}  // namespace qoslb

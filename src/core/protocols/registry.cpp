@@ -1,0 +1,46 @@
+#include "core/protocols/registry.hpp"
+
+#include <stdexcept>
+
+#include "core/protocols/adaptive_sampling.hpp"
+#include "core/protocols/admission_control.hpp"
+#include "core/protocols/berenbrink.hpp"
+#include "core/protocols/neighborhood_sampling.hpp"
+#include "core/protocols/sequential_best_response.hpp"
+#include "core/protocols/uniform_sampling.hpp"
+
+namespace qoslb {
+
+std::vector<std::string> protocol_kinds() {
+  return {"seq-br",    "seq-br-rr", "uniform",       "adaptive",
+          "admission", "nbr-uniform", "nbr-admission", "berenbrink"};
+}
+
+std::unique_ptr<Protocol> make_protocol(const ProtocolSpec& spec) {
+  if (spec.kind == "seq-br")
+    return std::make_unique<SequentialBestResponse>(
+        SequentialBestResponse::Order::kRandom);
+  if (spec.kind == "seq-br-rr")
+    return std::make_unique<SequentialBestResponse>(
+        SequentialBestResponse::Order::kRoundRobin);
+  if (spec.kind == "uniform")
+    return std::make_unique<UniformSampling>(spec.lambda, spec.probes);
+  if (spec.kind == "adaptive")
+    return std::make_unique<AdaptiveSampling>(spec.probes);
+  if (spec.kind == "admission")
+    return std::make_unique<AdmissionControl>(spec.probes);
+  if (spec.kind == "nbr-uniform" || spec.kind == "nbr-admission") {
+    if (spec.graph == nullptr)
+      throw std::invalid_argument("protocol kind '" + spec.kind +
+                                  "' needs a resource graph");
+    const auto commit = spec.kind == "nbr-admission"
+                            ? NeighborhoodSampling::Commit::kAdmission
+                            : NeighborhoodSampling::Commit::kOptimistic;
+    return std::make_unique<NeighborhoodSampling>(*spec.graph, commit,
+                                                  spec.lambda, spec.probes);
+  }
+  if (spec.kind == "berenbrink") return std::make_unique<BerenbrinkBalancing>();
+  throw std::invalid_argument("unknown protocol kind '" + spec.kind + "'");
+}
+
+}  // namespace qoslb

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "net/graph.hpp"
+
+namespace qoslb {
+
+/// Declarative protocol construction for bench/example command lines.
+struct ProtocolSpec {
+  std::string kind;            // one of protocol_kinds()
+  double lambda = 1.0;         // migration probability (optimistic protocols)
+  int probes = 1;              // probes per round
+  const Graph* graph = nullptr;  // resource graph (nbr-* kinds only)
+};
+
+/// Kinds: "seq-br", "seq-br-rr", "uniform", "adaptive", "admission",
+/// "nbr-uniform", "nbr-admission", "berenbrink".
+std::vector<std::string> protocol_kinds();
+
+/// Builds the protocol described by `spec`; throws std::invalid_argument for
+/// unknown kinds or missing graphs.
+std::unique_ptr<Protocol> make_protocol(const ProtocolSpec& spec);
+
+}  // namespace qoslb

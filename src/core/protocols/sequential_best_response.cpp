@@ -1,0 +1,48 @@
+#include "core/protocols/sequential_best_response.hpp"
+
+#include "core/satisfaction.hpp"
+#include "rng/distributions.hpp"
+
+namespace qoslb {
+
+void SequentialBestResponse::step(State& state, Xoshiro256& rng,
+                                  Counters& counters) {
+  UserId mover = kNoUser;
+
+  if (order_ == Order::kRandom) {
+    const std::vector<UserId> candidates = unsatisfied_users(state);
+    if (candidates.empty()) return;
+    // Pick random unsatisfied users until one can actually move (bounded by
+    // the candidate count so a stuck state terminates the step).
+    std::vector<UserId> pool = candidates;
+    while (!pool.empty()) {
+      const std::size_t idx = uniform_u64_below(rng, pool.size());
+      counters.probes += state.num_resources();
+      if (best_satisfying_deviation(state, pool[idx]) != kNoResource) {
+        mover = pool[idx];
+        break;
+      }
+      pool[idx] = pool.back();
+      pool.pop_back();
+    }
+  } else {
+    // Round-robin: scan at most n users from the cursor.
+    for (std::size_t scanned = 0; scanned < state.num_users(); ++scanned) {
+      const UserId u = cursor_;
+      cursor_ = static_cast<UserId>((cursor_ + 1) % state.num_users());
+      if (state.satisfied(u)) continue;
+      counters.probes += state.num_resources();
+      if (best_satisfying_deviation(state, u) != kNoResource) {
+        mover = u;
+        break;
+      }
+    }
+  }
+
+  if (mover == kNoUser) return;
+  const ResourceId target = best_satisfying_deviation(state, mover);
+  state.move(mover, target);
+  ++counters.migrations;
+}
+
+}  // namespace qoslb

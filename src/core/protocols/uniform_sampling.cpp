@@ -1,0 +1,55 @@
+#include "core/protocols/uniform_sampling.hpp"
+
+#include <vector>
+
+#include "core/protocols/common.hpp"
+#include "rng/distributions.hpp"
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace qoslb {
+
+UniformSampling::UniformSampling(double migrate_prob, int probes_per_round)
+    : migrate_prob_(migrate_prob), probes_(probes_per_round) {
+  QOSLB_REQUIRE(migrate_prob > 0.0 && migrate_prob <= 1.0,
+                "migrate_prob must be in (0,1]");
+  QOSLB_REQUIRE(probes_per_round >= 1, "need at least one probe per round");
+}
+
+std::string UniformSampling::name() const {
+  std::string n = "uniform(lambda=" + format_double(migrate_prob_, 3);
+  if (probes_ != 1) n += ",k=" + std::to_string(probes_);
+  return n + ")";
+}
+
+void UniformSampling::step(State& state, Xoshiro256& rng, Counters& counters) {
+  const Instance& instance = state.instance();
+  // Decisions are taken against the loads at the round boundary.
+  const std::vector<int> snapshot = state.loads();
+
+  std::vector<MigrationRequest> moves;
+  for (UserId u = 0; u < state.num_users(); ++u) {
+    const ResourceId current = state.resource_of(u);
+    if (snapshot[current] <= instance.threshold(u, current)) continue;  // satisfied
+
+    ResourceId best = kNoResource;
+    double best_quality = 0.0;
+    for (int probe = 0; probe < probes_; ++probe) {
+      const auto r = static_cast<ResourceId>(
+          uniform_u64_below(rng, state.num_resources()));
+      ++counters.probes;
+      if (r == current) continue;
+      if (snapshot[r] + 1 > instance.threshold(u, r)) continue;
+      const double quality = instance.quality(r, snapshot[r] + 1);
+      if (best == kNoResource || quality > best_quality) {
+        best = r;
+        best_quality = quality;
+      }
+    }
+    if (best != kNoResource && bernoulli(rng, migrate_prob_))
+      moves.push_back(MigrationRequest{u, best});
+  }
+  apply_all(state, moves, counters);
+}
+
+}  // namespace qoslb

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/state.hpp"
+#include "sim/accounting.hpp"
+
+namespace qoslb {
+
+struct RunConfig {
+  std::uint64_t max_rounds = 1u << 20;
+  /// The (possibly O(n·m)) protocol stability check runs every this many
+  /// rounds; the all-satisfied fast path is checked every round, so feasible
+  /// runs report exact round counts.
+  std::uint32_t stability_check_period = 4;
+  bool record_trajectory = false;
+};
+
+struct RunResult {
+  std::uint64_t rounds = 0;
+  bool converged = false;       // reached the protocol's stability notion
+  bool all_satisfied = false;   // every user satisfied at the end
+  std::size_t final_satisfied = 0;
+  Counters counters;
+  /// Unsatisfied count after each round (only if record_trajectory).
+  std::vector<std::uint32_t> unsatisfied_trajectory;
+};
+
+/// Drives `protocol` on `state` until stable or max_rounds. Resets the
+/// protocol's adaptive state first.
+RunResult run_protocol(Protocol& protocol, State& state, Xoshiro256& rng,
+                       const RunConfig& config = {});
+
+}  // namespace qoslb

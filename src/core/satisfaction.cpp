@@ -1,0 +1,85 @@
+#include "core/satisfaction.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace qoslb {
+
+bool satisfied_after_move(const State& state, UserId u, ResourceId r) {
+  const Instance& instance = state.instance();
+  const int post_load =
+      state.resource_of(u) == r ? state.load(r) : state.load(r) + 1;
+  return post_load <= instance.threshold(u, r);
+}
+
+bool has_satisfying_deviation(const State& state, UserId u) {
+  const ResourceId current = state.resource_of(u);
+  for (ResourceId r = 0; r < state.num_resources(); ++r)
+    if (r != current && satisfied_after_move(state, u, r)) return true;
+  return false;
+}
+
+ResourceId best_satisfying_deviation(const State& state, UserId u) {
+  const Instance& instance = state.instance();
+  const ResourceId current = state.resource_of(u);
+  ResourceId best = kNoResource;
+  double best_quality = 0.0;
+  for (ResourceId r = 0; r < state.num_resources(); ++r) {
+    if (r == current || !satisfied_after_move(state, u, r)) continue;
+    const double quality = instance.quality(r, state.load(r) + 1);
+    if (best == kNoResource || quality > best_quality) {
+      best = r;
+      best_quality = quality;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// Identical-capacity fast path: a user has a satisfying deviation iff
+/// min-load-excluding-own + 1 <= its threshold, so only the two smallest
+/// loads (with an argmin) are needed.
+bool equilibrium_identical(const State& state) {
+  const Instance& instance = state.instance();
+  const auto& loads = state.loads();
+  ResourceId argmin = 0;
+  int min1 = loads[0];
+  int min2 = std::numeric_limits<int>::max();
+  for (ResourceId r = 1; r < loads.size(); ++r) {
+    if (loads[r] < min1) {
+      min2 = min1;
+      min1 = loads[r];
+      argmin = r;
+    } else if (loads[r] < min2) {
+      min2 = loads[r];
+    }
+  }
+  for (UserId u = 0; u < state.num_users(); ++u) {
+    if (state.satisfied(u)) continue;
+    const int candidate = state.resource_of(u) == argmin ? min2 : min1;
+    // Thresholds are identical across resources for identical capacities.
+    if (candidate + 1 <= instance.threshold(u, 0)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_satisfaction_equilibrium(const State& state) {
+  if (state.instance().identical_capacities() && state.num_resources() > 1)
+    return equilibrium_identical(state);
+  for (UserId u = 0; u < state.num_users(); ++u)
+    if (!state.satisfied(u) && has_satisfying_deviation(state, u)) return false;
+  return true;
+}
+
+std::vector<UserId> unsatisfied_users(const State& state) {
+  std::vector<UserId> out;
+  for (UserId u = 0; u < state.num_users(); ++u)
+    if (!state.satisfied(u)) out.push_back(u);
+  return out;
+}
+
+}  // namespace qoslb

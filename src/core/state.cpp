@@ -1,0 +1,108 @@
+#include "core/state.hpp"
+
+#include <algorithm>
+
+#include "rng/distributions.hpp"
+#include "util/check.hpp"
+
+namespace qoslb {
+
+State::State(const Instance& instance, std::vector<ResourceId> assignment)
+    : instance_(&instance), assignment_(std::move(assignment)) {
+  QOSLB_REQUIRE(assignment_.size() == instance.num_users(),
+                "assignment must place every user");
+  loads_.assign(instance.num_resources(), 0);
+  for (const ResourceId r : assignment_) {
+    QOSLB_REQUIRE(r < instance.num_resources(), "assignment to unknown resource");
+    ++loads_[r];
+  }
+}
+
+State State::all_on(const Instance& instance, ResourceId r) {
+  QOSLB_REQUIRE(r < instance.num_resources(), "resource out of range");
+  return State(instance, std::vector<ResourceId>(instance.num_users(), r));
+}
+
+State State::round_robin(const Instance& instance) {
+  std::vector<ResourceId> assignment(instance.num_users());
+  for (std::size_t u = 0; u < assignment.size(); ++u)
+    assignment[u] = static_cast<ResourceId>(u % instance.num_resources());
+  return State(instance, std::move(assignment));
+}
+
+State State::random(const Instance& instance, Xoshiro256& rng) {
+  std::vector<ResourceId> assignment(instance.num_users());
+  for (auto& r : assignment)
+    r = static_cast<ResourceId>(uniform_u64_below(rng, instance.num_resources()));
+  return State(instance, std::move(assignment));
+}
+
+State State::two_choices(const Instance& instance, Xoshiro256& rng) {
+  std::vector<ResourceId> assignment(instance.num_users());
+  std::vector<int> loads(instance.num_resources(), 0);
+  for (auto& choice : assignment) {
+    const auto a = static_cast<ResourceId>(
+        uniform_u64_below(rng, instance.num_resources()));
+    const auto b = static_cast<ResourceId>(
+        uniform_u64_below(rng, instance.num_resources()));
+    choice = loads[b] < loads[a] ? b : a;
+    ++loads[choice];
+  }
+  return State(instance, std::move(assignment));
+}
+
+ResourceId State::resource_of(UserId u) const {
+  QOSLB_REQUIRE(u < assignment_.size(), "user out of range");
+  return assignment_[u];
+}
+
+int State::load(ResourceId r) const {
+  QOSLB_REQUIRE(r < loads_.size(), "resource out of range");
+  return loads_[r];
+}
+
+void State::move(UserId u, ResourceId r) {
+  QOSLB_REQUIRE(u < assignment_.size(), "user out of range");
+  QOSLB_REQUIRE(r < loads_.size(), "resource out of range");
+  const ResourceId old = assignment_[u];
+  if (old == r) return;
+  --loads_[old];
+  ++loads_[r];
+  assignment_[u] = r;
+}
+
+double State::quality_of(UserId u) const {
+  const ResourceId r = resource_of(u);
+  return instance_->quality(r, loads_[r]);
+}
+
+bool State::satisfied(UserId u) const {
+  const ResourceId r = resource_of(u);
+  return loads_[r] <= instance_->threshold(u, r);
+}
+
+std::size_t State::count_satisfied() const {
+  std::size_t count = 0;
+  for (UserId u = 0; u < assignment_.size(); ++u)
+    if (satisfied(u)) ++count;
+  return count;
+}
+
+int State::max_load() const {
+  return *std::max_element(loads_.begin(), loads_.end());
+}
+
+int State::min_load() const {
+  return *std::min_element(loads_.begin(), loads_.end());
+}
+
+void State::check_invariants() const {
+  std::vector<int> expected(loads_.size(), 0);
+  for (const ResourceId r : assignment_) {
+    QOSLB_CHECK(r < loads_.size(), "assignment to unknown resource");
+    ++expected[r];
+  }
+  QOSLB_CHECK(expected == loads_, "cached loads diverged from assignment");
+}
+
+}  // namespace qoslb

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace qoslb {
+
+/// A complete assignment of users to resources plus the derived load vector.
+/// Holds a non-owning reference to its Instance (which must outlive it).
+/// move() maintains the loads incrementally in O(1).
+class State {
+ public:
+  State(const Instance& instance, std::vector<ResourceId> assignment);
+
+  /// Every user on resource `r`.
+  static State all_on(const Instance& instance, ResourceId r);
+
+  /// User u on resource u mod m (balanced deterministic start).
+  static State round_robin(const Instance& instance);
+
+  /// Independent uniform placement.
+  static State random(const Instance& instance, Xoshiro256& rng);
+
+  /// Sequential power-of-two-choices placement: each user samples two
+  /// resources and joins the one with the smaller current load (ties toward
+  /// the first sample). Classic O(log log n) max-load start.
+  static State two_choices(const Instance& instance, Xoshiro256& rng);
+
+  const Instance& instance() const { return *instance_; }
+  std::size_t num_users() const { return assignment_.size(); }
+  std::size_t num_resources() const { return loads_.size(); }
+
+  ResourceId resource_of(UserId u) const;
+  int load(ResourceId r) const;
+  const std::vector<int>& loads() const { return loads_; }
+
+  /// Moves user u to resource r (no-op allowed when r == current).
+  void move(UserId u, ResourceId r);
+
+  /// Quality currently experienced by user u.
+  double quality_of(UserId u) const;
+
+  /// True iff user u's requirement is met in the current state.
+  bool satisfied(UserId u) const;
+
+  std::size_t count_satisfied() const;
+  std::size_t count_unsatisfied() const { return num_users() - count_satisfied(); }
+
+  int max_load() const;
+  int min_load() const;
+
+  /// Recomputes loads from the assignment and compares; throws on mismatch.
+  void check_invariants() const;
+
+ private:
+  const Instance* instance_;
+  std::vector<ResourceId> assignment_;
+  std::vector<int> loads_;
+};
+
+}  // namespace qoslb

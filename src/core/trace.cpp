@@ -1,0 +1,55 @@
+#include "core/trace.hpp"
+
+#include "core/potential.hpp"
+#include "sim/accounting.hpp"
+#include "util/csv.hpp"
+
+namespace qoslb {
+namespace {
+
+RoundRecord snapshot(std::uint64_t round, const State& state,
+                     const Counters& counters) {
+  RoundRecord rec;
+  rec.round = round;
+  rec.unsatisfied = static_cast<std::uint32_t>(state.count_unsatisfied());
+  rec.migrations = counters.migrations;
+  rec.messages = counters.messages();
+  rec.max_load = state.max_load();
+  rec.potential = rosenthal_potential(state);
+  return rec;
+}
+
+}  // namespace
+
+std::vector<RoundRecord> TraceRecorder::run(Protocol& protocol, State& state,
+                                            Xoshiro256& rng,
+                                            std::uint64_t max_rounds) {
+  protocol.reset();
+  Counters counters;
+  std::vector<RoundRecord> records;
+  records.push_back(snapshot(0, state, counters));
+  for (std::uint64_t round = 1; round <= max_rounds; ++round) {
+    if (protocol.is_stable(state)) break;
+    protocol.step(state, rng, counters);
+    records.push_back(snapshot(round, state, counters));
+  }
+  return records;
+}
+
+void TraceRecorder::write_csv(const std::vector<RoundRecord>& records,
+                              std::ostream& out) {
+  CsvWriter csv(out);
+  csv.header({"round", "unsatisfied", "migrations", "messages", "max_load",
+              "potential"});
+  for (const RoundRecord& rec : records) {
+    csv.cell(static_cast<unsigned long long>(rec.round))
+        .cell(static_cast<unsigned long long>(rec.unsatisfied))
+        .cell(static_cast<unsigned long long>(rec.migrations))
+        .cell(static_cast<unsigned long long>(rec.messages))
+        .cell(static_cast<long long>(rec.max_load))
+        .cell(rec.potential);
+    csv.end_row();
+  }
+}
+
+}  // namespace qoslb

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/state.hpp"
+
+namespace qoslb {
+
+/// One row of a per-round execution trace (E3's decay trajectories and the
+/// examples' progress output).
+struct RoundRecord {
+  std::uint64_t round = 0;
+  std::uint32_t unsatisfied = 0;
+  std::uint64_t migrations = 0;    // cumulative
+  std::uint64_t messages = 0;      // cumulative
+  std::int32_t max_load = 0;
+  double potential = 0.0;          // Rosenthal potential
+};
+
+/// Runs `protocol` for at most `max_rounds`, recording a RoundRecord after
+/// every round (including a round-0 snapshot of the initial state). Stops
+/// early when the protocol is stable.
+class TraceRecorder {
+ public:
+  std::vector<RoundRecord> run(Protocol& protocol, State& state, Xoshiro256& rng,
+                               std::uint64_t max_rounds);
+
+  static void write_csv(const std::vector<RoundRecord>& records, std::ostream& out);
+};
+
+}  // namespace qoslb

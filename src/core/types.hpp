@@ -1,0 +1,13 @@
+#pragma once
+
+#include <cstdint>
+
+namespace qoslb {
+
+using UserId = std::uint32_t;
+using ResourceId = std::uint32_t;
+
+inline constexpr ResourceId kNoResource = ~ResourceId{0};
+inline constexpr UserId kNoUser = ~UserId{0};
+
+}  // namespace qoslb

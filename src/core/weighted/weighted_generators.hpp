@@ -1,0 +1,18 @@
+#pragma once
+
+#include "core/weighted/weighted_instance.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace qoslb {
+
+/// Feasible-by-construction weighted instance. Weights are drawn from
+/// {1, 2, 4, ..., 2^(weight_classes-1)} with Zipf(skew) class frequencies
+/// (skew 0 = uniform classes; larger = mostly light users with a heavy
+/// tail). Users are packed LPT-style onto the m unit-capacity resources;
+/// every threshold is then set to ⌈W_peak / (1−slack)⌉ where W_peak is the
+/// packing's maximum weight-load, so the packing certifies feasibility.
+WeightedInstance make_weighted_feasible(std::size_t n, std::size_t m,
+                                        double slack, std::size_t weight_classes,
+                                        double skew, Xoshiro256& rng);
+
+}  // namespace qoslb

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace qoslb {
+
+/// Weighted extension of the QoS model (DESIGN.md §6 / experiment E13).
+///
+/// User `u` carries an integer weight `w_u ≥ 1` (think: flows of different
+/// bandwidth, jobs of different size). A resource's load is the *total
+/// weight* `W_r` of its users; capacity is shared proportionally to weight,
+/// so every unit of weight receives quality `s_r / W_r` and user `u` is
+/// satisfied iff `W_r ≤ threshold(u, r) = ⌊s_r / q_u⌋` — the same rule as the
+/// unit model, with loads measured in weight units. Integer weights keep all
+/// load arithmetic exact.
+class WeightedInstance {
+ public:
+  WeightedInstance(std::vector<double> capacities, std::vector<double> requirements,
+                   std::vector<std::uint32_t> weights);
+
+  std::size_t num_users() const { return requirements_.size(); }
+  std::size_t num_resources() const { return capacities_.size(); }
+
+  double capacity(ResourceId r) const;
+  double requirement(UserId u) const;
+  std::uint32_t weight(UserId u) const;
+  std::uint64_t total_weight() const { return total_weight_; }
+
+  /// Maximum total weight of `r` at which user `u` is still satisfied,
+  /// clamped to total_weight().
+  std::int64_t threshold(UserId u, ResourceId r) const;
+
+  double quality(ResourceId r, std::int64_t weight_load) const;
+
+  bool identical_capacities() const { return identical_; }
+
+ private:
+  std::vector<double> capacities_;
+  std::vector<double> requirements_;
+  std::vector<double> inv_requirements_;
+  std::vector<std::uint32_t> weights_;
+  std::uint64_t total_weight_ = 0;
+  bool identical_ = true;
+};
+
+}  // namespace qoslb

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/weighted/weighted_state.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sim/accounting.hpp"
+
+namespace qoslb {
+
+/// Weighted counterparts of the round protocols. The interface mirrors
+/// core/protocol.hpp but operates on WeightedState; they are kept as a
+/// separate small hierarchy because weight-aware admission differs
+/// structurally (granting is a prefix in threshold order but the prefix sum
+/// is over *weights* — fragmentation appears, see E13).
+class WeightedProtocol {
+ public:
+  virtual ~WeightedProtocol() = default;
+  virtual std::string name() const = 0;
+  virtual void step(WeightedState& state, Xoshiro256& rng, Counters& counters) = 0;
+  virtual bool is_stable(const WeightedState& state) const {
+    return is_weighted_satisfaction_equilibrium(state);
+  }
+  virtual void reset() {}
+};
+
+/// Optimistic λ-damped sampling (weighted P2).
+class WeightedUniformSampling : public WeightedProtocol {
+ public:
+  explicit WeightedUniformSampling(double migrate_prob = 1.0);
+  std::string name() const override;
+  void step(WeightedState& state, Xoshiro256& rng, Counters& counters) override;
+
+ private:
+  double migrate_prob_;
+};
+
+/// Resource-gated admission (weighted P4): each resource sorts requesters by
+/// descending threshold and admits the longest prefix whose *weight* sum
+/// keeps the admitted and the satisfied residents under their thresholds.
+class WeightedAdmissionControl : public WeightedProtocol {
+ public:
+  WeightedAdmissionControl() = default;
+  std::string name() const override { return "w-admission"; }
+  void step(WeightedState& state, Xoshiro256& rng, Counters& counters) override;
+};
+
+/// One random unsatisfied user per step moves to its best satisfying
+/// resource (weighted P1 baseline).
+class WeightedSequentialBestResponse : public WeightedProtocol {
+ public:
+  WeightedSequentialBestResponse() = default;
+  std::string name() const override { return "w-seq-br"; }
+  void step(WeightedState& state, Xoshiro256& rng, Counters& counters) override;
+};
+
+struct WeightedRunResult {
+  std::uint64_t rounds = 0;
+  bool converged = false;
+  bool all_satisfied = false;
+  std::size_t final_satisfied = 0;
+  std::uint64_t final_satisfied_weight = 0;
+  Counters counters;
+};
+
+/// Runner mirroring core/runner.hpp for the weighted model.
+WeightedRunResult run_weighted_protocol(WeightedProtocol& protocol,
+                                        WeightedState& state, Xoshiro256& rng,
+                                        std::uint64_t max_rounds = 1u << 20,
+                                        std::uint32_t stability_check_period = 4);
+
+}  // namespace qoslb

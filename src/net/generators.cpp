@@ -1,0 +1,160 @@
+#include "net/generators.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "rng/distributions.hpp"
+#include "util/check.hpp"
+
+namespace qoslb {
+
+Graph make_complete(Vertex n) {
+  QOSLB_REQUIRE(n >= 1, "need at least one vertex");
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (Vertex a = 0; a < n; ++a)
+    for (Vertex b = a + 1; b < n; ++b) edges.emplace_back(a, b);
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_ring(Vertex n) {
+  QOSLB_REQUIRE(n >= 3, "ring needs at least 3 vertices");
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (Vertex v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_path(Vertex n) {
+  QOSLB_REQUIRE(n >= 2, "path needs at least 2 vertices");
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (Vertex v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_star(Vertex n) {
+  QOSLB_REQUIRE(n >= 2, "star needs at least 2 vertices");
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (Vertex v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_torus(Vertex rows, Vertex cols) {
+  QOSLB_REQUIRE(rows >= 3 && cols >= 3, "torus needs both dimensions >= 3");
+  const auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(rows) * cols * 2);
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      edges.emplace_back(id(r, c), id(r, (c + 1) % cols));
+      edges.emplace_back(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return Graph::from_edges(rows * cols, edges);
+}
+
+Graph make_hypercube(unsigned dim) {
+  QOSLB_REQUIRE(dim >= 1 && dim <= 24, "hypercube dimension out of range");
+  const Vertex n = Vertex{1} << dim;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * dim / 2);
+  for (Vertex v = 0; v < n; ++v)
+    for (unsigned bit = 0; bit < dim; ++bit) {
+      const Vertex w = v ^ (Vertex{1} << bit);
+      if (v < w) edges.emplace_back(v, w);
+    }
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_random_regular(Vertex n, unsigned degree, Xoshiro256& rng) {
+  QOSLB_REQUIRE(degree >= 1 && degree < n, "degree out of range");
+  QOSLB_REQUIRE((static_cast<std::uint64_t>(n) * degree) % 2 == 0,
+                "n*degree must be even");
+  // Configuration model with whole-graph rejection: efficient for the small
+  // fixed degrees (3..8) used in the experiments.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::vector<Vertex> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * degree);
+    for (Vertex v = 0; v < n; ++v)
+      for (unsigned k = 0; k < degree; ++k) stubs.push_back(v);
+    shuffle(rng, stubs);
+
+    std::set<Edge> edge_set;
+    bool simple = true;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      Vertex a = stubs[i], b = stubs[i + 1];
+      if (a == b) { simple = false; break; }
+      if (a > b) std::swap(a, b);
+      if (!edge_set.emplace(a, b).second) { simple = false; break; }
+    }
+    if (!simple) continue;
+    std::vector<Edge> edges(edge_set.begin(), edge_set.end());
+    return Graph::from_edges(n, edges);
+  }
+  throw std::runtime_error("make_random_regular: failed to build a simple graph");
+}
+
+Graph make_small_world(Vertex n, unsigned k, double beta, Xoshiro256& rng) {
+  QOSLB_REQUIRE(n >= 4, "small world needs at least 4 vertices");
+  QOSLB_REQUIRE(k >= 1 && 2 * k < n, "k out of range");
+  QOSLB_REQUIRE(beta >= 0.0 && beta <= 1.0, "beta in [0,1]");
+
+  std::set<Edge> edge_set;
+  const auto normalized = [](Vertex a, Vertex b) {
+    return a < b ? Edge{a, b} : Edge{b, a};
+  };
+  for (Vertex v = 0; v < n; ++v)
+    for (unsigned j = 1; j <= k; ++j)
+      edge_set.insert(normalized(v, (v + j) % n));
+
+  // Rewire each lattice edge (v, v+j) with probability beta to (v, random).
+  std::vector<Edge> lattice(edge_set.begin(), edge_set.end());
+  for (const Edge& edge : lattice) {
+    if (!bernoulli(rng, beta)) continue;
+    const Vertex v = edge.first;
+    // Try a few times to find a fresh endpoint; skip on dense failure.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const auto w = static_cast<Vertex>(uniform_u64_below(rng, n));
+      if (w == v || edge_set.count(normalized(v, w))) continue;
+      edge_set.erase(edge);
+      edge_set.insert(normalized(v, w));
+      break;
+    }
+  }
+  std::vector<Edge> edges(edge_set.begin(), edge_set.end());
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_barbell(Vertex clique, Vertex bridge) {
+  QOSLB_REQUIRE(clique >= 3, "cliques need at least 3 vertices");
+  const Vertex n = 2 * clique + bridge;
+  std::vector<Edge> edges;
+  // Left clique: vertices [0, clique); right clique: [clique+bridge, n).
+  for (Vertex a = 0; a < clique; ++a)
+    for (Vertex b = a + 1; b < clique; ++b) edges.emplace_back(a, b);
+  const Vertex right = clique + bridge;
+  for (Vertex a = right; a < n; ++a)
+    for (Vertex b = a + 1; b < n; ++b) edges.emplace_back(a, b);
+  // Bridge path from vertex clique-1 through the bridge to vertex `right`.
+  Vertex previous = clique - 1;
+  for (Vertex i = 0; i < bridge; ++i) {
+    edges.emplace_back(previous, clique + i);
+    previous = clique + i;
+  }
+  edges.emplace_back(previous, right);
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_gnp(Vertex n, double p, Xoshiro256& rng) {
+  QOSLB_REQUIRE(n >= 1, "need at least one vertex");
+  QOSLB_REQUIRE(p >= 0.0 && p <= 1.0, "p in [0,1]");
+  std::vector<Edge> edges;
+  for (Vertex a = 0; a < n; ++a)
+    for (Vertex b = a + 1; b < n; ++b)
+      if (bernoulli(rng, p)) edges.emplace_back(a, b);
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace qoslb

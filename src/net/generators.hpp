@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/graph.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace qoslb {
+
+/// Topology generators for network-restricted sampling experiments (E8).
+
+Graph make_complete(Vertex n);
+Graph make_ring(Vertex n);
+Graph make_path(Vertex n);
+Graph make_star(Vertex n);  // vertex 0 is the hub
+
+/// rows×cols torus (wrap-around grid); n = rows·cols vertices, degree 4
+/// (degree 2 when rows or cols equals 1 is rejected — require both ≥ 3).
+Graph make_torus(Vertex rows, Vertex cols);
+
+/// d-dimensional hypercube: 2^dim vertices.
+Graph make_hypercube(unsigned dim);
+
+/// Random d-regular graph via the configuration model with rejection of
+/// self-loops/parallel edges (retries until simple; d·n must be even).
+Graph make_random_regular(Vertex n, unsigned degree, Xoshiro256& rng);
+
+/// Erdős–Rényi G(n, p); no connectivity guarantee (callers can test).
+Graph make_gnp(Vertex n, double p, Xoshiro256& rng);
+
+/// Watts–Strogatz small world: ring lattice with `k` neighbors per side,
+/// each lattice edge rewired with probability `beta` (endpoints never
+/// duplicated). beta=0 is the lattice, beta=1 approaches a random graph.
+Graph make_small_world(Vertex n, unsigned k, double beta, Xoshiro256& rng);
+
+/// Barbell: two complete graphs of `clique` vertices joined by a path of
+/// `bridge` vertices — the classic bad-conductance topology (slow diffusion
+/// through the bridge).
+Graph make_barbell(Vertex clique, Vertex bridge);
+
+}  // namespace qoslb

@@ -1,0 +1,59 @@
+#include "net/graph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace qoslb {
+
+Graph Graph::from_edges(Vertex num_vertices, std::span<const Edge> edges) {
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  g.offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+
+  for (const auto& [a, b] : edges) {
+    QOSLB_REQUIRE(a < num_vertices && b < num_vertices, "edge endpoint out of range");
+    QOSLB_REQUIRE(a != b, "self-loops are not allowed");
+    ++g.offsets_[a + 1];
+    ++g.offsets_[b + 1];
+  }
+  for (std::size_t v = 1; v < g.offsets_.size(); ++v) g.offsets_[v] += g.offsets_[v - 1];
+
+  g.adjacency_.resize(edges.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [a, b] : edges) {
+    g.adjacency_[cursor[a]++] = b;
+    g.adjacency_[cursor[b]++] = a;
+  }
+  for (Vertex v = 0; v < num_vertices; ++v) {
+    auto row_begin = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
+    auto row_end = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
+    std::sort(row_begin, row_end);
+    QOSLB_REQUIRE(std::adjacent_find(row_begin, row_end) == row_end,
+                  "parallel edges are not allowed");
+  }
+  return g;
+}
+
+std::span<const Vertex> Graph::neighbors(Vertex v) const {
+  QOSLB_REQUIRE(v < num_vertices_, "vertex out of range");
+  return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+}
+
+std::size_t Graph::degree(Vertex v) const { return neighbors(v).size(); }
+
+bool Graph::has_edge(Vertex a, Vertex b) const {
+  const auto row = neighbors(a);
+  return std::binary_search(row.begin(), row.end(), b);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (Vertex v = 0; v < num_vertices_; ++v)
+    for (const Vertex w : neighbors(v))
+      if (v < w) out.emplace_back(v, w);
+  return out;
+}
+
+}  // namespace qoslb

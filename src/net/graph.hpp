@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace qoslb {
+
+using Vertex = std::uint32_t;
+using Edge = std::pair<Vertex, Vertex>;
+
+/// Immutable undirected graph in CSR (compressed sparse row) form. Vertices
+/// are 0..n-1; parallel edges and self-loops are rejected at construction.
+/// CSR keeps the adjacency of a vertex contiguous, which matters when the
+/// neighborhood-sampling protocols probe neighbor lists in hot loops.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an undirected edge list (each pair listed once).
+  static Graph from_edges(Vertex num_vertices, std::span<const Edge> edges);
+
+  Vertex num_vertices() const { return num_vertices_; }
+  std::size_t num_edges() const { return adjacency_.size() / 2; }
+
+  std::span<const Vertex> neighbors(Vertex v) const;
+  std::size_t degree(Vertex v) const;
+
+  bool has_edge(Vertex a, Vertex b) const;
+
+  /// All edges (a < b), reconstructed from CSR; mostly for tests/serialization.
+  std::vector<Edge> edges() const;
+
+ private:
+  Vertex num_vertices_ = 0;
+  std::vector<std::size_t> offsets_;   // size n+1
+  std::vector<Vertex> adjacency_;      // size 2m, sorted within each row
+};
+
+}  // namespace qoslb

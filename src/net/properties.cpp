@@ -1,0 +1,71 @@
+#include "net/properties.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace qoslb {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source) {
+  QOSLB_REQUIRE(source < g.num_vertices(), "source out of range");
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreachable);
+  std::queue<Vertex> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const Vertex v = frontier.front();
+    frontier.pop();
+    for (const Vertex w : g.neighbors(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::find(dist.begin(), dist.end(), kUnreachable) == dist.end();
+}
+
+std::uint32_t diameter(const Graph& g) {
+  QOSLB_REQUIRE(g.num_vertices() > 0, "diameter of empty graph");
+  std::uint32_t best = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    for (const std::uint32_t d : dist) {
+      QOSLB_REQUIRE(d != kUnreachable, "diameter of disconnected graph");
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+std::size_t component_count(const Graph& g) {
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::size_t components = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (seen[v]) continue;
+    ++components;
+    std::queue<Vertex> frontier;
+    frontier.push(v);
+    seen[v] = true;
+    while (!frontier.empty()) {
+      const Vertex u = frontier.front();
+      frontier.pop();
+      for (const Vertex w : g.neighbors(u)) {
+        if (!seen[w]) {
+          seen[w] = true;
+          frontier.push(w);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace qoslb

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace qoslb {
+
+inline constexpr std::uint32_t kUnreachable = ~std::uint32_t{0};
+
+/// BFS hop distances from `source`; kUnreachable for disconnected vertices.
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source);
+
+bool is_connected(const Graph& g);
+
+/// Exact diameter via all-sources BFS (O(n·m); fine at experiment sizes).
+/// Throws if the graph is disconnected or empty.
+std::uint32_t diameter(const Graph& g);
+
+/// Number of connected components.
+std::size_t component_count(const Graph& g);
+
+}  // namespace qoslb

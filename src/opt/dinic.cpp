@@ -1,0 +1,81 @@
+#include "opt/dinic.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace qoslb {
+
+Dinic::Dinic(std::size_t num_nodes) : graph_(num_nodes) {
+  QOSLB_REQUIRE(num_nodes >= 2, "flow network needs at least two nodes");
+}
+
+std::size_t Dinic::add_edge(std::size_t from, std::size_t to, std::int64_t capacity) {
+  QOSLB_REQUIRE(from < graph_.size() && to < graph_.size(), "node out of range");
+  QOSLB_REQUIRE(capacity >= 0, "capacity must be non-negative");
+  graph_[from].push_back(EdgeRec{to, graph_[to].size(), capacity, capacity});
+  graph_[to].push_back(EdgeRec{from, graph_[from].size() - 1, 0, 0});
+  edge_locator_.emplace_back(from, graph_[from].size() - 1);
+  return edge_locator_.size() - 1;
+}
+
+bool Dinic::build_levels(std::size_t source, std::size_t sink) {
+  level_.assign(graph_.size(), -1);
+  std::queue<std::size_t> frontier;
+  level_[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const std::size_t v = frontier.front();
+    frontier.pop();
+    for (const EdgeRec& e : graph_[v]) {
+      if (e.cap > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+std::int64_t Dinic::augment(std::size_t v, std::size_t sink, std::int64_t limit) {
+  if (v == sink || limit == 0) return limit;
+  for (std::size_t& i = next_edge_[v]; i < graph_[v].size(); ++i) {
+    EdgeRec& e = graph_[v][i];
+    if (e.cap > 0 && level_[e.to] == level_[v] + 1) {
+      const std::int64_t pushed = augment(e.to, sink, std::min(limit, e.cap));
+      if (pushed > 0) {
+        e.cap -= pushed;
+        graph_[e.to][e.rev].cap += pushed;
+        return pushed;
+      }
+    }
+  }
+  return 0;
+}
+
+std::int64_t Dinic::max_flow(std::size_t source, std::size_t sink) {
+  QOSLB_REQUIRE(source < graph_.size() && sink < graph_.size(), "node out of range");
+  QOSLB_REQUIRE(source != sink, "source equals sink");
+  std::int64_t total = 0;
+  while (build_levels(source, sink)) {
+    next_edge_.assign(graph_.size(), 0);
+    while (true) {
+      const std::int64_t pushed =
+          augment(source, sink, std::numeric_limits<std::int64_t>::max());
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+std::int64_t Dinic::flow_on(std::size_t edge_index) const {
+  QOSLB_REQUIRE(edge_index < edge_locator_.size(), "edge index out of range");
+  const auto [node, slot] = edge_locator_[edge_index];
+  const EdgeRec& e = graph_[node][slot];
+  return e.original_cap - e.cap;
+}
+
+}  // namespace qoslb

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qoslb {
+
+/// Dinic's maximum-flow algorithm on an explicit residual graph. Used by the
+/// exact satisfaction optimizer to solve the bipartite user/resource matching
+/// with resource capacities. O(E·V²) generally, O(E·√V) on unit-capacity
+/// bipartite graphs — far more than enough for the baseline instance sizes.
+class Dinic {
+ public:
+  explicit Dinic(std::size_t num_nodes);
+
+  /// Adds a directed edge with the given capacity; returns the edge index
+  /// (usable with flow_on() after max_flow()).
+  std::size_t add_edge(std::size_t from, std::size_t to, std::int64_t capacity);
+
+  std::int64_t max_flow(std::size_t source, std::size_t sink);
+
+  /// Flow pushed through the edge returned by add_edge.
+  std::int64_t flow_on(std::size_t edge_index) const;
+
+  std::size_t num_nodes() const { return graph_.size(); }
+
+ private:
+  struct EdgeRec {
+    std::size_t to;
+    std::size_t rev;  // index of the reverse edge in graph_[to]
+    std::int64_t cap;
+    std::int64_t original_cap;
+  };
+
+  bool build_levels(std::size_t source, std::size_t sink);
+  std::int64_t augment(std::size_t v, std::size_t sink, std::int64_t limit);
+
+  std::vector<std::vector<EdgeRec>> graph_;
+  std::vector<std::pair<std::size_t, std::size_t>> edge_locator_;
+  std::vector<int> level_;
+  std::vector<std::size_t> next_edge_;
+};
+
+}  // namespace qoslb

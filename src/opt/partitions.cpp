@@ -1,0 +1,61 @@
+#include "opt/partitions.hpp"
+
+#include "util/check.hpp"
+
+namespace qoslb {
+namespace {
+
+std::size_t partitions_rec(int remaining, int max_parts, int max_value,
+                           std::vector<int>& prefix,
+                           const std::function<void(const std::vector<int>&)>& visit) {
+  if (remaining == 0) {
+    visit(prefix);
+    return 1;
+  }
+  if (max_parts == 0) return 0;
+  std::size_t count = 0;
+  for (int part = std::min(remaining, max_value); part >= 1; --part) {
+    prefix.push_back(part);
+    count += partitions_rec(remaining - part, max_parts - 1, part, prefix, visit);
+    prefix.pop_back();
+  }
+  return count;
+}
+
+std::size_t compositions_rec(int remaining, int parts, std::vector<int>& prefix,
+                             const std::function<void(const std::vector<int>&)>& visit) {
+  if (parts == 0) {
+    if (remaining != 0) return 0;
+    visit(prefix);
+    return 1;
+  }
+  std::size_t count = 0;
+  for (int part = 0; part <= remaining; ++part) {
+    prefix.push_back(part);
+    count += compositions_rec(remaining - part, parts - 1, prefix, visit);
+    prefix.pop_back();
+  }
+  return count;
+}
+
+}  // namespace
+
+std::size_t for_each_partition(
+    int total, int max_parts,
+    const std::function<void(const std::vector<int>&)>& visit) {
+  QOSLB_REQUIRE(total >= 0, "total must be non-negative");
+  QOSLB_REQUIRE(max_parts >= 0, "max_parts must be non-negative");
+  std::vector<int> prefix;
+  return partitions_rec(total, max_parts, total, prefix, visit);
+}
+
+std::size_t for_each_composition(
+    int total, int parts,
+    const std::function<void(const std::vector<int>&)>& visit) {
+  QOSLB_REQUIRE(total >= 0, "total must be non-negative");
+  QOSLB_REQUIRE(parts >= 0, "parts must be non-negative");
+  std::vector<int> prefix;
+  return compositions_rec(total, parts, prefix, visit);
+}
+
+}  // namespace qoslb

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace qoslb {
+
+/// Enumerates all partitions of `total` into at most `max_parts` positive,
+/// non-increasing parts, invoking `visit` with each partition. Used by the
+/// exact satisfaction optimizer to sweep resource occupancy vectors for
+/// identical resources (occupancies are exchangeable, so non-increasing
+/// sequences suffice). Returns the number of partitions visited.
+std::size_t for_each_partition(
+    int total, int max_parts,
+    const std::function<void(const std::vector<int>&)>& visit);
+
+/// Enumerates all compositions of `total` into exactly `parts` non-negative
+/// parts (ordered; used for heterogeneous resources where occupancies are not
+/// exchangeable). Returns the number of compositions visited.
+std::size_t for_each_composition(
+    int total, int parts,
+    const std::function<void(const std::vector<int>&)>& visit);
+
+}  // namespace qoslb

@@ -1,0 +1,180 @@
+#include "opt/satisfaction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "opt/dinic.hpp"
+#include "opt/partitions.hpp"
+#include "util/check.hpp"
+
+namespace qoslb {
+
+GroupingResult min_resources_to_satisfy_all(std::vector<int> thresholds) {
+  GroupingResult result;
+  if (thresholds.empty()) {
+    result.feasible = true;
+    result.groups = 0;
+    return result;
+  }
+  std::sort(thresholds.begin(), thresholds.end(), std::greater<int>());
+  if (thresholds.back() < 1) return result;  // a user no resource can satisfy
+
+  // Greedy maximal blocks over the descending order. A block of size k
+  // starting at i is valid iff thresholds[i + k - 1] >= k; validity is
+  // monotone (enlarging a block can only lower its min threshold), so the
+  // maximal k is found by scanning. Taking the maximal block first is optimal:
+  // shrinking any block of an optimal partition and prepending the freed users
+  // to an earlier (larger-threshold) block keeps both valid.
+  const int n = static_cast<int>(thresholds.size());
+  int i = 0;
+  int groups = 0;
+  while (i < n) {
+    int k = 1;
+    while (i + k < n && thresholds[i + k] >= k + 1) ++k;
+    i += k;
+    ++groups;
+  }
+  result.feasible = true;
+  result.groups = groups;
+  return result;
+}
+
+bool all_satisfiable(const std::vector<int>& thresholds, int m) {
+  QOSLB_REQUIRE(m >= 0, "m must be non-negative");
+  const GroupingResult g = min_resources_to_satisfy_all(thresholds);
+  return g.feasible && g.groups <= m;
+}
+
+int satisfied_for_occupancies(const std::vector<std::vector<int>>& thresholds,
+                              const std::vector<int>& occupancies) {
+  const std::size_t n = thresholds.size();
+  const std::size_t m = occupancies.size();
+  QOSLB_REQUIRE(m >= 1, "need at least one resource");
+  int total = 0;
+  for (const int occ : occupancies) {
+    QOSLB_REQUIRE(occ >= 0, "occupancy must be non-negative");
+    total += occ;
+  }
+  QOSLB_REQUIRE(static_cast<std::size_t>(total) == n,
+                "occupancies must place every user");
+
+  // source = 0, users = 1..n, resources = n+1..n+m, sink = n+m+1.
+  Dinic flow(n + m + 2);
+  const std::size_t source = 0;
+  const std::size_t sink = n + m + 1;
+  for (std::size_t u = 0; u < n; ++u) {
+    QOSLB_REQUIRE(thresholds[u].size() == m, "threshold matrix shape mismatch");
+    flow.add_edge(source, 1 + u, 1);
+    for (std::size_t r = 0; r < m; ++r)
+      if (occupancies[r] >= 1 && thresholds[u][r] >= occupancies[r])
+        flow.add_edge(1 + u, 1 + n + r, 1);
+  }
+  for (std::size_t r = 0; r < m; ++r)
+    flow.add_edge(1 + n + r, sink, occupancies[r]);
+
+  // Matched users are satisfied; unmatched users fill the remaining slots
+  // (sum of occupancies equals n, so a completion always exists).
+  return static_cast<int>(flow.max_flow(source, sink));
+}
+
+std::vector<std::vector<int>> identical_threshold_matrix(
+    const std::vector<int>& thresholds, int m) {
+  QOSLB_REQUIRE(m >= 1, "need at least one resource");
+  std::vector<std::vector<int>> matrix(thresholds.size());
+  for (std::size_t u = 0; u < thresholds.size(); ++u)
+    matrix[u].assign(static_cast<std::size_t>(m), thresholds[u]);
+  return matrix;
+}
+
+int max_satisfied_identical(const std::vector<int>& thresholds, int m) {
+  const int n = static_cast<int>(thresholds.size());
+  QOSLB_REQUIRE(m >= 1, "need at least one resource");
+  QOSLB_REQUIRE(n <= 64 && m <= 16, "exact optimizer guarded to n<=64, m<=16");
+  if (n == 0) return 0;
+
+  const auto matrix = identical_threshold_matrix(thresholds, m);
+  int best = 0;
+  for_each_partition(n, m, [&](const std::vector<int>& parts) {
+    std::vector<int> occupancies = parts;
+    occupancies.resize(static_cast<std::size_t>(m), 0);
+    best = std::max(best, satisfied_for_occupancies(matrix, occupancies));
+  });
+  return best;
+}
+
+int max_satisfied_heterogeneous(const std::vector<std::vector<int>>& thresholds) {
+  const int n = static_cast<int>(thresholds.size());
+  QOSLB_REQUIRE(n >= 1, "need at least one user");
+  const int m = static_cast<int>(thresholds.front().size());
+  QOSLB_REQUIRE(n <= 16 && m <= 4, "exact optimizer guarded to n<=16, m<=4");
+
+  int best = 0;
+  for_each_composition(n, m, [&](const std::vector<int>& occupancies) {
+    best = std::max(best, satisfied_for_occupancies(thresholds, occupancies));
+  });
+  return best;
+}
+
+int max_satisfied_greedy(const std::vector<int>& thresholds, int m) {
+  QOSLB_REQUIRE(m >= 1, "need at least one resource");
+  const int n = static_cast<int>(thresholds.size());
+  if (n == 0) return 0;
+
+  std::vector<int> sorted = thresholds;
+  std::sort(sorted.begin(), sorted.end(), std::greater<int>());
+
+  // groups_for(k): resources needed to satisfy the k loosest users, or
+  // m+1 when impossible. Monotone non-decreasing in k.
+  const auto groups_for = [&](int k) {
+    if (k == 0) return 0;
+    if (sorted[k - 1] < 1) return m + 1;  // an unsatisfiable user in the top-k
+    const std::vector<int> top(sorted.begin(), sorted.begin() + k);
+    const GroupingResult g = min_resources_to_satisfy_all(top);
+    return g.feasible ? g.groups : m + 1;
+  };
+
+  // Satisfying everyone needs no dump resource (budget m); any proper subset
+  // reserves one resource for the dumped users (budget m-1). The k = n case
+  // breaks monotonicity of the combined predicate, so it is checked apart
+  // and the binary search runs over k ≤ n-1.
+  if (groups_for(n) <= m) return n;
+  int lo = 0, hi = n - 1;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo + 1) / 2;
+    if (groups_for(mid) <= m - 1)
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  return groups_for(lo) <= m - 1 ? lo : 0;
+}
+
+int max_satisfied_bruteforce(const std::vector<std::vector<int>>& thresholds) {
+  const std::size_t n = thresholds.size();
+  QOSLB_REQUIRE(n >= 1, "need at least one user");
+  const std::size_t m = thresholds.front().size();
+  QOSLB_REQUIRE(std::pow(static_cast<double>(m), static_cast<double>(n)) <=
+                    static_cast<double>(1 << 22),
+                "brute force guarded to m^n <= 2^22");
+
+  std::vector<std::size_t> assign(n, 0);
+  std::vector<int> load(m, 0);
+  int best = 0;
+  while (true) {
+    std::fill(load.begin(), load.end(), 0);
+    for (std::size_t u = 0; u < n; ++u) ++load[assign[u]];
+    int satisfied = 0;
+    for (std::size_t u = 0; u < n; ++u)
+      if (thresholds[u][assign[u]] >= load[assign[u]]) ++satisfied;
+    best = std::max(best, satisfied);
+
+    // Odometer increment over the m^n assignment space.
+    std::size_t pos = 0;
+    while (pos < n && ++assign[pos] == m) assign[pos++] = 0;
+    if (pos == n) break;
+  }
+  return best;
+}
+
+}  // namespace qoslb

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+namespace qoslb {
+
+/// Centralized optimum baselines for QoS satisfaction.
+///
+/// All functions work on *thresholds*: user `u` on a resource with occupancy
+/// (total number of users) `ℓ` is satisfied iff `ℓ ≤ t_u`, where
+/// `t_u = ⌊s/q_u⌋` for capacity `s` and requirement `q_u` (see
+/// core/instance.hpp). For identical resources every user has one threshold;
+/// for heterogeneous resources there is a per-resource threshold matrix.
+
+struct GroupingResult {
+  bool feasible = false;  // can all users be satisfied with `groups` resources?
+  int groups = 0;         // minimum number of resources needed (valid if feasible)
+};
+
+/// Minimum number of identical resources needed to satisfy *all* users.
+/// Greedy on thresholds sorted descending: repeatedly take the largest block
+/// k with (k-th largest remaining threshold) ≥ k. Infeasible iff some user
+/// has threshold < 1. O(n log n).
+GroupingResult min_resources_to_satisfy_all(std::vector<int> thresholds);
+
+/// Can all users be satisfied on `m` identical resources?
+bool all_satisfiable(const std::vector<int>& thresholds, int m);
+
+/// Exact maximum number of simultaneously satisfied users for a *fixed*
+/// occupancy vector: bipartite matching (user→resource edge iff
+/// thresholds[u][r] ≥ occupancy[r], resource capacity = occupancy[r]) solved
+/// with Dinic. Requires sum(occupancies) == number of users.
+int satisfied_for_occupancies(const std::vector<std::vector<int>>& thresholds,
+                              const std::vector<int>& occupancies);
+
+/// Exact maximum satisfied count on `m` identical resources: enumerates
+/// occupancy partitions (identical resources are exchangeable) and solves the
+/// matching for each. Exponential in n — guarded to n ≤ 64, m ≤ 16; intended
+/// for the price-of-anarchy table (E7) and tests.
+int max_satisfied_identical(const std::vector<int>& thresholds, int m);
+
+/// Exact maximum satisfied count with a per-resource threshold matrix
+/// thresholds[u][r]: enumerates occupancy compositions. Tiny instances only
+/// (guarded to n ≤ 16, m ≤ 4).
+int max_satisfied_heterogeneous(const std::vector<std::vector<int>>& thresholds);
+
+/// Ground-truth oracle: enumerates all m^n assignments. Tests only
+/// (guarded to m^n ≤ 2^22).
+int max_satisfied_bruteforce(const std::vector<std::vector<int>>& thresholds);
+
+/// Expands a single-threshold-per-user vector into the matrix form used by
+/// the exact optimizers (identical resources ⇒ every column equal).
+std::vector<std::vector<int>> identical_threshold_matrix(
+    const std::vector<int>& thresholds, int m);
+
+/// Scalable lower bound on the identical-resource optimum (O(n log n)):
+/// satisfy the k loosest users using the greedy grouping, dumping everyone
+/// else on one sacrificial resource; the best k is found by binary search.
+/// Selecting the top-k users by threshold is optimal for any fixed k
+/// (replacing a satisfied user by a looser non-member keeps every group
+/// valid), so the bound is exact whenever the optimum uses a pure dump
+/// resource; it can undercount when the optimum parks unsatisfied users on
+/// top of satisfied groups with spare headroom. Tests cross-check it against
+/// max_satisfied_identical on small instances.
+int max_satisfied_greedy(const std::vector<int>& thresholds, int m);
+
+}  // namespace qoslb

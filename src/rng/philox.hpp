@@ -1,0 +1,49 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace qoslb {
+
+/// Philox4x32-10 counter-based generator (Salmon et al., SC'11).
+/// Counter-based RNGs give O(1) random access into the stream: agent `k` in
+/// replication `r` can draw value `i` without any sequential state, which
+/// makes massively parallel simulations bit-reproducible regardless of the
+/// execution order of agents across threads.
+class Philox4x32 {
+ public:
+  using counter_type = std::array<std::uint32_t, 4>;
+  using key_type = std::array<std::uint32_t, 2>;
+
+  /// Encrypts `counter` under `key` with 10 rounds.
+  static counter_type block(counter_type counter, key_type key);
+
+  /// Convenience: 64-bit output for (key, index); consumes the block's first
+  /// two lanes.
+  static std::uint64_t at(std::uint64_t key, std::uint64_t index);
+};
+
+/// Sequential engine facade over Philox: UniformRandomBitGenerator-compliant,
+/// with the (stream, position) pair explicit so streams never overlap.
+class PhiloxEngine {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit PhiloxEngine(std::uint64_t key, std::uint64_t start_index = 0)
+      : key_(key), index_(start_index) {}
+
+  std::uint64_t operator()() { return Philox4x32::at(key_, index_++); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  std::uint64_t key() const { return key_; }
+  std::uint64_t position() const { return index_; }
+  void seek(std::uint64_t index) { index_ = index; }
+
+ private:
+  std::uint64_t key_;
+  std::uint64_t index_;
+};
+
+}  // namespace qoslb

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+namespace qoslb {
+
+/// SplitMix64 (Steele, Lea, Flood 2014). Used to expand seeds and to derive
+/// statistically independent child seeds; also a valid generator on its own.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t operator()() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One-shot avalanche mix of a 64-bit value (the SplitMix64 finalizer).
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Derives a child seed from (root, stream). Streams with distinct ids yield
+/// decorrelated generators; used to give every agent / replication its own
+/// deterministic stream.
+constexpr std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream) {
+  return mix64(root ^ (0x9E3779B97F4A7C15ULL * (stream + 1)));
+}
+
+}  // namespace qoslb

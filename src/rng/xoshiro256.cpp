@@ -1,0 +1,41 @@
+#include "rng/xoshiro256.hpp"
+
+#include "rng/splitmix64.hpp"
+
+namespace qoslb {
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 expander(seed);
+  for (auto& word : s_) word = expander();
+  // The all-zero state is a fixed point; SplitMix64 cannot emit four zero
+  // words in a row for any seed, so no further handling is required, but we
+  // keep a defensive perturbation for safety.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+void Xoshiro256::jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL,
+      0xA9582618E03FC9AAULL, 0x39ABDC4529B1661CULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (const std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (1ULL << bit)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (*this)();
+    }
+  }
+  s_ = {s0, s1, s2, s3};
+}
+
+Xoshiro256 Xoshiro256::split(std::uint64_t stream) const {
+  Xoshiro256 out = *this;
+  for (std::uint64_t i = 0; i < stream; ++i) out.jump();
+  return out;
+}
+
+}  // namespace qoslb

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace qoslb {
+
+/// xoshiro256++ 1.0 (Blackman & Vigna). The workhorse generator of the
+/// simulator: fast, 256-bit state, UniformRandomBitGenerator-compliant, with
+/// jump() for 2^128 non-overlapping subsequences.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the state via SplitMix64 expansion (never produces the all-zero state).
+  explicit Xoshiro256(std::uint64_t seed = 0xD1B54A32D192ED03ULL);
+
+  std::uint64_t operator()() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Advances the state by 2^128 steps.
+  void jump();
+
+  /// Returns a generator jumped `stream` times ahead of *this.
+  Xoshiro256 split(std::uint64_t stream) const;
+
+  std::array<std::uint64_t, 4> state() const { return s_; }
+
+  friend bool operator==(const Xoshiro256& a, const Xoshiro256& b) {
+    return a.s_ == b.s_;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace qoslb

@@ -1,0 +1,27 @@
+#include "rng/zipf.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace qoslb {
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) : exponent_(exponent) {
+  QOSLB_REQUIRE(n > 0, "ZipfSampler needs at least one rank");
+  QOSLB_REQUIRE(exponent >= 0.0, "Zipf exponent must be non-negative");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -exponent);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+double ZipfSampler::pmf(std::size_t k) const {
+  QOSLB_REQUIRE(k < cdf_.size(), "rank out of range");
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace qoslb

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/distributions.hpp"
+
+namespace qoslb {
+
+/// Zipf(s, N) sampler over ranks {0, ..., N-1} with exponent s ≥ 0 using a
+/// precomputed CDF (binary-search inversion). Zipf-distributed QoS demands
+/// model the classic skew of client bitrates / flow sizes.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  std::size_t size() const { return cdf_.size(); }
+  double exponent() const { return exponent_; }
+
+  /// Probability mass of rank `k`.
+  double pmf(std::size_t k) const;
+
+  template <typename Rng>
+  std::size_t operator()(Rng& rng) const {
+    const double u = uniform_real(rng);
+    // First index with cdf >= u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] < u)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+
+ private:
+  double exponent_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace qoslb

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+namespace qoslb {
+
+/// Message/operation counters shared by both engines and all protocols.
+/// "Messages" follow the distributed-computing cost model: one probe is a
+/// round trip (PROBE + LOAD reply), a migration is a MIGRATE message, and the
+/// admission-controlled protocols additionally exchange REQUEST/GRANT/REJECT.
+struct Counters {
+  std::uint64_t probes = 0;
+  std::uint64_t migrate_requests = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t rejects = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t events = 0;
+
+  /// Total messages under the round-trip cost model.
+  std::uint64_t messages() const {
+    return 2 * probes + migrate_requests + grants + rejects + migrations;
+  }
+
+  Counters& operator+=(const Counters& other) {
+    probes += other.probes;
+    migrate_requests += other.migrate_requests;
+    grants += other.grants;
+    rejects += other.rejects;
+    migrations += other.migrations;
+    rounds += other.rounds;
+    events += other.events;
+    return *this;
+  }
+};
+
+}  // namespace qoslb

@@ -1,0 +1,55 @@
+#include "sim/des.hpp"
+
+#include "rng/distributions.hpp"
+#include "util/check.hpp"
+
+namespace qoslb {
+
+DesEngine::DesEngine(std::uint64_t seed, double latency_jitter)
+    : rng_(seed), jitter_(latency_jitter) {
+  QOSLB_REQUIRE(latency_jitter >= 0.0, "jitter must be non-negative");
+}
+
+AgentId DesEngine::add_agent(DesAgent* agent) {
+  QOSLB_REQUIRE(agent != nullptr, "agent must not be null");
+  QOSLB_REQUIRE(!started_, "agents must be registered before run()");
+  agents_.push_back(agent);
+  return static_cast<AgentId>(agents_.size() - 1);
+}
+
+void DesEngine::send(Message message, double delay) {
+  QOSLB_REQUIRE(message.dst < agents_.size(), "message to unknown agent");
+  QOSLB_REQUIRE(delay >= 0.0, "delay must be non-negative");
+  double latency = delay;
+  if (jitter_ > 0.0) latency += uniform_real(rng_, 0.0, jitter_);
+  queue_.push(Scheduled{now_ + latency, seq_++, message});
+}
+
+void DesEngine::schedule_timer(AgentId agent, double delay, std::int64_t payload) {
+  Message timer;
+  timer.type = MsgType::kTimer;
+  timer.src = agent;
+  timer.dst = agent;
+  timer.a = payload;
+  send(timer, delay);
+}
+
+std::uint64_t DesEngine::run(std::uint64_t max_events) {
+  if (!started_) {
+    started_ = true;
+    for (std::size_t i = 0; i < agents_.size(); ++i) agents_[i]->on_start(*this);
+  }
+  std::uint64_t count = 0;
+  while (!queue_.empty() && count < max_events) {
+    const Scheduled next = queue_.top();
+    queue_.pop();
+    QOSLB_CHECK(next.time + 1e-12 >= now_, "time went backwards");
+    now_ = next.time;
+    ++delivered_;
+    ++count;
+    agents_[next.message.dst]->on_message(next.message, *this);
+  }
+  return count;
+}
+
+}  // namespace qoslb

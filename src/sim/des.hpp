@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "rng/xoshiro256.hpp"
+#include "sim/message.hpp"
+
+namespace qoslb {
+
+class DesEngine;
+
+/// An asynchronous agent (user or resource). Agents only interact through
+/// messages — the engine owns time and delivery; an agent sees nothing but
+/// its own inbox (the information model the paper's protocols assume).
+class DesAgent {
+ public:
+  virtual ~DesAgent() = default;
+
+  /// Called once when the simulation starts, before any delivery.
+  virtual void on_start(DesEngine& engine) { (void)engine; }
+
+  virtual void on_message(const Message& message, DesEngine& engine) = 0;
+};
+
+/// Sequential discrete-event engine with deterministic tie-breaking
+/// (time, then enqueue sequence) and optional random per-message latency.
+class DesEngine {
+ public:
+  /// `latency_jitter` > 0 adds Uniform(0, jitter) to every send's base delay,
+  /// modelling an asynchronous network; 0 keeps FIFO-deterministic delivery.
+  explicit DesEngine(std::uint64_t seed = 1, double latency_jitter = 0.0);
+
+  /// Registers an agent (not owned); returns its id. All registration must
+  /// happen before run().
+  AgentId add_agent(DesAgent* agent);
+
+  /// Schedules delivery of `message` after `delay` (plus jitter) from now.
+  void send(Message message, double delay = 1.0);
+
+  /// Schedules a kTimer message to `agent` after `delay`.
+  void schedule_timer(AgentId agent, double delay, std::int64_t payload = 0);
+
+  /// Runs until the event queue drains or `max_events` deliveries happened.
+  /// Returns the number of delivered events.
+  std::uint64_t run(std::uint64_t max_events = ~std::uint64_t{0});
+
+  double now() const { return now_; }
+  std::uint64_t delivered() const { return delivered_; }
+  std::size_t pending() const { return queue_.size(); }
+  Xoshiro256& rng() { return rng_; }
+
+ private:
+  struct Scheduled {
+    double time;
+    std::uint64_t seq;
+    Message message;
+  };
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<DesAgent*> agents_;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+  Xoshiro256 rng_;
+  double jitter_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t delivered_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace qoslb

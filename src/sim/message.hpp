@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+namespace qoslb {
+
+using AgentId = std::uint32_t;
+
+inline constexpr AgentId kNoAgent = ~AgentId{0};
+
+/// Message kinds of the QoS load-balancing protocols in the asynchronous
+/// (message-passing) realization. The payload fields are protocol-defined;
+/// the engine never interprets them (MPI-style opaque payloads).
+enum class MsgType : std::uint8_t {
+  kProbe,          // user -> resource: what is your load?
+  kLoadReply,      // resource -> user: payload a = load, b = last-round contention
+  kMigrateRequest, // user -> resource: may I join? payload a = user's threshold
+  kGrant,          // resource -> user: admission granted
+  kReject,         // resource -> user: admission denied
+  kLeave,          // user -> resource: I am departing
+  kTimer,          // self-scheduled wakeup
+};
+
+struct Message {
+  MsgType type = MsgType::kTimer;
+  AgentId src = kNoAgent;
+  AgentId dst = kNoAgent;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+};
+
+}  // namespace qoslb

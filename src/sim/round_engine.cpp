@@ -1,0 +1,24 @@
+#include "sim/round_engine.hpp"
+
+namespace qoslb {
+
+RoundRunResult run_rounds(RoundTask& task, std::uint64_t max_rounds,
+                          const std::function<void(std::uint64_t)>& observer) {
+  RoundRunResult result;
+  if (task.converged()) {
+    result.converged = true;
+    return result;
+  }
+  for (std::uint64_t r = 0; r < max_rounds; ++r) {
+    task.round(r);
+    ++result.rounds;
+    if (observer) observer(r);
+    if (task.converged()) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace qoslb

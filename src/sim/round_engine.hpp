@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace qoslb {
+
+/// A synchronous-rounds distributed computation: all agents act once per
+/// round against the state observed at the round boundary (the standard
+/// synchronous model the paper's analysis uses).
+class RoundTask {
+ public:
+  virtual ~RoundTask() = default;
+
+  /// Executes one round. `round_index` starts at 0.
+  virtual void round(std::uint64_t round_index) = 0;
+
+  /// True once the computation has reached its stopping condition (e.g. a
+  /// satisfaction equilibrium). Checked after every round.
+  virtual bool converged() const = 0;
+};
+
+struct RoundRunResult {
+  std::uint64_t rounds = 0;  // rounds actually executed
+  bool converged = false;    // false means max_rounds was exhausted
+};
+
+/// Drives `task` for at most `max_rounds` rounds; `observer` (optional) is
+/// invoked after each round with the finished round's index.
+RoundRunResult run_rounds(RoundTask& task, std::uint64_t max_rounds,
+                          const std::function<void(std::uint64_t)>& observer = {});
+
+}  // namespace qoslb

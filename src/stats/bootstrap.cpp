@@ -1,0 +1,40 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+#include "stats/quantile.hpp"
+#include "util/check.hpp"
+
+namespace qoslb {
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> sample, double alpha,
+                                     std::size_t resamples, std::uint64_t seed) {
+  QOSLB_REQUIRE(!sample.empty(), "bootstrap of empty sample");
+  QOSLB_REQUIRE(alpha > 0.0 && alpha < 1.0, "alpha in (0,1)");
+  QOSLB_REQUIRE(resamples >= 10, "too few resamples");
+
+  double total = 0.0;
+  for (const double x : sample) total += x;
+  const double point = total / static_cast<double>(sample.size());
+
+  Xoshiro256 rng(seed);
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < sample.size(); ++i)
+      sum += sample[uniform_u64_below(rng, sample.size())];
+    means.push_back(sum / static_cast<double>(sample.size()));
+  }
+  std::sort(means.begin(), means.end());
+  ConfidenceInterval ci;
+  ci.point = point;
+  ci.lo = quantile_sorted(means, alpha / 2.0);
+  ci.hi = quantile_sorted(means, 1.0 - alpha / 2.0);
+  return ci;
+}
+
+}  // namespace qoslb

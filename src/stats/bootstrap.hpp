@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace qoslb {
+
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double point = 0.0;  // the sample statistic itself
+};
+
+/// Percentile bootstrap CI for the sample mean: `resamples` resamples with
+/// replacement, the [alpha/2, 1-alpha/2] percentiles of the resampled means.
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> sample,
+                                     double alpha = 0.05,
+                                     std::size_t resamples = 1000,
+                                     std::uint64_t seed = 0xB00757AAULL);
+
+}  // namespace qoslb

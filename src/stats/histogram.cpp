@@ -1,0 +1,63 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace qoslb {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  QOSLB_REQUIRE(hi > lo, "histogram range must be non-empty");
+  QOSLB_REQUIRE(buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    ++counts_.front();
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    ++counts_.back();
+    return;
+  }
+  const auto bucket = static_cast<std::size_t>((x - lo_) / width_);
+  ++counts_[std::min(bucket, counts_.size() - 1)];
+}
+
+std::size_t Histogram::count(std::size_t bucket) const {
+  QOSLB_REQUIRE(bucket < counts_.size(), "bucket out of range");
+  return counts_[bucket];
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  QOSLB_REQUIRE(bucket < counts_.size(), "bucket out of range");
+  return lo_ + width_ * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const {
+  return bucket_lo(bucket) + width_;
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  std::size_t peak = 1;
+  for (const std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        counts_[b] == 0 ? 0
+                        : std::max<std::size_t>(1, counts_[b] * max_width / peak);
+    os << '[' << format_double(bucket_lo(b), 3) << ',' << format_double(bucket_hi(b), 3)
+       << ")\t" << std::string(bar, '#') << ' ' << counts_[b] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace qoslb

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qoslb {
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples land in the
+/// first/last bucket and are counted separately as under/overflow.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const;
+  std::size_t total() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  double bucket_lo(std::size_t bucket) const;
+  double bucket_hi(std::size_t bucket) const;
+
+  /// Simple ASCII rendering ("[0.0,0.5)  ####### 14").
+  std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace qoslb

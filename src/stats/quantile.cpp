@@ -1,0 +1,35 @@
+#include "stats/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace qoslb {
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  QOSLB_REQUIRE(!sorted.empty(), "quantile of empty sample");
+  QOSLB_REQUIRE(q >= 0.0 && q <= 1.0, "q must be in [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double h = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(h));
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::span<const double> values, double q) {
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, q);
+}
+
+double median(std::span<const double> values) { return quantile(values, 0.5); }
+
+double iqr(std::span<const double> values) {
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, 0.75) - quantile_sorted(copy, 0.25);
+}
+
+}  // namespace qoslb

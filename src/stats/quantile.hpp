@@ -1,0 +1,22 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace qoslb {
+
+/// Exact empirical quantile with linear interpolation (type-7, the R/numpy
+/// default). `q` in [0,1]. Copies the input; O(n log n) only on first use of a
+/// given vector — callers with many queries should sort once and use
+/// quantile_sorted.
+double quantile(std::span<const double> values, double q);
+
+/// Same, but `sorted` must already be ascending.
+double quantile_sorted(std::span<const double> sorted, double q);
+
+double median(std::span<const double> values);
+
+/// Interquartile range (q75 − q25).
+double iqr(std::span<const double> values);
+
+}  // namespace qoslb

@@ -1,0 +1,61 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace qoslb {
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  QOSLB_REQUIRE(x.size() == y.size(), "x and y must have equal length");
+  QOSLB_REQUIRE(x.size() >= 2, "need at least two points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  if (sxx == 0.0) {
+    fit.slope = 0.0;
+    fit.intercept = my;
+    fit.r_squared = 0.0;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+LinearFit fit_log2(std::span<const double> x, std::span<const double> y) {
+  std::vector<double> lx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    QOSLB_REQUIRE(x[i] > 0, "log fit requires positive x");
+    lx[i] = std::log2(x[i]);
+  }
+  return fit_linear(lx, y);
+}
+
+LinearFit fit_power(std::span<const double> x, std::span<const double> y) {
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    QOSLB_REQUIRE(x[i] > 0 && y[i] > 0, "power fit requires positive data");
+    lx[i] = std::log2(x[i]);
+    ly[i] = std::log2(y[i]);
+  }
+  return fit_linear(lx, ly);
+}
+
+}  // namespace qoslb

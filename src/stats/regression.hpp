@@ -1,0 +1,24 @@
+#pragma once
+
+#include <span>
+
+namespace qoslb {
+
+/// Ordinary least squares fit of y = intercept + slope·x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Fits y = a + b·log2(x). Used by the experiments to check O(log n)
+/// convergence claims: a good fit (r² close to 1) with a stable b across
+/// scales is the empirical signature of logarithmic growth.
+LinearFit fit_log2(std::span<const double> x, std::span<const double> y);
+
+/// Fits log2(y) = a + b·log2(x), i.e. a power law y ≈ 2^a · x^b.
+LinearFit fit_power(std::span<const double> x, std::span<const double> y);
+
+}  // namespace qoslb

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace qoslb {
+
+/// Result of running one metric across independent replications.
+struct ReplicationResult {
+  RunningStat stat;
+  std::vector<double> samples;  // per-replication values, replication order
+};
+
+/// Runs `body(seed)` for `replications` deterministic child seeds derived from
+/// `root_seed` and aggregates the returned metric. When `threads > 1` the
+/// replications run on a thread pool; results are identical to the serial
+/// order because each replication owns its derived seed (counter-based
+/// reproducibility, per the hpc-parallel guides).
+ReplicationResult replicate(std::uint64_t root_seed, std::size_t replications,
+                            const std::function<double(std::uint64_t)>& body,
+                            std::size_t threads = 1);
+
+}  // namespace qoslb

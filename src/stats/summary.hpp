@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace qoslb {
+
+/// Streaming mean/variance via Welford's algorithm, plus min/max. Mergeable
+/// (parallel reduction friendly: Chan et al. pairwise update).
+class RunningStat {
+ public:
+  void add(double x);
+  void merge(const RunningStat& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const;
+  /// Standard error of the mean.
+  double sem() const;
+  double min() const { return n_ > 0 ? min_ : std::numeric_limits<double>::quiet_NaN(); }
+  double max() const { return n_ > 0 ? max_ : std::numeric_limits<double>::quiet_NaN(); }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace qoslb

@@ -1,0 +1,163 @@
+#include "stats/ttest.hpp"
+
+#include <cmath>
+
+#include "stats/summary.hpp"
+#include "util/check.hpp"
+
+namespace qoslb {
+namespace {
+
+/// Continued-fraction evaluation of the regularized incomplete beta
+/// I_x(a, b) (Lentz's algorithm, as in Numerical Recipes betacf).
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 3e-14;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0))
+    return front * beta_continued_fraction(a, b, x) / a;
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+}  // namespace
+
+namespace {
+
+/// Regularized lower incomplete gamma P(a, x): series for x < a+1,
+/// continued fraction otherwise (Numerical Recipes gammp).
+double regularized_gamma_p(double a, double x) {
+  if (x <= 0.0) return 0.0;
+  const double ln_gamma_a = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series representation.
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int i = 0; i < 500; ++i) {
+      ap += 1.0;
+      term *= x / ap;
+      sum += term;
+      if (std::fabs(term) < std::fabs(sum) * 3e-14) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - ln_gamma_a);
+  }
+  // Continued fraction for Q(a, x), then P = 1 - Q.
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 3e-14) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - ln_gamma_a) * h;
+  return 1.0 - q;
+}
+
+}  // namespace
+
+double chi_square_upper_tail(double x, double df) {
+  QOSLB_REQUIRE(df > 0.0, "degrees of freedom must be positive");
+  if (x <= 0.0) return 1.0;
+  return 1.0 - regularized_gamma_p(df / 2.0, x / 2.0);
+}
+
+ChiSquareResult chi_square_test(std::span<const double> observed,
+                                std::span<const double> expected) {
+  QOSLB_REQUIRE(observed.size() == expected.size() && observed.size() >= 2,
+                "need matching cell vectors with at least two cells");
+  ChiSquareResult result;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    QOSLB_REQUIRE(expected[i] > 0.0, "expected counts must be positive");
+    const double d = observed[i] - expected[i];
+    result.statistic += d * d / expected[i];
+  }
+  result.degrees_of_freedom = static_cast<double>(observed.size() - 1);
+  result.p_value = chi_square_upper_tail(result.statistic,
+                                         result.degrees_of_freedom);
+  return result;
+}
+
+double student_t_cdf(double t, double df) {
+  QOSLB_REQUIRE(df > 0.0, "degrees of freedom must be positive");
+  const double x = df / (df + t * t);
+  const double tail = 0.5 * regularized_incomplete_beta(df / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+WelchResult welch_t_test(std::span<const double> a, std::span<const double> b) {
+  QOSLB_REQUIRE(a.size() >= 2 && b.size() >= 2,
+                "both samples need at least two observations");
+  RunningStat sa, sb;
+  for (const double x : a) sa.add(x);
+  for (const double x : b) sb.add(x);
+
+  const double va = sa.variance() / static_cast<double>(sa.count());
+  const double vb = sb.variance() / static_cast<double>(sb.count());
+  WelchResult result;
+  if (va + vb == 0.0) {
+    // Identical constant samples: no evidence of a difference.
+    result.t = sa.mean() == sb.mean() ? 0.0 : (sa.mean() > sb.mean() ? 1e308 : -1e308);
+    result.degrees_of_freedom =
+        static_cast<double>(sa.count() + sb.count() - 2);
+    result.p_two_sided = sa.mean() == sb.mean() ? 1.0 : 0.0;
+    return result;
+  }
+  result.t = (sa.mean() - sb.mean()) / std::sqrt(va + vb);
+  const double na = static_cast<double>(sa.count());
+  const double nb = static_cast<double>(sb.count());
+  result.degrees_of_freedom =
+      (va + vb) * (va + vb) /
+      (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+  const double cdf = student_t_cdf(std::fabs(result.t), result.degrees_of_freedom);
+  result.p_two_sided = 2.0 * (1.0 - cdf);
+  return result;
+}
+
+}  // namespace qoslb

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <span>
+
+namespace qoslb {
+
+/// Welch's unequal-variance t-test for two independent samples — the right
+/// tool for "is protocol A really faster than protocol B" questions over
+/// replication samples (E4-style tables).
+struct WelchResult {
+  double t = 0.0;               // test statistic (mean(a) − mean(b) direction)
+  double degrees_of_freedom = 0.0;  // Welch–Satterthwaite approximation
+  double p_two_sided = 1.0;     // exact Student-t tail via incomplete beta
+};
+
+/// Both samples need at least two observations.
+WelchResult welch_t_test(std::span<const double> a, std::span<const double> b);
+
+/// CDF of Student's t distribution with `df` degrees of freedom at `t`
+/// (regularized incomplete beta; exposed for tests).
+double student_t_cdf(double t, double df);
+
+/// Chi-square goodness-of-fit against expected cell counts. Returns the
+/// statistic and an upper-tail p-value (via the regularized upper incomplete
+/// gamma). Used by the RNG test suite to validate uniformity beyond spot
+/// checks. Expected counts must be positive; sizes must match.
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_value = 1.0;
+};
+
+ChiSquareResult chi_square_test(std::span<const double> observed,
+                                std::span<const double> expected);
+
+/// Upper-tail probability P(X ≥ x) for X ~ ChiSquare(df) (exposed for tests).
+double chi_square_upper_tail(double x, double df);
+
+}  // namespace qoslb

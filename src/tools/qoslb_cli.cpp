@@ -1,0 +1,274 @@
+// qoslb — command-line driver for ad-hoc experiments.
+//
+//   qoslb --mode=run    --family=uniform --protocol=admission --n=4096 ...
+//   qoslb --mode=trace  --family=uniform --protocol=adaptive  --n=1024 ...
+//   qoslb --mode=async  --n=2000 --m=100 --jitter=0.5
+//   qoslb --mode=open   --m=64 --rho=0.9 --rounds=3000
+//
+// Modes:
+//   run    one replicated configuration; prints the aggregate row.
+//   trace  single run; prints the per-round trajectory as CSV.
+//          --load=FILE replays a world saved by --mode=gen.
+//   async  asynchronous (DES) admission run; prints event statistics.
+//   open   open-system run; prints violation metrics.
+//   gen    generate an instance + start state to --out (io format).
+//
+// Shared options: --seed, --reps (run mode), --csv.
+
+#include <fstream>
+#include <optional>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "core/async/async_protocols.hpp"
+#include "core/io/instance_io.hpp"
+#include "core/experiment.hpp"
+#include "core/generators.hpp"
+#include "core/open/open_system.hpp"
+#include "core/protocols/registry.hpp"
+#include "core/runner.hpp"
+#include "core/trace.hpp"
+#include "net/generators.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace qoslb;
+
+namespace {
+
+Instance build_family(const std::string& family, std::size_t n, std::size_t m,
+                      double slack, Xoshiro256& rng) {
+  if (family == "uniform") return make_uniform_feasible(n, m, slack, 1.5, rng);
+  if (family == "classes") return make_qos_classes(m, 4, 8, slack);
+  if (family == "zipf") return make_zipf(n, m, 1.1, rng);
+  if (family == "related") return make_related_capacities(n, m, slack, 3, rng);
+  if (family == "overloaded") return make_overloaded(n, m, 2.0);
+  if (family == "herding") return make_herding(n);
+  throw std::invalid_argument(
+      "unknown --family '" + family +
+      "' (uniform|classes|zipf|related|overloaded|herding)");
+}
+
+State build_start(const std::string& start, const Instance& instance,
+                  Xoshiro256& rng) {
+  if (start == "all0") return State::all_on(instance, 0);
+  if (start == "random") return State::random(instance, rng);
+  if (start == "round-robin") return State::round_robin(instance);
+  throw std::invalid_argument("unknown --start '" + start +
+                              "' (all0|random|round-robin)");
+}
+
+int mode_run(ArgParser& args) {
+  const auto n = static_cast<std::size_t>(args.get_int("n", 4096));
+  const auto m = static_cast<std::size_t>(args.get_int("m", 256));
+  const double slack = args.get_double("slack", 0.15);
+  const std::string family = args.get_string("family", "uniform");
+  const std::string kind = args.get_string("protocol", "admission");
+  const double lambda = args.get_double("lambda", 0.5);
+  const long long probes = args.get_int("probes", 1);
+  const std::string start = args.get_string("start", "all0");
+  const auto reps = static_cast<std::size_t>(args.get_int("reps", 10));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto max_rounds = static_cast<std::uint64_t>(
+      args.get_int("max-rounds", 1 << 20));
+  const bool csv = args.get_flag("csv");
+  args.finish();
+
+  const Graph graph = make_complete(static_cast<Vertex>(m));
+  const AggregatedRuns agg =
+      aggregate_runs(seed, reps, [&](std::uint64_t rep_seed) {
+        Xoshiro256 rng(rep_seed);
+        const Instance instance = build_family(family, n, m, slack, rng);
+        State state = build_start(start, instance, rng);
+        ProtocolSpec spec;
+        spec.kind = kind;
+        spec.lambda = lambda;
+        spec.probes = static_cast<int>(probes);
+        spec.graph = &graph;
+        const auto protocol = make_protocol(spec);
+        RunConfig config;
+        config.max_rounds = max_rounds;
+        ReplicatedRun run;
+        run.result = run_protocol(*protocol, state, rng, config);
+        run.num_users = instance.num_users();
+        return run;
+      });
+
+  TablePrinter table({"family", "protocol", "n", "m", "rounds_mean",
+                      "rounds_p95", "migrations_mean", "messages_mean",
+                      "satisfied_frac", "converged"});
+  table.cell(family)
+      .cell(kind)
+      .cell(static_cast<long long>(n))
+      .cell(static_cast<long long>(m))
+      .cell(agg.rounds.mean())
+      .cell(agg.rounds_p95)
+      .cell(agg.migrations.mean())
+      .cell(agg.messages.mean())
+      .cell(agg.satisfied_fraction.mean())
+      .cell(agg.converged_fraction)
+      .end_row();
+  if (csv)
+    table.print_csv(std::cout);
+  else
+    table.print(std::cout);
+  return 0;
+}
+
+int mode_gen(ArgParser& args) {
+  // Generates an instance (+ initial state) and writes the io format to
+  // --out (default stdout), replayable with --mode=trace --load=FILE.
+  const auto n = static_cast<std::size_t>(args.get_int("n", 1024));
+  const auto m = static_cast<std::size_t>(args.get_int("m", 64));
+  const double slack = args.get_double("slack", 0.15);
+  const std::string family = args.get_string("family", "uniform");
+  const std::string start = args.get_string("start", "all0");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::string out_path = args.get_string("out", "");
+  args.finish();
+
+  Xoshiro256 rng(seed);
+  const Instance instance = build_family(family, n, m, slack, rng);
+  const State state = build_start(start, instance, rng);
+
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) throw std::runtime_error("cannot open --out '" + out_path + "'");
+  }
+  std::ostream& out = out_path.empty() ? std::cout : file;
+  write_instance(out, instance);
+  write_state(out, state);
+  if (!out_path.empty())
+    std::cerr << "wrote " << instance.num_users() << " users / "
+              << instance.num_resources() << " resources to " << out_path
+              << '\n';
+  return 0;
+}
+
+int mode_trace(ArgParser& args) {
+  const auto n = static_cast<std::size_t>(args.get_int("n", 1024));
+  const auto m = static_cast<std::size_t>(args.get_int("m", 64));
+  const double slack = args.get_double("slack", 0.15);
+  const std::string family = args.get_string("family", "uniform");
+  const std::string kind = args.get_string("protocol", "adaptive");
+  const double lambda = args.get_double("lambda", 0.5);
+  const std::string start = args.get_string("start", "all0");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto max_rounds =
+      static_cast<std::uint64_t>(args.get_int("max-rounds", 100000));
+  const std::string load_path = args.get_string("load", "");
+  args.finish();
+
+  Xoshiro256 rng(seed);
+  // Either replay a saved world (--load) or generate one.
+  std::optional<Instance> loaded;
+  if (!load_path.empty()) {
+    std::ifstream file(load_path);
+    if (!file) throw std::runtime_error("cannot open --load '" + load_path + "'");
+    loaded = read_instance(file);
+    State state = read_state(file, *loaded);
+    ProtocolSpec spec;
+    spec.kind = kind;
+    spec.lambda = lambda;
+    const auto protocol = make_protocol(spec);
+    TraceRecorder recorder;
+    const auto records = recorder.run(*protocol, state, rng, max_rounds);
+    TraceRecorder::write_csv(records, std::cout);
+    return 0;
+  }
+
+  const Instance instance = build_family(family, n, m, slack, rng);
+  State state = build_start(start, instance, rng);
+  ProtocolSpec spec;
+  spec.kind = kind;
+  spec.lambda = lambda;
+  const auto protocol = make_protocol(spec);
+  TraceRecorder recorder;
+  const auto records = recorder.run(*protocol, state, rng, max_rounds);
+  TraceRecorder::write_csv(records, std::cout);
+  return 0;
+}
+
+int mode_async(ArgParser& args) {
+  const auto n = static_cast<std::size_t>(args.get_int("n", 2000));
+  const auto m = static_cast<std::size_t>(args.get_int("m", 100));
+  const double slack = args.get_double("slack", 0.25);
+  const double jitter = args.get_double("jitter", 0.5);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const bool random_start = !args.get_flag("all0");
+  args.finish();
+
+  Xoshiro256 rng(seed);
+  const Instance instance = make_uniform_feasible(n, m, slack, 1.5, rng);
+  AsyncConfig config;
+  config.seed = seed;
+  config.latency_jitter = jitter;
+  config.random_start = random_start;
+  const AsyncRunResult result = run_async_admission(instance, config);
+
+  TablePrinter table({"n", "m", "virtual_time", "events", "messages",
+                      "migrations", "satisfied", "all_satisfied"});
+  table.cell(static_cast<long long>(n))
+      .cell(static_cast<long long>(m))
+      .cell(result.virtual_time, 5)
+      .cell(static_cast<unsigned long long>(result.events))
+      .cell(static_cast<unsigned long long>(result.counters.messages()))
+      .cell(static_cast<unsigned long long>(result.counters.migrations))
+      .cell(static_cast<unsigned long long>(result.satisfied))
+      .cell(result.all_satisfied ? "yes" : "no")
+      .end_row();
+  table.print(std::cout);
+  return 0;
+}
+
+int mode_open(ArgParser& args) {
+  const auto m = static_cast<std::size_t>(args.get_int("m", 64));
+  const double rho = args.get_double("rho", 0.8);
+  const auto rounds = static_cast<std::uint64_t>(args.get_int("rounds", 3000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  args.finish();
+
+  OpenSystemConfig config;
+  config.num_resources = m;
+  config.mean_lifetime = 200.0;
+  config.q_lo = 0.04;
+  config.q_hi = 0.05;
+  config.arrival_rate = rho * static_cast<double>(m) * 22.5 / config.mean_lifetime;
+  config.rounds = rounds;
+  config.warmup_rounds = rounds / 3;
+  config.seed = seed;
+  const OpenSystemMetrics metrics = run_open_system(config);
+
+  TablePrinter table({"rho", "mean_population", "violation_frac",
+                      "rounds_to_sat", "arrivals", "migrations"});
+  table.cell(rho)
+      .cell(metrics.mean_population)
+      .cell(metrics.violation_fraction)
+      .cell(metrics.mean_rounds_to_satisfaction)
+      .cell(static_cast<unsigned long long>(metrics.arrivals))
+      .cell(static_cast<unsigned long long>(metrics.migrations))
+      .end_row();
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    ArgParser args(argc, argv);
+    const std::string mode = args.get_string("mode", "run");
+    if (mode == "run") return mode_run(args);
+    if (mode == "trace") return mode_trace(args);
+    if (mode == "async") return mode_async(args);
+    if (mode == "open") return mode_open(args);
+    if (mode == "gen") return mode_gen(args);
+    throw std::invalid_argument("unknown --mode '" + mode +
+                                "' (run|trace|async|open|gen)");
+  } catch (const std::exception& error) {
+    std::cerr << "qoslb: " << error.what() << '\n';
+    return 1;
+  }
+}

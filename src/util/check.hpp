@@ -1,0 +1,38 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+/// Always-on runtime checks (per C++ Core Guidelines I.6/E.12 spirit):
+/// precondition violations throw std::invalid_argument, internal invariant
+/// violations throw std::logic_error. Used instead of assert() so that the
+/// checks stay active in release benchmarks and property tests can observe
+/// the failures.
+namespace qoslb::detail {
+
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "precondition") throw std::invalid_argument(os.str());
+  throw std::logic_error(os.str());
+}
+
+}  // namespace qoslb::detail
+
+#define QOSLB_REQUIRE(expr, msg)                                              \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::qoslb::detail::throw_check_failure("precondition", #expr, __FILE__,   \
+                                           __LINE__, (msg));                  \
+  } while (false)
+
+#define QOSLB_CHECK(expr, msg)                                                \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::qoslb::detail::throw_check_failure("invariant", #expr, __FILE__,      \
+                                           __LINE__, (msg));                  \
+  } while (false)

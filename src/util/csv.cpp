@@ -1,0 +1,77 @@
+#include "util/csv.hpp"
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace qoslb {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  QOSLB_REQUIRE(!header_written_ && rows_ == 0 && !row_open_,
+                "header must be the first output");
+  QOSLB_REQUIRE(!names.empty(), "header must not be empty");
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << csv_escape(names[i]);
+  }
+  *out_ << '\n';
+  header_written_ = true;
+  header_width_ = names.size();
+}
+
+void CsvWriter::separator() {
+  if (row_open_) *out_ << ',';
+  row_open_ = true;
+  ++cells_in_row_;
+}
+
+CsvWriter& CsvWriter::cell(std::string_view text) {
+  separator();
+  *out_ << csv_escape(text);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double value) {
+  separator();
+  *out_ << format_double(value, 9);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(long long value) {
+  separator();
+  *out_ << value;
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(unsigned long long value) {
+  separator();
+  *out_ << value;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  QOSLB_REQUIRE(row_open_, "end_row without cells");
+  if (header_written_)
+    QOSLB_CHECK(cells_in_row_ == header_width_,
+                "row width differs from header width");
+  *out_ << '\n';
+  row_open_ = false;
+  cells_in_row_ = 0;
+  ++rows_;
+}
+
+}  // namespace qoslb

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qoslb {
+
+/// Streaming CSV writer with RFC-4180-style quoting. A row is complete once
+/// `end_row()` is called; the header (if any) must be written first.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void header(const std::vector<std::string>& names);
+
+  CsvWriter& cell(std::string_view text);
+  CsvWriter& cell(double value);
+  CsvWriter& cell(long long value);
+  CsvWriter& cell(unsigned long long value);
+  CsvWriter& cell(int value) { return cell(static_cast<long long>(value)); }
+  CsvWriter& cell(std::size_t value) { return cell(static_cast<unsigned long long>(value)); }
+
+  void end_row();
+
+  /// Number of completed rows (excluding the header).
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void separator();
+
+  std::ostream* out_;
+  bool row_open_ = false;
+  bool header_written_ = false;
+  std::size_t header_width_ = 0;
+  std::size_t cells_in_row_ = 0;
+  std::size_t rows_ = 0;
+};
+
+/// Quotes a CSV field if it contains separators, quotes, or newlines.
+std::string csv_escape(std::string_view field);
+
+}  // namespace qoslb

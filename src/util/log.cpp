@@ -1,0 +1,36 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace qoslb {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_write_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel Log::level() { return static_cast<LogLevel>(g_level.load()); }
+
+void Log::write(LogLevel level, const std::string& message) {
+  if (level < Log::level()) return;
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace qoslb

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace qoslb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Minimal leveled logger writing to stderr. Thread-safe (one mutex around the
+/// write). Global level defaults to kWarn so library code stays quiet in
+/// benchmarks unless a tool raises the verbosity.
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  static void write(LogLevel level, const std::string& message);
+
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Log::write(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace qoslb
+
+#define QOSLB_LOG(level)                        \
+  if (!::qoslb::Log::enabled(level)) {          \
+  } else                                        \
+    ::qoslb::detail::LogLine(level)
+
+#define QOSLB_DEBUG QOSLB_LOG(::qoslb::LogLevel::kDebug)
+#define QOSLB_INFO QOSLB_LOG(::qoslb::LogLevel::kInfo)
+#define QOSLB_WARN QOSLB_LOG(::qoslb::LogLevel::kWarn)
+#define QOSLB_ERROR QOSLB_LOG(::qoslb::LogLevel::kError)

@@ -1,0 +1,94 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace qoslb {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  QOSLB_REQUIRE(!columns_.empty(), "table needs at least one column");
+}
+
+TablePrinter& TablePrinter::cell(std::string_view text) {
+  QOSLB_REQUIRE(current_.size() < columns_.size(), "row has too many cells");
+  current_.emplace_back(text);
+  return *this;
+}
+
+TablePrinter& TablePrinter::cell(double value, int digits) {
+  return cell(format_double(value, digits));
+}
+
+TablePrinter& TablePrinter::cell(long long value) {
+  return cell(std::to_string(value));
+}
+
+TablePrinter& TablePrinter::cell(unsigned long long value) {
+  return cell(std::to_string(value));
+}
+
+void TablePrinter::end_row() {
+  QOSLB_REQUIRE(current_.size() == columns_.size(),
+                "row width differs from column count");
+  rows_.push_back(std::move(current_));
+  current_.clear();
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> width(columns_.size());
+  std::vector<bool> numeric(columns_.size(), true);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+      if (!looks_numeric(row[c])) numeric[c] = false;
+    }
+    if (rows_.empty()) numeric[c] = false;
+  }
+
+  auto emit = [&](const std::vector<std::string>& row, bool align_numeric) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out << "  ";
+      const std::string& cell = row[c];
+      const std::size_t pad = width[c] - cell.size();
+      if (align_numeric && numeric[c]) {
+        out << std::string(pad, ' ') << cell;
+      } else {
+        out << cell << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  emit(columns_, /*align_numeric=*/false);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < columns_.size(); ++c) total += width[c] + (c > 0 ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row, /*align_numeric=*/true);
+}
+
+void TablePrinter::print_csv(std::ostream& out) const {
+  CsvWriter csv(out);
+  csv.header(columns_);
+  for (const auto& row : rows_) {
+    for (const auto& cell : row) csv.cell(cell);
+    csv.end_row();
+  }
+}
+
+}  // namespace qoslb

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qoslb {
+
+/// Column-aligned plain-text table, used by every bench binary to print the
+/// rows an experiment regenerates. Cells are strings; numeric helpers format
+/// consistently with util/strings.hpp.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  TablePrinter& cell(std::string_view text);
+  TablePrinter& cell(double value, int digits = 4);
+  TablePrinter& cell(long long value);
+  TablePrinter& cell(unsigned long long value);
+  TablePrinter& cell(int value) { return cell(static_cast<long long>(value)); }
+  TablePrinter& cell(std::size_t value) {
+    return cell(static_cast<unsigned long long>(value));
+  }
+  void end_row();
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the header, a rule, and all rows with right-aligned numeric
+  /// columns (a column is numeric if every cell in it parses as a number).
+  void print(std::ostream& out) const;
+
+  /// Emits the same data as CSV.
+  void print_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> current_;
+};
+
+}  // namespace qoslb

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace qoslb {
+
+/// Fixed-size worker pool used to run independent experiment replications in
+/// parallel (shared-memory parallelism per the hpc-parallel guides). Tasks are
+/// plain std::function<void()>; completion is awaited with wait_idle().
+/// Exceptions thrown by tasks are captured and rethrown from wait_idle().
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle. Rethrows the
+  /// first task exception observed since the previous wait_idle().
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs `body(i)` for i in [0, count) across the pool and waits.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace qoslb

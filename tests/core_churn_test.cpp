@@ -1,0 +1,157 @@
+#include "core/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/generators.hpp"
+#include "rng/distributions.hpp"
+#include "core/protocols/registry.hpp"
+#include "core/runner.hpp"
+#include "opt/satisfaction.hpp"
+
+namespace qoslb {
+namespace {
+
+World make_world(std::uint64_t seed, std::size_t n = 40, std::size_t m = 4) {
+  Xoshiro256 rng(seed);
+  const Instance inst = make_uniform_feasible(n, m, 0.4, 1.2, rng);
+  State state = State::round_robin(inst);
+  return snapshot_world(state);
+}
+
+TEST(Churn, SnapshotRoundTrips) {
+  Xoshiro256 rng(1);
+  const Instance inst = make_uniform_feasible(20, 2, 0.3, 1.0, rng);
+  State state = State::random(inst, rng);
+  const World world = snapshot_world(state);
+  ASSERT_EQ(world.instance.num_users(), 20u);
+  for (UserId u = 0; u < 20; ++u) {
+    EXPECT_DOUBLE_EQ(world.instance.requirement(u), inst.requirement(u));
+    EXPECT_EQ(world.assignment[u], state.resource_of(u));
+  }
+}
+
+TEST(Churn, ReplaceUsersKeepsPopulationSize) {
+  World world = make_world(2);
+  Xoshiro256 rng(3);
+  const World next = replace_users(world, 10, 0.01, 0.02, rng);
+  EXPECT_EQ(next.instance.num_users(), world.instance.num_users());
+  // Exactly the replaced users changed requirement band.
+  std::size_t changed = 0;
+  for (UserId u = 0; u < next.instance.num_users(); ++u)
+    if (next.instance.requirement(u) <= 0.02) ++changed;
+  EXPECT_GE(changed, 10u);
+  State state(next.instance, next.assignment);
+  state.check_invariants();
+}
+
+TEST(Churn, AddUsersGrowsPopulation) {
+  World world = make_world(4);
+  Xoshiro256 rng(5);
+  const World next = add_users(world, 7, 0.05, 0.05, rng, /*placement=*/1);
+  EXPECT_EQ(next.instance.num_users(), world.instance.num_users() + 7);
+  for (std::size_t i = 0; i < 7; ++i) {
+    const UserId u = static_cast<UserId>(world.instance.num_users() + i);
+    EXPECT_EQ(next.assignment[u], 1u);
+    EXPECT_DOUBLE_EQ(next.instance.requirement(u), 0.05);
+  }
+}
+
+TEST(Churn, RemoveUsersShrinksPopulation) {
+  World world = make_world(6);
+  Xoshiro256 rng(7);
+  const World next = remove_users(world, 15, rng);
+  EXPECT_EQ(next.instance.num_users(), world.instance.num_users() - 15);
+  State state(next.instance, next.assignment);
+  state.check_invariants();
+}
+
+TEST(Churn, RemoveAllRejected) {
+  World world = make_world(8);
+  Xoshiro256 rng(9);
+  EXPECT_THROW(remove_users(world, world.instance.num_users(), rng),
+               std::invalid_argument);
+}
+
+TEST(Churn, FailResourceRelocatesAndRenumbers) {
+  World world = make_world(10, 40, 4);
+  Xoshiro256 rng(11);
+  const World next = fail_resource(world, 1, rng);
+  EXPECT_EQ(next.instance.num_resources(), 3u);
+  EXPECT_EQ(next.instance.num_users(), 40u);
+  for (const ResourceId r : next.assignment) EXPECT_LT(r, 3u);
+  // Users previously on resources 2,3 are now on 1,2 respectively.
+  for (UserId u = 0; u < 40; ++u) {
+    if (world.assignment[u] >= 2)
+      EXPECT_EQ(next.assignment[u], world.assignment[u] - 1);
+    else if (world.assignment[u] == 0)
+      EXPECT_EQ(next.assignment[u], 0u);
+  }
+  State state(next.instance, next.assignment);
+  state.check_invariants();
+}
+
+TEST(Churn, ProtocolRecoversAfterResourceFailure) {
+  // End-to-end robustness: converge, fail a resource, converge again.
+  Xoshiro256 rng(13);
+  const Instance inst = make_uniform_feasible(120, 6, 0.5, 1.0, rng);
+  State state = State::random(inst, rng);
+  ProtocolSpec spec;
+  spec.kind = "admission";
+  const auto protocol = make_protocol(spec);
+  RunConfig config;
+  config.max_rounds = 50000;
+  ASSERT_TRUE(run_protocol(*protocol, state, rng, config).all_satisfied);
+
+  const World failed = fail_resource(snapshot_world(state), 0, rng);
+  State recovered(failed.instance, failed.assignment);
+  const RunResult result = run_protocol(*protocol, recovered, rng, config);
+  EXPECT_TRUE(result.converged);
+  // Slack 0.5 leaves enough headroom that 5 of 6 resources still suffice.
+  EXPECT_TRUE(result.all_satisfied);
+}
+
+// ---- greedy optimum bound ----
+
+TEST(GreedyBound, NeverExceedsExactOptimum) {
+  Xoshiro256 rng(17);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = static_cast<int>(uniform_int(rng, 1, 10));
+    const int m = static_cast<int>(uniform_int(rng, 1, 4));
+    std::vector<int> thresholds(n);
+    for (auto& t : thresholds) t = static_cast<int>(uniform_int(rng, 0, 6));
+    const int exact = max_satisfied_identical(thresholds, m);
+    const int greedy = max_satisfied_greedy(thresholds, m);
+    EXPECT_LE(greedy, exact) << "trial=" << trial;
+    // The bound is usually tight; require it within one dump-resource worth.
+    EXPECT_GE(greedy, exact - std::max(1, n / m)) << "trial=" << trial;
+  }
+}
+
+TEST(GreedyBound, ExactOnFeasibleInstances) {
+  EXPECT_EQ(max_satisfied_greedy(std::vector<int>(9, 3), 3), 9);
+  EXPECT_EQ(max_satisfied_greedy({4, 4, 4, 4}, 1), 4);
+}
+
+TEST(GreedyBound, OverloadedInstances) {
+  // 6 users threshold 2, m=2: satisfy 2 on one resource, dump 4 on the other.
+  EXPECT_EQ(max_satisfied_greedy(std::vector<int>(6, 2), 2), 2);
+  // m=1: either all 6 (impossible, threshold 2) or fewer with no dump room.
+  EXPECT_EQ(max_satisfied_greedy(std::vector<int>(6, 2), 1), 0);
+}
+
+TEST(GreedyBound, UnsatisfiableUsersIgnoredGracefully) {
+  EXPECT_EQ(max_satisfied_greedy({3, 3, 0, 0}, 2), 2);
+  EXPECT_EQ(max_satisfied_greedy({}, 3), 0);
+}
+
+TEST(GreedyBound, ScalesToLargeInstances) {
+  std::vector<int> thresholds(100000);
+  for (std::size_t i = 0; i < thresholds.size(); ++i)
+    thresholds[i] = static_cast<int>(1 + i % 50);
+  const int bound = max_satisfied_greedy(thresholds, 2000);
+  EXPECT_GT(bound, 0);
+  EXPECT_LE(bound, 100000);
+}
+
+}  // namespace
+}  // namespace qoslb

@@ -1,0 +1,128 @@
+#include "core/dynamics/quality_game.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/generators.hpp"
+#include "core/potential.hpp"
+#include "core/runner.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace qoslb {
+namespace {
+
+TEST(QualityNash, BalancedIdenticalIsNash) {
+  const Instance inst = Instance::identical(2, 1.0, std::vector<double>(4, 1.0));
+  EXPECT_TRUE(is_quality_nash(State(inst, {0, 0, 1, 1})));
+  EXPECT_FALSE(is_quality_nash(State::all_on(inst, 0)));
+}
+
+TEST(QualityNash, OffByOneLoadsAreNash) {
+  const Instance inst = Instance::identical(2, 1.0, std::vector<double>(3, 1.0));
+  // Loads 2 and 1: mover would get load 2 -> quality equal, not strictly
+  // better. Nash.
+  EXPECT_TRUE(is_quality_nash(State(inst, {0, 0, 1})));
+}
+
+TEST(QualityNash, FasterResourceAttracts) {
+  const Instance inst({1.0, 4.0}, {0.1, 0.1});
+  // Both users on the slow resource: moving to the fast one gives quality
+  // 4/1 = 4 > 1/2.
+  EXPECT_FALSE(is_quality_nash(State(inst, {0, 0})));
+  // Both on the fast resource: 4/2 = 2 each; moving to slow gives 1 < 2. Nash.
+  EXPECT_TRUE(is_quality_nash(State(inst, {1, 1})));
+}
+
+TEST(BestQualityDeviation, PicksStrictlyBestOnly) {
+  const Instance inst = Instance::identical(3, 1.0, std::vector<double>(3, 1.0));
+  const State state(inst, {0, 0, 1});
+  // User on resource 0 (load 2): resource 2 empty gives quality 1 > 1/2;
+  // resource 1 (load 1) gives post-move 1/2 == current: not strict.
+  EXPECT_EQ(best_quality_deviation(state, 0), 2u);
+  // The lone user on resource 1 has quality 1; everything else is worse.
+  EXPECT_EQ(best_quality_deviation(state, 2), kNoResource);
+}
+
+TEST(QualityBestResponse, EveryMigrationLowersRosenthalPotential) {
+  // The potential-game certificate, checked step by step.
+  Xoshiro256 rng(5);
+  const Instance inst = make_related_capacities(60, 6, 0.3, 3, rng);
+  State state = State::all_on(inst, 0);
+  QualityBestResponse protocol;
+  Counters counters;
+  double potential = rosenthal_potential(state);
+  for (int step = 0; step < 500; ++step) {
+    const std::uint64_t before = counters.migrations;
+    protocol.step(state, rng, counters);
+    if (counters.migrations == before) break;  // Nash reached
+    const double now = rosenthal_potential(state);
+    ASSERT_LT(now, potential) << "step " << step;
+    potential = now;
+  }
+  EXPECT_TRUE(is_quality_nash(state));
+}
+
+TEST(QualityBestResponse, ConvergesViaRunner) {
+  Xoshiro256 rng(7);
+  const Instance inst = Instance::identical(8, 1.0, std::vector<double>(128, 1e-3));
+  State state = State::all_on(inst, 0);
+  QualityBestResponse protocol;
+  RunConfig config;
+  config.max_rounds = 100000;
+  const RunResult result = run_protocol(protocol, state, rng, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(state.max_load() - state.min_load(), 1);
+}
+
+TEST(QualityBestResponse, RoundRobinOrderAlsoConverges) {
+  Xoshiro256 rng(9);
+  const Instance inst = Instance::identical(5, 1.0, std::vector<double>(60, 1e-3));
+  State state = State::all_on(inst, 2);
+  QualityBestResponse protocol(QualityBestResponse::Order::kRoundRobin);
+  RunConfig config;
+  config.max_rounds = 100000;
+  const RunResult result = run_protocol(protocol, state, rng, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(is_quality_nash(state));
+}
+
+TEST(QualitySampling, ConvergesToNashOnIdentical) {
+  Xoshiro256 rng(11);
+  const Instance inst = Instance::identical(16, 1.0, std::vector<double>(512, 1e-3));
+  State state = State::all_on(inst, 0);
+  QualitySampling protocol;
+  RunConfig config;
+  config.max_rounds = 100000;
+  const RunResult result = run_protocol(protocol, state, rng, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(state.max_load() - state.min_load(), 1);
+}
+
+TEST(QualitySampling, ConvergesOnRelatedCapacities) {
+  Xoshiro256 rng(13);
+  const Instance inst = make_related_capacities(200, 8, 0.3, 3, rng);
+  State state = State::all_on(inst, 0);
+  QualitySampling protocol;
+  RunConfig config;
+  config.max_rounds = 200000;
+  const RunResult result = run_protocol(protocol, state, rng, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(is_quality_nash(state));
+}
+
+TEST(QualityVsSatisfaction, NashRefinesSatisfactionOnFeasible) {
+  // On a feasible instance, a quality Nash state satisfies everyone whose
+  // requirement is below the Nash share — with the generator's slack, that
+  // is everyone. Satisfaction equilibria are coarser (they stop earlier).
+  Xoshiro256 rng(17);
+  const Instance inst = make_uniform_feasible(120, 8, 0.3, 1.0, rng);
+  State state = State::all_on(inst, 0);
+  QualityBestResponse protocol;
+  RunConfig config;
+  config.max_rounds = 100000;
+  const RunResult result = run_protocol(protocol, state, rng, config);
+  ASSERT_TRUE(result.converged);
+  EXPECT_TRUE(result.all_satisfied);
+}
+
+}  // namespace
+}  // namespace qoslb

@@ -1,0 +1,99 @@
+#include "core/dynamics/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dynamics/quality_game.hpp"
+#include "core/generators.hpp"
+#include "core/runner.hpp"
+#include "core/satisfaction.hpp"
+
+namespace qoslb {
+namespace {
+
+TEST(Hybrid, EpsilonZeroStopsAtSatisfactionEquilibrium) {
+  Xoshiro256 rng(1);
+  const Instance instance = make_uniform_feasible(256, 16, 0.3, 1.0, rng);
+  State state = State::all_on(instance, 0);
+  HybridEpsilonGreedy protocol(0.5, 0.0);
+  RunConfig config;
+  config.max_rounds = 50000;
+  const RunResult result = run_protocol(protocol, state, rng, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(is_satisfaction_equilibrium(state));
+  // Typically NOT a quality Nash: the run stops at "good enough".
+  EXPECT_TRUE(result.all_satisfied);
+}
+
+TEST(Hybrid, PositiveEpsilonReachesQualityNash) {
+  Xoshiro256 rng(3);
+  const Instance instance = make_uniform_feasible(256, 16, 0.3, 1.0, rng);
+  State state = State::all_on(instance, 0);
+  HybridEpsilonGreedy protocol(0.5, 0.2);
+  RunConfig config;
+  config.max_rounds = 200000;
+  const RunResult result = run_protocol(protocol, state, rng, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(is_quality_nash(state));
+  EXPECT_LE(state.max_load() - state.min_load(), 1);
+}
+
+TEST(Hybrid, EpsilonOneMatchesQualitySamplingBalance) {
+  Xoshiro256 rng(5);
+  const Instance instance =
+      Instance::identical(8, 1.0, std::vector<double>(256, 1e-3));
+  State state = State::all_on(instance, 0);
+  HybridEpsilonGreedy protocol(0.5, 1.0);
+  RunConfig config;
+  config.max_rounds = 100000;
+  const RunResult result = run_protocol(protocol, state, rng, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(state.max_load() - state.min_load(), 1);
+}
+
+TEST(Hybrid, QualityMovesNeverBreakTheMoverInIsolation) {
+  // Single quality move keeps the mover satisfied (better quality implies
+  // the requirement stays met); checked per-round on a converged system with
+  // only one mover possible (epsilon small, many rounds).
+  Xoshiro256 rng(7);
+  const Instance instance = make_uniform_feasible(64, 8, 0.4, 1.0, rng);
+  State state = State::round_robin(instance);  // all satisfied
+  HybridEpsilonGreedy protocol(0.5, 0.05);
+  Counters counters;
+  for (int round = 0; round < 200; ++round) {
+    protocol.step(state, rng, counters);
+    // Total satisfaction can dip transiently under concurrency, but from a
+    // balanced state with slack 0.4 quality moves cannot overshoot.
+    ASSERT_EQ(state.count_satisfied(), state.num_users()) << "round " << round;
+  }
+}
+
+TEST(Hybrid, StabilityNotionFollowsEpsilon) {
+  const Instance instance = Instance::identical(2, 1.0, {0.5, 0.5, 0.5});
+  // Loads 2/1: satisfied everywhere (thresholds 2), but not a quality Nash
+  // (the pair resource user... actually loads {2,1}: user on load-2 moving
+  // to load-1 resource gets load 2 again — no strict gain; Nash too).
+  const State state(instance, {0, 0, 1});
+  HybridEpsilonGreedy eps0(0.5, 0.0);
+  HybridEpsilonGreedy eps5(0.5, 0.5);
+  EXPECT_TRUE(eps0.is_stable(state));
+  EXPECT_TRUE(eps5.is_stable(state));
+
+  // All on one resource: satisfied? load 3 > threshold 2 -> unsatisfied, and
+  // both notions agree the state is unstable.
+  const State crowded = State::all_on(instance, 0);
+  EXPECT_FALSE(eps0.is_stable(crowded));
+  EXPECT_FALSE(eps5.is_stable(crowded));
+}
+
+TEST(Hybrid, RejectsBadParameters) {
+  EXPECT_THROW(HybridEpsilonGreedy(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(HybridEpsilonGreedy(0.5, -0.1), std::invalid_argument);
+  EXPECT_THROW(HybridEpsilonGreedy(0.5, 1.5), std::invalid_argument);
+}
+
+TEST(Hybrid, NameEncodesParameters) {
+  EXPECT_EQ(HybridEpsilonGreedy(0.5, 0.25).name(), "hybrid(lambda=0.5,eps=0.25)");
+}
+
+}  // namespace
+}  // namespace qoslb

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/instance.hpp"
+#include "core/state.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace qoslb {
+namespace {
+
+TEST(Instance, ThresholdIsFloorOfCapacityOverRequirement) {
+  const Instance inst({10.0}, {3.0, 5.0, 10.0, 11.0});
+  EXPECT_EQ(inst.threshold(0, 0), 3);  // 10/3
+  EXPECT_EQ(inst.threshold(1, 0), 2);  // 10/5
+  EXPECT_EQ(inst.threshold(2, 0), 1);  // 10/10
+  EXPECT_EQ(inst.threshold(3, 0), 0);  // 10/11 < 1: never satisfiable
+}
+
+TEST(Instance, ReciprocalRequirementRoundTripsExactly) {
+  // q = 1/T on unit capacity must give threshold exactly T, including values
+  // where 1/T is not exactly representable.
+  for (int t = 1; t <= 1000; ++t) {
+    // n = t users so the clamp-to-n rule does not mask the floor result.
+    const Instance inst(
+        {1.0}, std::vector<double>(static_cast<std::size_t>(t),
+                                   1.0 / static_cast<double>(t)));
+    EXPECT_EQ(inst.threshold(0, 0), t) << "t=" << t;
+  }
+}
+
+TEST(Instance, ThresholdClampedToUserCount) {
+  const Instance inst({1000.0}, {1.0, 1.0, 1.0});
+  EXPECT_EQ(inst.threshold(0, 0), 3);  // 1000 clamped to n=3
+}
+
+TEST(Instance, ThresholdScalesWithCapacity) {
+  const Instance inst({1.0, 2.0, 4.0}, {0.5});
+  EXPECT_EQ(inst.threshold(0, 0), 1);  // but clamped to n=1
+  EXPECT_FALSE(inst.identical_capacities());
+}
+
+TEST(Instance, QualityIsCapacityOverLoad) {
+  const Instance inst({6.0}, {1.0});
+  EXPECT_DOUBLE_EQ(inst.quality(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(inst.quality(0, 6), 1.0);
+  EXPECT_THROW(inst.quality(0, 0), std::invalid_argument);
+}
+
+TEST(Instance, IdenticalFactoryAndFlag) {
+  const Instance inst = Instance::identical(4, 2.0, {1.0, 1.0});
+  EXPECT_EQ(inst.num_resources(), 4u);
+  EXPECT_TRUE(inst.identical_capacities());
+  for (ResourceId r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(inst.capacity(r), 2.0);
+}
+
+TEST(Instance, RejectsBadInputs) {
+  EXPECT_THROW(Instance({}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(Instance({1.0}, {}), std::invalid_argument);
+  EXPECT_THROW(Instance({0.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(Instance({-1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(Instance({1.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(Instance({1.0}, {-2.0}), std::invalid_argument);
+}
+
+TEST(Instance, RejectsOutOfRangeQueries) {
+  const Instance inst({1.0}, {1.0});
+  EXPECT_THROW(inst.capacity(1), std::invalid_argument);
+  EXPECT_THROW(inst.requirement(1), std::invalid_argument);
+  EXPECT_THROW(inst.threshold(1, 0), std::invalid_argument);
+  EXPECT_THROW(inst.threshold(0, 1), std::invalid_argument);
+}
+
+// ---- State ----
+
+Instance three_by_two() { return Instance::identical(2, 1.0, {0.5, 0.5, 0.5}); }
+
+TEST(State, ConstructionComputesLoads) {
+  const Instance inst = three_by_two();
+  const State state(inst, {0, 0, 1});
+  EXPECT_EQ(state.load(0), 2);
+  EXPECT_EQ(state.load(1), 1);
+  EXPECT_EQ(state.resource_of(2), 1u);
+  state.check_invariants();
+}
+
+TEST(State, AllOnPutsEveryoneTogether) {
+  const Instance inst = three_by_two();
+  const State state = State::all_on(inst, 1);
+  EXPECT_EQ(state.load(1), 3);
+  EXPECT_EQ(state.load(0), 0);
+}
+
+TEST(State, RoundRobinBalances) {
+  const Instance inst = Instance::identical(3, 1.0, std::vector<double>(7, 0.5));
+  const State state = State::round_robin(inst);
+  EXPECT_EQ(state.load(0), 3);
+  EXPECT_EQ(state.load(1), 2);
+  EXPECT_EQ(state.load(2), 2);
+}
+
+TEST(State, RandomIsDeterministicPerSeed) {
+  const Instance inst = Instance::identical(4, 1.0, std::vector<double>(20, 0.5));
+  Xoshiro256 rng_a(3), rng_b(3);
+  const State a = State::random(inst, rng_a);
+  const State b = State::random(inst, rng_b);
+  for (UserId u = 0; u < 20; ++u) EXPECT_EQ(a.resource_of(u), b.resource_of(u));
+}
+
+TEST(State, MoveUpdatesLoadsIncrementally) {
+  const Instance inst = three_by_two();
+  State state(inst, {0, 0, 1});
+  state.move(0, 1);
+  EXPECT_EQ(state.load(0), 1);
+  EXPECT_EQ(state.load(1), 2);
+  EXPECT_EQ(state.resource_of(0), 1u);
+  state.check_invariants();
+}
+
+TEST(State, SelfMoveIsNoOp) {
+  const Instance inst = three_by_two();
+  State state(inst, {0, 0, 1});
+  state.move(0, 0);
+  EXPECT_EQ(state.load(0), 2);
+  state.check_invariants();
+}
+
+TEST(State, SatisfactionFollowsThresholds) {
+  // Thresholds: user0 -> 2, user1 -> 1.
+  const Instance inst = Instance::identical(2, 1.0, {0.5, 1.0});
+  State state(inst, {0, 0});  // load 2 on resource 0
+  EXPECT_TRUE(state.satisfied(0));   // 2 <= 2
+  EXPECT_FALSE(state.satisfied(1));  // 2 > 1
+  EXPECT_EQ(state.count_satisfied(), 1u);
+  EXPECT_EQ(state.count_unsatisfied(), 1u);
+
+  state.move(1, 1);
+  EXPECT_TRUE(state.satisfied(1));  // alone now
+  EXPECT_EQ(state.count_satisfied(), 2u);
+}
+
+TEST(State, QualityOfUser) {
+  const Instance inst = Instance::identical(2, 4.0, {1.0, 1.0});
+  const State state(inst, {0, 0});
+  EXPECT_DOUBLE_EQ(state.quality_of(0), 2.0);
+}
+
+TEST(State, MinMaxLoad) {
+  const Instance inst = Instance::identical(3, 1.0, std::vector<double>(5, 0.5));
+  const State state(inst, {0, 0, 0, 1, 1});
+  EXPECT_EQ(state.max_load(), 3);
+  EXPECT_EQ(state.min_load(), 0);
+}
+
+TEST(State, RejectsBadConstruction) {
+  const Instance inst = three_by_two();
+  EXPECT_THROW(State(inst, {0, 0}), std::invalid_argument);       // wrong size
+  EXPECT_THROW(State(inst, {0, 0, 5}), std::invalid_argument);    // bad resource
+  EXPECT_THROW(State::all_on(inst, 9), std::invalid_argument);
+}
+
+TEST(State, RejectsBadMoves) {
+  const Instance inst = three_by_two();
+  State state(inst, {0, 0, 1});
+  EXPECT_THROW(state.move(9, 0), std::invalid_argument);
+  EXPECT_THROW(state.move(0, 9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qoslb

@@ -1,0 +1,90 @@
+#include "core/open/open_system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qoslb {
+namespace {
+
+OpenSystemConfig base_config() {
+  OpenSystemConfig config;
+  config.num_resources = 16;
+  config.arrival_rate = 2.0;
+  config.mean_lifetime = 100.0;
+  config.q_lo = 0.04;  // thresholds 25
+  config.q_hi = 0.05;  // thresholds 20
+  config.rounds = 1500;
+  config.warmup_rounds = 300;
+  config.seed = 7;
+  return config;
+}
+
+TEST(OpenSystem, PopulationTracksLittlesLaw) {
+  // Steady-state population = arrival_rate * mean_lifetime.
+  const OpenSystemMetrics metrics = run_open_system(base_config());
+  EXPECT_NEAR(metrics.mean_population, 200.0, 30.0);
+  EXPECT_GT(metrics.arrivals, 2000u);
+  EXPECT_GT(metrics.departures, 1500u);
+}
+
+TEST(OpenSystem, LightLoadHasNegligibleViolations) {
+  // Offered occupancy ~200 users / 16 resources = 12.5 per resource, well
+  // below the 20..25 thresholds: violations should be rare and transient.
+  const OpenSystemMetrics metrics = run_open_system(base_config());
+  EXPECT_LT(metrics.violation_fraction, 0.02);
+  EXPECT_LT(metrics.mean_rounds_to_satisfaction, 3.0);
+  EXPECT_LT(metrics.never_satisfied, metrics.arrivals / 20);
+}
+
+TEST(OpenSystem, OverloadSaturatesViolations) {
+  OpenSystemConfig config = base_config();
+  config.arrival_rate = 8.0;  // population ~800 vs capacity ~16*25 = 400
+  const OpenSystemMetrics metrics = run_open_system(config);
+  EXPECT_GT(metrics.violation_fraction, 0.3);
+}
+
+TEST(OpenSystem, ViolationsMonotoneInLoad) {
+  double previous = -1.0;
+  for (const double rate : {1.0, 4.0, 8.0}) {
+    OpenSystemConfig config = base_config();
+    config.arrival_rate = rate;
+    const OpenSystemMetrics metrics = run_open_system(config);
+    EXPECT_GE(metrics.violation_fraction, previous) << "rate=" << rate;
+    previous = metrics.violation_fraction;
+  }
+}
+
+TEST(OpenSystem, DeterministicPerSeed) {
+  const OpenSystemMetrics a = run_open_system(base_config());
+  const OpenSystemMetrics b = run_open_system(base_config());
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_DOUBLE_EQ(a.violation_fraction, b.violation_fraction);
+  OpenSystemConfig other = base_config();
+  other.seed = 8;
+  const OpenSystemMetrics c = run_open_system(other);
+  EXPECT_NE(a.arrivals, c.arrivals);
+}
+
+TEST(OpenSystem, ZeroArrivalsIsQuietlyEmpty) {
+  OpenSystemConfig config = base_config();
+  config.arrival_rate = 0.0;
+  const OpenSystemMetrics metrics = run_open_system(config);
+  EXPECT_EQ(metrics.arrivals, 0u);
+  EXPECT_DOUBLE_EQ(metrics.mean_population, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.violation_fraction, 0.0);
+}
+
+TEST(OpenSystem, RejectsBadConfig) {
+  OpenSystemConfig config = base_config();
+  config.warmup_rounds = config.rounds;
+  EXPECT_THROW(run_open_system(config), std::invalid_argument);
+  config = base_config();
+  config.num_resources = 1;
+  EXPECT_THROW(run_open_system(config), std::invalid_argument);
+  config = base_config();
+  config.q_lo = -1.0;
+  EXPECT_THROW(run_open_system(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qoslb

@@ -1,0 +1,86 @@
+#include "core/parallel/parallel_sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/generators.hpp"
+#include "core/runner.hpp"
+
+namespace qoslb {
+namespace {
+
+std::vector<ResourceId> final_assignment(std::size_t threads, std::uint64_t seed) {
+  Xoshiro256 gen_rng(42);
+  const Instance instance = make_uniform_feasible(512, 32, 0.2, 1.3, gen_rng);
+  State state = State::all_on(instance, 0);
+  ParallelUniformSampling protocol(0.5, seed, threads);
+  Xoshiro256 unused(1);
+  RunConfig config;
+  config.max_rounds = 50000;
+  const RunResult result = run_protocol(protocol, state, unused, config);
+  EXPECT_TRUE(result.converged);
+  std::vector<ResourceId> assignment(state.num_users());
+  for (UserId u = 0; u < state.num_users(); ++u)
+    assignment[u] = state.resource_of(u);
+  return assignment;
+}
+
+class ThreadCount : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ThreadCount, BitIdenticalToSerialReference) {
+  // The whole point of counter-based randomness: every thread count produces
+  // exactly the serial execution's assignment.
+  const auto serial = final_assignment(1, 99);
+  const auto parallel = final_assignment(GetParam(), 99);
+  EXPECT_EQ(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadCount, ::testing::Values(2u, 3u, 4u, 8u));
+
+TEST(ParallelUniform, DifferentSeedsDiverge) {
+  EXPECT_NE(final_assignment(2, 1), final_assignment(2, 2));
+}
+
+TEST(ParallelUniform, ConvergesAndSatisfies) {
+  Xoshiro256 gen_rng(7);
+  const Instance instance = make_uniform_feasible(1024, 64, 0.3, 1.0, gen_rng);
+  State state = State::all_on(instance, 0);
+  ParallelUniformSampling protocol(0.5, 5, /*threads=*/4);
+  Xoshiro256 unused(1);
+  RunConfig config;
+  config.max_rounds = 50000;
+  const RunResult result = run_protocol(protocol, state, unused, config);
+  EXPECT_TRUE(result.all_satisfied);
+  state.check_invariants();
+}
+
+TEST(ParallelUniform, ResetRestartsTheRoundCounter) {
+  Xoshiro256 gen_rng(11);
+  const Instance instance = make_uniform_feasible(128, 8, 0.3, 1.0, gen_rng);
+  ParallelUniformSampling protocol(0.5, 3, 2);
+  Xoshiro256 unused(1);
+
+  auto run_once = [&] {
+    State state = State::all_on(instance, 0);
+    Counters counters;
+    protocol.reset();
+    protocol.step(state, unused, counters);
+    return counters.migrations;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(ParallelUniform, NameReportsThreads) {
+  ParallelUniformSampling serial(0.5, 1, 1);
+  EXPECT_EQ(serial.name(), "par-uniform(lambda=0.5,threads=1)");
+  EXPECT_EQ(serial.threads(), 1u);
+  ParallelUniformSampling pooled(0.5, 1, 3);
+  EXPECT_EQ(pooled.threads(), 3u);
+}
+
+TEST(ParallelUniform, RejectsBadLambda) {
+  EXPECT_THROW(ParallelUniformSampling(0.0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(ParallelUniformSampling(1.5, 1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qoslb

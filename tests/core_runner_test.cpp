@@ -1,0 +1,155 @@
+#include "core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/generators.hpp"
+#include "core/protocols/admission_control.hpp"
+#include "core/protocols/uniform_sampling.hpp"
+#include "core/trace.hpp"
+#include "core/experiment.hpp"
+
+#include <sstream>
+
+namespace qoslb {
+namespace {
+
+TEST(Runner, AlreadyStableTakesZeroRounds) {
+  const Instance inst = Instance::identical(2, 1.0, {0.5, 0.5});
+  State state(inst, {0, 1});
+  Xoshiro256 rng(1);
+  AdmissionControl protocol;
+  const RunResult result = run_protocol(protocol, state, rng);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.all_satisfied);
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+TEST(Runner, MaxRoundsCapsRun) {
+  const Instance inst = make_herding(60);
+  State state = State::all_on(inst, 0);
+  Xoshiro256 rng(2);
+  UniformSampling protocol(1.0, 8);  // oscillates forever
+  RunConfig config;
+  config.max_rounds = 25;
+  const RunResult result = run_protocol(protocol, state, rng, config);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.rounds, 25u);
+  EXPECT_EQ(result.counters.rounds, 25u);
+}
+
+TEST(Runner, TrajectoryRecordsEveryRound) {
+  Xoshiro256 rng(3);
+  const Instance inst = make_uniform_feasible(60, 6, 0.5, 1.0, rng);
+  State state = State::all_on(inst, 0);
+  AdmissionControl protocol;
+  RunConfig config;
+  config.record_trajectory = true;
+  const RunResult result = run_protocol(protocol, state, rng, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.unsatisfied_trajectory.size(), result.rounds);
+  if (!result.unsatisfied_trajectory.empty())
+    EXPECT_EQ(result.unsatisfied_trajectory.back(), 0u);
+}
+
+TEST(Runner, StuckEquilibriumReportedConvergedNotSatisfied) {
+  // Infeasible: three threshold-1 users, two resources.
+  const Instance inst = Instance::identical(2, 1.0, {1.0, 1.0, 1.0});
+  State state(inst, {0, 0, 1});
+  Xoshiro256 rng(4);
+  AdmissionControl protocol;
+  const RunResult result = run_protocol(protocol, state, rng);
+  EXPECT_TRUE(result.converged);
+  EXPECT_FALSE(result.all_satisfied);
+  // Only the lone user on resource 1 is satisfied; the two users sharing
+  // resource 0 (load 2 > threshold 1) are stuck.
+  EXPECT_EQ(result.final_satisfied, 1u);
+}
+
+TEST(Runner, FinalSatisfiedMatchesState) {
+  Xoshiro256 rng(5);
+  const Instance inst = make_uniform_feasible(40, 4, 0.5, 1.0, rng);
+  State state = State::random(inst, rng);
+  AdmissionControl protocol;
+  const RunResult result = run_protocol(protocol, state, rng);
+  EXPECT_EQ(result.final_satisfied, state.count_satisfied());
+}
+
+// ---- trace ----
+
+TEST(Trace, RecordsRoundZeroSnapshot) {
+  Xoshiro256 rng(6);
+  const Instance inst = make_uniform_feasible(30, 3, 0.5, 1.0, rng);
+  State state = State::all_on(inst, 0);
+  AdmissionControl protocol;
+  TraceRecorder recorder;
+  const auto records = recorder.run(protocol, state, rng, 1000);
+  ASSERT_GE(records.size(), 2u);
+  EXPECT_EQ(records.front().round, 0u);
+  EXPECT_EQ(records.front().migrations, 0u);
+  EXPECT_EQ(records.back().unsatisfied, 0u);
+  // Rounds strictly increasing, cumulative counters non-decreasing.
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].round, records[i - 1].round + 1);
+    EXPECT_GE(records[i].migrations, records[i - 1].migrations);
+    EXPECT_GE(records[i].messages, records[i - 1].messages);
+  }
+}
+
+TEST(Trace, CsvHasHeaderAndRows) {
+  Xoshiro256 rng(7);
+  const Instance inst = make_uniform_feasible(20, 2, 0.5, 1.0, rng);
+  State state = State::all_on(inst, 0);
+  AdmissionControl protocol;
+  TraceRecorder recorder;
+  const auto records = recorder.run(protocol, state, rng, 1000);
+  std::ostringstream out;
+  TraceRecorder::write_csv(records, out);
+  const std::string text = out.str();
+  EXPECT_EQ(text.find("round,unsatisfied"), 0u);
+  std::size_t lines = 0;
+  for (const char c : text)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, records.size() + 1);
+}
+
+TEST(Trace, StopsImmediatelyWhenStable) {
+  const Instance inst = Instance::identical(2, 1.0, {0.5, 0.5});
+  State state(inst, {0, 1});
+  Xoshiro256 rng(8);
+  AdmissionControl protocol;
+  TraceRecorder recorder;
+  const auto records = recorder.run(protocol, state, rng, 1000);
+  EXPECT_EQ(records.size(), 1u);  // just the round-0 snapshot
+}
+
+// ---- aggregation ----
+
+TEST(Aggregate, DeterministicAndComplete) {
+  const auto body = [](std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    const Instance inst = make_uniform_feasible(50, 5, 0.5, 1.0, rng);
+    State state = State::random(inst, rng);
+    AdmissionControl protocol;
+    ReplicatedRun run;
+    run.result = run_protocol(protocol, state, rng);
+    run.num_users = inst.num_users();
+    return run;
+  };
+  const AggregatedRuns a = aggregate_runs(11, 8, body);
+  const AggregatedRuns b = aggregate_runs(11, 8, body);
+  EXPECT_EQ(a.replications, 8u);
+  EXPECT_DOUBLE_EQ(a.converged_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(a.rounds.mean(), b.rounds.mean());
+  EXPECT_DOUBLE_EQ(a.satisfied_fraction.mean(), 1.0);
+  EXPECT_GE(a.rounds_max, a.rounds_p95);
+  EXPECT_GE(a.rounds_p95, 0.0);
+}
+
+TEST(Aggregate, RejectsZeroReplications) {
+  EXPECT_THROW(
+      aggregate_runs(1, 0, [](std::uint64_t) { return ReplicatedRun{}; }),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qoslb

@@ -1,0 +1,153 @@
+#include "core/satisfaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/generators.hpp"
+#include "core/potential.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace qoslb {
+namespace {
+
+TEST(SatisfiedAfterMove, CountsTheMoverAtTheDestination) {
+  // Thresholds: both users 1.
+  const Instance inst = Instance::identical(2, 1.0, {1.0, 1.0});
+  const State state(inst, {0, 0});
+  // Moving user 0 to resource 1 gives load 1 there: satisfied.
+  EXPECT_TRUE(satisfied_after_move(state, 0, 1));
+  // "Moving" to its own resource keeps load 2: unsatisfied.
+  EXPECT_FALSE(satisfied_after_move(state, 0, 0));
+}
+
+TEST(SatisfiedAfterMove, FullDestinationRejected) {
+  const Instance inst = Instance::identical(2, 1.0, {1.0, 1.0, 1.0});
+  const State state(inst, {0, 0, 1});
+  // Resource 1 already has load 1; arriving makes 2 > threshold 1.
+  EXPECT_FALSE(satisfied_after_move(state, 0, 1));
+}
+
+TEST(HasSatisfyingDeviation, FindsFreeResource) {
+  const Instance inst = Instance::identical(3, 1.0, {1.0, 1.0});
+  const State state(inst, {0, 0});
+  EXPECT_TRUE(has_satisfying_deviation(state, 0));
+}
+
+TEST(HasSatisfyingDeviation, NoneWhenEverythingFull) {
+  const Instance inst = Instance::identical(2, 1.0, {1.0, 1.0, 1.0});
+  const State state(inst, {0, 0, 1});
+  EXPECT_FALSE(has_satisfying_deviation(state, 0));  // resource 1 is full
+}
+
+TEST(BestSatisfyingDeviation, PicksHighestQuality) {
+  // Capacities 1 and 4: resource 1 offers better post-move quality.
+  const Instance inst({1.0, 4.0, 1.0}, {0.9, 0.9, 0.9});
+  // user 0 and 1 on resource 2 (load 2 > threshold 1 there).
+  const State state(inst, {2, 2, 1});
+  // Moving to resource 1: load 2, quality 2. Moving to resource 0: load 1,
+  // quality 1. Both satisfy; quality prefers resource 1.
+  EXPECT_EQ(best_satisfying_deviation(state, 0), 1u);
+}
+
+TEST(BestSatisfyingDeviation, ReturnsNoResourceWhenStuck) {
+  const Instance inst = Instance::identical(2, 1.0, {1.0, 1.0, 1.0});
+  const State state(inst, {0, 0, 1});
+  EXPECT_EQ(best_satisfying_deviation(state, 0), kNoResource);
+}
+
+TEST(Equilibrium, AllSatisfiedIsStable) {
+  const Instance inst = Instance::identical(2, 1.0, {0.5, 0.5});
+  const State state(inst, {0, 1});
+  EXPECT_TRUE(is_satisfaction_equilibrium(state));
+}
+
+TEST(Equilibrium, UnsatisfiedWithEscapeIsUnstable) {
+  const Instance inst = Instance::identical(2, 1.0, {1.0, 1.0});
+  const State state(inst, {0, 0});
+  EXPECT_FALSE(is_satisfaction_equilibrium(state));
+}
+
+TEST(Equilibrium, StuckUnsatisfiedIsStable) {
+  // Three users threshold 1 on two resources: someone is always stuck.
+  const Instance inst = Instance::identical(2, 1.0, {1.0, 1.0, 1.0});
+  const State state(inst, {0, 0, 1});
+  EXPECT_TRUE(is_satisfaction_equilibrium(state));
+}
+
+TEST(Equilibrium, SingleResourceInstance) {
+  const Instance inst = Instance::identical(1, 1.0, {1.0, 1.0});
+  const State state(inst, {0, 0});
+  EXPECT_TRUE(is_satisfaction_equilibrium(state));  // nowhere to go
+}
+
+TEST(Equilibrium, FastPathMatchesNaiveScan) {
+  // Property check: for random identical-capacity states, the O(n+m) fast
+  // path must agree with the definitional O(n·m) scan.
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + uniform_u64_below(rng, 12);
+    const std::size_t m = 2 + uniform_u64_below(rng, 4);
+    std::vector<double> reqs(n);
+    for (auto& q : reqs)
+      q = 1.0 / static_cast<double>(1 + uniform_u64_below(rng, 5));
+    const Instance inst = Instance::identical(m, 1.0, std::move(reqs));
+    State state = State::random(inst, rng);
+
+    bool naive = true;
+    for (UserId u = 0; u < state.num_users() && naive; ++u)
+      if (!state.satisfied(u) && has_satisfying_deviation(state, u)) naive = false;
+
+    EXPECT_EQ(is_satisfaction_equilibrium(state), naive) << "trial=" << trial;
+  }
+}
+
+TEST(UnsatisfiedUsers, ListsExactlyTheUnsatisfied) {
+  const Instance inst = Instance::identical(2, 1.0, {0.4, 1.0, 1.0});
+  const State state(inst, {0, 0, 1});  // loads 2,1; thresholds 2,1,1
+  const auto list = unsatisfied_users(state);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0], 1u);
+}
+
+// ---- potentials ----
+
+TEST(Potential, RosenthalKnownValue) {
+  const Instance inst = Instance::identical(2, 1.0, std::vector<double>(3, 0.5));
+  const State state(inst, {0, 0, 1});
+  // Resource 0: 1+2 = 3; resource 1: 1. Total 4.
+  EXPECT_DOUBLE_EQ(rosenthal_potential(state), 4.0);
+}
+
+TEST(Potential, RosenthalDecreasesOnBalancingMove) {
+  const Instance inst = Instance::identical(2, 1.0, std::vector<double>(4, 0.25));
+  State state = State::all_on(inst, 0);
+  const double before = rosenthal_potential(state);
+  state.move(0, 1);
+  EXPECT_LT(rosenthal_potential(state), before);
+}
+
+TEST(Potential, RosenthalScalesWithCapacity) {
+  const Instance inst({2.0}, {1.0, 1.0});
+  const State state = State::all_on(inst, 0);
+  EXPECT_DOUBLE_EQ(rosenthal_potential(state), 1.5);  // (1+2)/2
+}
+
+TEST(Potential, QualityDeficitZeroIffAllSatisfied) {
+  const Instance inst = Instance::identical(2, 1.0, {0.5, 0.5});
+  const State balanced(inst, {0, 1});
+  EXPECT_DOUBLE_EQ(quality_deficit(balanced), 0.0);
+  const State crowded(inst, {0, 0});
+  EXPECT_DOUBLE_EQ(quality_deficit(crowded), 0.0);  // 1/2 == requirement
+  const Instance tight = Instance::identical(2, 1.0, {1.0, 1.0});
+  const State bad(tight, {0, 0});
+  EXPECT_DOUBLE_EQ(quality_deficit(bad), 1.0);  // each misses by 0.5
+}
+
+TEST(Potential, LoadVarianceZeroWhenBalanced) {
+  const Instance inst = Instance::identical(2, 1.0, std::vector<double>(4, 0.5));
+  EXPECT_DOUBLE_EQ(load_variance(State(inst, {0, 0, 1, 1})), 0.0);
+  EXPECT_GT(load_variance(State::all_on(inst, 0)), 0.0);
+}
+
+}  // namespace
+}  // namespace qoslb

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/weighted/weighted_generators.hpp"
+#include "core/weighted/weighted_instance.hpp"
+#include "core/weighted/weighted_protocols.hpp"
+#include "core/weighted/weighted_state.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace qoslb {
+namespace {
+
+WeightedInstance small_instance() {
+  // 3 users: weights 1, 2, 4; thresholds (capacity 10): q=2 -> 5, q=1 -> 10.
+  return WeightedInstance({10.0, 10.0}, {2.0, 1.0, 2.0}, {1, 2, 4});
+}
+
+TEST(WeightedInstance, ThresholdInWeightUnits) {
+  const WeightedInstance inst = small_instance();
+  EXPECT_EQ(inst.threshold(0, 0), 5);
+  EXPECT_EQ(inst.threshold(1, 0), 7);  // 10 clamped to total weight 7
+  EXPECT_EQ(inst.threshold(2, 1), 5);
+  EXPECT_EQ(inst.total_weight(), 7u);
+}
+
+TEST(WeightedInstance, RejectsBadInput) {
+  EXPECT_THROW(WeightedInstance({1.0}, {1.0}, {0}), std::invalid_argument);
+  EXPECT_THROW(WeightedInstance({1.0}, {1.0, 1.0}, {1}), std::invalid_argument);
+  EXPECT_THROW(WeightedInstance({}, {1.0}, {1}), std::invalid_argument);
+}
+
+TEST(WeightedState, LoadsAreWeightSums) {
+  const WeightedInstance inst = small_instance();
+  const WeightedState state(inst, {0, 0, 1});
+  EXPECT_EQ(state.load(0), 3);
+  EXPECT_EQ(state.load(1), 4);
+  state.check_invariants();
+}
+
+TEST(WeightedState, MoveTransfersWeight) {
+  const WeightedInstance inst = small_instance();
+  WeightedState state(inst, {0, 0, 1});
+  state.move(1, 1);
+  EXPECT_EQ(state.load(0), 1);
+  EXPECT_EQ(state.load(1), 6);
+  state.check_invariants();
+}
+
+TEST(WeightedState, SatisfactionUsesWeightLoad) {
+  const WeightedInstance inst = small_instance();
+  // All on resource 0: load 7. Thresholds 5, 7, 5 -> only user 1 satisfied.
+  const WeightedState state = WeightedState::all_on(inst, 0);
+  EXPECT_FALSE(state.satisfied(0));
+  EXPECT_TRUE(state.satisfied(1));
+  EXPECT_FALSE(state.satisfied(2));
+  EXPECT_EQ(state.count_satisfied(), 1u);
+  EXPECT_EQ(state.satisfied_weight(), 2u);
+}
+
+TEST(WeightedState, SatisfiedAfterMoveCountsOwnWeight) {
+  const WeightedInstance inst = small_instance();
+  const WeightedState state = WeightedState::all_on(inst, 0);
+  // User 2 (weight 4, threshold 5) moving to empty resource 1: load 4 <= 5.
+  EXPECT_TRUE(weighted_satisfied_after_move(state, 2, 1));
+  // User 0 (weight 1) staying put: load stays 7 > 5.
+  EXPECT_FALSE(weighted_satisfied_after_move(state, 0, 0));
+}
+
+TEST(WeightedEquilibrium, DetectsDeviationAndStuckness) {
+  const WeightedInstance inst = small_instance();
+  const WeightedState crowded = WeightedState::all_on(inst, 0);
+  EXPECT_FALSE(is_weighted_satisfaction_equilibrium(crowded));  // r1 free
+  // Balanced: users 0,2 (weight 5) on r0; user 1 (weight 2) on r1.
+  const WeightedState balanced(inst, {0, 1, 0});
+  EXPECT_TRUE(is_weighted_satisfaction_equilibrium(balanced));
+  EXPECT_EQ(balanced.count_satisfied(), 3u);
+}
+
+TEST(WeightedGenerator, FeasibleByConstruction) {
+  Xoshiro256 rng(5);
+  const WeightedInstance inst = make_weighted_feasible(100, 8, 0.3, 4, 1.0, rng);
+  EXPECT_EQ(inst.num_users(), 100u);
+  // Weights are powers of two within the class range.
+  for (UserId u = 0; u < 100; ++u) {
+    const std::uint32_t w = inst.weight(u);
+    EXPECT_TRUE(w == 1 || w == 2 || w == 4 || w == 8) << w;
+  }
+  // The LPT packing argument: thresholds are uniform and at least the
+  // peak packed load, so a protocol must be able to satisfy everyone.
+  WeightedState state = WeightedState::all_on(inst, 0);
+  Xoshiro256 run_rng(7);
+  WeightedAdmissionControl protocol;
+  const WeightedRunResult result =
+      run_weighted_protocol(protocol, state, run_rng, 100000);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.all_satisfied);
+}
+
+class WeightedProtocolKind : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightedProtocolKind, ConvergesOnFeasibleInstances) {
+  Xoshiro256 rng(11);
+  const WeightedInstance inst = make_weighted_feasible(200, 16, 0.4, 4, 1.0, rng);
+  WeightedState state = WeightedState::random(inst, rng);
+  std::unique_ptr<WeightedProtocol> protocol;
+  switch (GetParam()) {
+    case 0: protocol = std::make_unique<WeightedUniformSampling>(0.5); break;
+    case 1: protocol = std::make_unique<WeightedAdmissionControl>(); break;
+    default: protocol = std::make_unique<WeightedSequentialBestResponse>(); break;
+  }
+  const WeightedRunResult result =
+      run_weighted_protocol(*protocol, state, rng, 200000);
+  EXPECT_TRUE(result.converged) << protocol->name();
+  EXPECT_TRUE(result.all_satisfied) << protocol->name();
+  state.check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, WeightedProtocolKind, ::testing::Values(0, 1, 2));
+
+TEST(WeightedAdmission, SatisfiedCountNeverDecreases) {
+  Xoshiro256 rng(13);
+  const WeightedInstance inst = make_weighted_feasible(150, 10, 0.2, 5, 1.2, rng);
+  WeightedState state = WeightedState::random(inst, rng);
+  WeightedAdmissionControl protocol;
+  Counters counters;
+  std::size_t satisfied = state.count_satisfied();
+  for (int round = 0; round < 150; ++round) {
+    protocol.step(state, rng, counters);
+    const std::size_t now = state.count_satisfied();
+    ASSERT_GE(now, satisfied) << "round " << round;
+    satisfied = now;
+  }
+}
+
+TEST(WeightedAdmission, AccountingConsistent) {
+  Xoshiro256 rng(17);
+  const WeightedInstance inst = make_weighted_feasible(100, 8, 0.3, 4, 1.0, rng);
+  WeightedState state = WeightedState::all_on(inst, 0);
+  WeightedAdmissionControl protocol;
+  Counters counters;
+  for (int round = 0; round < 50; ++round) protocol.step(state, rng, counters);
+  EXPECT_EQ(counters.grants + counters.rejects, counters.migrate_requests);
+  EXPECT_EQ(counters.grants, counters.migrations);
+}
+
+TEST(WeightedRunner, AlreadyStableIsZeroRounds) {
+  const WeightedInstance inst = small_instance();
+  WeightedState state(inst, {0, 1, 0});
+  Xoshiro256 rng(1);
+  WeightedAdmissionControl protocol;
+  const WeightedRunResult result = run_weighted_protocol(protocol, state, rng);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.rounds, 0u);
+  EXPECT_EQ(result.final_satisfied_weight, inst.total_weight());
+}
+
+TEST(WeightedRunner, MaxRoundsCap) {
+  // Infeasible: two weight-4 users, thresholds 5, one resource pair where
+  // only one can be alone... all on one resource of capacity 5.
+  const WeightedInstance inst({5.0}, {1.0, 1.0}, {4, 4});
+  WeightedState state = WeightedState::all_on(inst, 0);
+  Xoshiro256 rng(3);
+  WeightedUniformSampling protocol(0.5);
+  const WeightedRunResult result = run_weighted_protocol(protocol, state, rng, 10);
+  // Single resource: nobody can deviate, so the state is stuck-stable.
+  EXPECT_TRUE(result.converged);
+  EXPECT_FALSE(result.all_satisfied);
+}
+
+TEST(WeightedFragmentation, HeavyUserBlockedByLightCrowd) {
+  // One resource has room in total but the heavy user cannot fit: weights
+  // fragment capacity. Resource capacity 6 (thresholds 6 for q=1): r1 holds
+  // weight 3 of light users; heavy user weight 4 cannot join (3+4=7>6) even
+  // though its own resource is overloaded.
+  const WeightedInstance inst({6.0, 6.0}, {1.0, 1.0, 1.0, 1.0, 1.0},
+                              {4, 4, 1, 1, 1});
+  // r0: both heavies (load 8 > 6); r1: three lights (load 3).
+  WeightedState state(inst, {0, 0, 1, 1, 1});
+  EXPECT_FALSE(state.satisfied(0));
+  EXPECT_FALSE(weighted_satisfied_after_move(state, 0, 1));
+  EXPECT_TRUE(is_weighted_satisfaction_equilibrium(state));
+}
+
+}  // namespace
+}  // namespace qoslb

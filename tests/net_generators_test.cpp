@@ -1,0 +1,183 @@
+#include "net/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/properties.hpp"
+
+namespace qoslb {
+namespace {
+
+class RingSize : public ::testing::TestWithParam<Vertex> {};
+
+TEST_P(RingSize, DegreeTwoConnectedKnownDiameter) {
+  const Vertex n = GetParam();
+  const Graph g = make_ring(n);
+  EXPECT_EQ(g.num_edges(), static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter(g), n / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingSize, ::testing::Values(3, 4, 7, 10, 33));
+
+TEST(Complete, AllPairsAdjacent) {
+  const Graph g = make_complete(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(diameter(g), 1u);
+  for (Vertex a = 0; a < 6; ++a)
+    for (Vertex b = 0; b < 6; ++b)
+      if (a != b) EXPECT_TRUE(g.has_edge(a, b));
+}
+
+TEST(Complete, SingleVertex) {
+  const Graph g = make_complete(1);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Path, EndpointsDegreeOne) {
+  const Graph g = make_path(6);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(5), 1u);
+  EXPECT_EQ(g.degree(3), 2u);
+  EXPECT_EQ(diameter(g), 5u);
+}
+
+TEST(Star, HubConnectsEverything) {
+  const Graph g = make_star(8);
+  EXPECT_EQ(g.degree(0), 7u);
+  for (Vertex v = 1; v < 8; ++v) EXPECT_EQ(g.degree(v), 1u);
+  EXPECT_EQ(diameter(g), 2u);
+}
+
+TEST(Torus, DegreeFourAndVertexCount) {
+  const Graph g = make_torus(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  for (Vertex v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(is_connected(g));
+  // Torus diameter = floor(rows/2) + floor(cols/2).
+  EXPECT_EQ(diameter(g), 2u + 2u);
+}
+
+TEST(Torus, RejectsThinDimensions) {
+  EXPECT_THROW(make_torus(2, 5), std::invalid_argument);
+}
+
+class HypercubeDim : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HypercubeDim, DegreeAndDiameterEqualDim) {
+  const unsigned dim = GetParam();
+  const Graph g = make_hypercube(dim);
+  EXPECT_EQ(g.num_vertices(), Vertex{1} << dim);
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(g.degree(v), static_cast<std::size_t>(dim));
+  EXPECT_EQ(diameter(g), dim);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HypercubeDim, ::testing::Values(1u, 2u, 3u, 5u, 7u));
+
+TEST(RandomRegular, DegreesExact) {
+  Xoshiro256 rng(11);
+  const Graph g = make_random_regular(24, 3, rng);
+  for (Vertex v = 0; v < 24; ++v) EXPECT_EQ(g.degree(v), 3u);
+}
+
+TEST(RandomRegular, RejectsOddProduct) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW(make_random_regular(5, 3, rng), std::invalid_argument);
+}
+
+TEST(RandomRegular, TypicallyConnectedAtDegreeFour) {
+  Xoshiro256 rng(13);
+  int connected = 0;
+  for (int trial = 0; trial < 10; ++trial)
+    if (is_connected(make_random_regular(32, 4, rng))) ++connected;
+  EXPECT_GE(connected, 9);  // random 4-regular graphs are a.a.s. connected
+}
+
+TEST(Gnp, ExtremeProbabilities) {
+  Xoshiro256 rng(17);
+  const Graph empty = make_gnp(10, 0.0, rng);
+  EXPECT_EQ(empty.num_edges(), 0u);
+  const Graph full = make_gnp(10, 1.0, rng);
+  EXPECT_EQ(full.num_edges(), 45u);
+}
+
+TEST(Gnp, EdgeCountNearExpectation) {
+  Xoshiro256 rng(19);
+  const Graph g = make_gnp(60, 0.3, rng);
+  const double expected = 0.3 * 60 * 59 / 2;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 120);
+}
+
+TEST(Properties, BfsDistancesOnPath) {
+  const Graph g = make_path(5);
+  const auto dist = bfs_distances(g, 0);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Properties, DisconnectedComponents) {
+  const Edge edges[] = {{0, 1}, {2, 3}};
+  const Graph g = Graph::from_edges(5, edges);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_EQ(component_count(g), 3u);
+  EXPECT_THROW(diameter(g), std::invalid_argument);
+}
+
+TEST(Properties, ComponentCountOfConnected) {
+  EXPECT_EQ(component_count(make_ring(9)), 1u);
+}
+
+
+TEST(SmallWorld, BetaZeroIsTheLattice) {
+  Xoshiro256 rng(1);
+  const Graph g = make_small_world(20, 2, 0.0, rng);
+  for (Vertex v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(SmallWorld, RewiringShrinksDiameter) {
+  Xoshiro256 rng(3);
+  const Graph lattice = make_small_world(64, 2, 0.0, rng);
+  const Graph rewired = make_small_world(64, 2, 0.3, rng);
+  ASSERT_TRUE(is_connected(lattice));
+  if (is_connected(rewired))
+    EXPECT_LE(diameter(rewired), diameter(lattice));
+}
+
+TEST(SmallWorld, EdgeCountPreserved) {
+  Xoshiro256 rng(5);
+  const Graph g = make_small_world(40, 3, 0.5, rng);
+  EXPECT_EQ(g.num_edges(), 120u);  // n*k edges, rewired not deleted
+}
+
+TEST(SmallWorld, RejectsBadParameters) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW(make_small_world(3, 1, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(make_small_world(10, 5, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(make_small_world(10, 2, 1.5, rng), std::invalid_argument);
+}
+
+TEST(Barbell, StructureAndDiameter) {
+  const Graph g = make_barbell(5, 3);
+  EXPECT_EQ(g.num_vertices(), 13u);
+  EXPECT_TRUE(is_connected(g));
+  // Clique interiors have degree clique-1; the connectors one more.
+  EXPECT_EQ(g.degree(0), 4u);
+  EXPECT_EQ(g.degree(4), 5u);   // left connector
+  EXPECT_EQ(g.degree(5), 2u);   // bridge vertex
+  // Diameter: clique hop + bridge+1 + clique hop = 1 + 4 + 1.
+  EXPECT_EQ(diameter(g), 6u);
+}
+
+TEST(Barbell, ZeroBridgeJoinsCliquesDirectly) {
+  const Graph g = make_barbell(4, 0);
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_TRUE(g.has_edge(3, 4));
+  EXPECT_EQ(diameter(g), 3u);
+}
+
+}  // namespace
+}  // namespace qoslb

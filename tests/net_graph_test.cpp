@@ -1,0 +1,74 @@
+#include "net/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qoslb {
+namespace {
+
+TEST(Graph, TriangleBasics) {
+  const Edge edges[] = {{0, 1}, {1, 2}, {0, 2}};
+  const Graph g = Graph::from_edges(3, edges);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  for (Vertex v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  const Edge edges[] = {{0, 3}, {0, 1}, {0, 2}};
+  const Graph g = Graph::from_edges(4, edges);
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(Graph, EdgesRoundTrip) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}, {0, 3}};
+  const Graph g = Graph::from_edges(4, edges);
+  auto out = g.edges();
+  std::sort(out.begin(), out.end());
+  std::vector<Edge> expected = edges;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(out, expected);
+}
+
+TEST(Graph, IsolatedVerticesAllowed) {
+  const Edge edges[] = {{0, 1}};
+  const Graph g = Graph::from_edges(5, edges);
+  EXPECT_EQ(g.degree(4), 0u);
+  EXPECT_TRUE(g.neighbors(4).empty());
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g = Graph::from_edges(3, {});
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Graph, RejectsSelfLoops) {
+  const Edge edges[] = {{1, 1}};
+  EXPECT_THROW(Graph::from_edges(3, edges), std::invalid_argument);
+}
+
+TEST(Graph, RejectsParallelEdges) {
+  const Edge edges[] = {{0, 1}, {1, 0}};
+  EXPECT_THROW(Graph::from_edges(2, edges), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoints) {
+  const Edge edges[] = {{0, 5}};
+  EXPECT_THROW(Graph::from_edges(3, edges), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeQueries) {
+  const Graph g = Graph::from_edges(2, {});
+  EXPECT_THROW(g.neighbors(2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qoslb

@@ -1,0 +1,104 @@
+#include "opt/dinic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace qoslb {
+namespace {
+
+TEST(Dinic, SingleEdge) {
+  Dinic flow(2);
+  const auto e = flow.add_edge(0, 1, 7);
+  EXPECT_EQ(flow.max_flow(0, 1), 7);
+  EXPECT_EQ(flow.flow_on(e), 7);
+}
+
+TEST(Dinic, SeriesBottleneck) {
+  Dinic flow(3);
+  flow.add_edge(0, 1, 10);
+  flow.add_edge(1, 2, 4);
+  EXPECT_EQ(flow.max_flow(0, 2), 4);
+}
+
+TEST(Dinic, ParallelPathsAdd) {
+  Dinic flow(4);
+  flow.add_edge(0, 1, 3);
+  flow.add_edge(1, 3, 3);
+  flow.add_edge(0, 2, 5);
+  flow.add_edge(2, 3, 5);
+  EXPECT_EQ(flow.max_flow(0, 3), 8);
+}
+
+TEST(Dinic, ClassicCrossNetwork) {
+  // CLRS figure-style network with a cross edge; max flow 23.
+  Dinic flow(6);
+  flow.add_edge(0, 1, 16);
+  flow.add_edge(0, 2, 13);
+  flow.add_edge(1, 2, 10);
+  flow.add_edge(2, 1, 4);
+  flow.add_edge(1, 3, 12);
+  flow.add_edge(3, 2, 9);
+  flow.add_edge(2, 4, 14);
+  flow.add_edge(4, 3, 7);
+  flow.add_edge(3, 5, 20);
+  flow.add_edge(4, 5, 4);
+  EXPECT_EQ(flow.max_flow(0, 5), 23);
+}
+
+TEST(Dinic, DisconnectedSinkGivesZero) {
+  Dinic flow(4);
+  flow.add_edge(0, 1, 5);
+  EXPECT_EQ(flow.max_flow(0, 3), 0);
+}
+
+TEST(Dinic, ZeroCapacityEdge) {
+  Dinic flow(2);
+  flow.add_edge(0, 1, 0);
+  EXPECT_EQ(flow.max_flow(0, 1), 0);
+}
+
+TEST(Dinic, BipartiteMatching) {
+  // 3 left, 3 right; perfect matching exists.
+  // Nodes: 0 = source, 1..3 left, 4..6 right, 7 = sink.
+  Dinic flow(8);
+  for (int l = 1; l <= 3; ++l) flow.add_edge(0, l, 1);
+  for (int r = 4; r <= 6; ++r) flow.add_edge(r, 7, 1);
+  flow.add_edge(1, 4, 1);
+  flow.add_edge(1, 5, 1);
+  flow.add_edge(2, 4, 1);
+  flow.add_edge(3, 6, 1);
+  EXPECT_EQ(flow.max_flow(0, 7), 3);
+}
+
+TEST(Dinic, HallViolationLimitsMatching) {
+  // Two left vertices share the single right vertex.
+  Dinic flow(5);
+  flow.add_edge(0, 1, 1);
+  flow.add_edge(0, 2, 1);
+  flow.add_edge(1, 3, 1);
+  flow.add_edge(2, 3, 1);
+  flow.add_edge(3, 4, 1);  // right vertex has matching capacity 1
+  EXPECT_EQ(flow.max_flow(0, 4), 1);
+}
+
+TEST(Dinic, FlowOnReportsPerEdge) {
+  Dinic flow(3);
+  const auto a = flow.add_edge(0, 1, 5);
+  const auto b = flow.add_edge(1, 2, 3);
+  EXPECT_EQ(flow.max_flow(0, 2), 3);
+  EXPECT_EQ(flow.flow_on(a), 3);
+  EXPECT_EQ(flow.flow_on(b), 3);
+}
+
+TEST(Dinic, RejectsBadArguments) {
+  EXPECT_THROW(Dinic(1), std::invalid_argument);
+  Dinic flow(3);
+  EXPECT_THROW(flow.add_edge(0, 9, 1), std::invalid_argument);
+  EXPECT_THROW(flow.add_edge(0, 1, -1), std::invalid_argument);
+  EXPECT_THROW(flow.max_flow(0, 0), std::invalid_argument);
+  EXPECT_THROW(flow.flow_on(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qoslb

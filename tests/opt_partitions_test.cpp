@@ -1,0 +1,85 @@
+#include "opt/partitions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace qoslb {
+namespace {
+
+TEST(Partitions, CountsMatchPartitionFunction) {
+  // p(n) for unrestricted parts: 1,1,2,3,5,7,11,15,22,30,42.
+  const int expected[] = {1, 1, 2, 3, 5, 7, 11, 15, 22, 30, 42};
+  for (int n = 0; n <= 10; ++n) {
+    const std::size_t count =
+        for_each_partition(n, n, [](const std::vector<int>&) {});
+    EXPECT_EQ(count, static_cast<std::size_t>(expected[n])) << "n=" << n;
+  }
+}
+
+TEST(Partitions, RestrictedPartsCount) {
+  // Partitions of 6 into at most 2 parts: 6, 5+1, 4+2, 3+3 -> 4.
+  EXPECT_EQ(for_each_partition(6, 2, [](const std::vector<int>&) {}), 4u);
+}
+
+TEST(Partitions, PartsAreNonIncreasingAndSumCorrectly) {
+  for_each_partition(9, 4, [](const std::vector<int>& parts) {
+    EXPECT_LE(parts.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(parts.rbegin(), parts.rend()));
+    EXPECT_EQ(std::accumulate(parts.begin(), parts.end(), 0), 9);
+    for (const int p : parts) EXPECT_GE(p, 1);
+  });
+}
+
+TEST(Partitions, NoDuplicates) {
+  std::set<std::vector<int>> seen;
+  for_each_partition(8, 8, [&seen](const std::vector<int>& parts) {
+    EXPECT_TRUE(seen.insert(parts).second);
+  });
+}
+
+TEST(Partitions, ZeroTotalHasOneEmptyPartition) {
+  int visits = 0;
+  const std::size_t count = for_each_partition(0, 3, [&](const std::vector<int>& p) {
+    ++visits;
+    EXPECT_TRUE(p.empty());
+  });
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(Partitions, ImpossibleWhenTooFewParts) {
+  // 5 into at most 1 part: only {5} -> 1; 5 into 0 parts -> 0.
+  EXPECT_EQ(for_each_partition(5, 1, [](const std::vector<int>&) {}), 1u);
+  EXPECT_EQ(for_each_partition(5, 0, [](const std::vector<int>&) {}), 0u);
+}
+
+TEST(Compositions, CountIsStarsAndBars) {
+  // Compositions of n into k non-negative parts: C(n+k-1, k-1).
+  // n=4, k=3 -> C(6,2) = 15.
+  EXPECT_EQ(for_each_composition(4, 3, [](const std::vector<int>&) {}), 15u);
+}
+
+TEST(Compositions, PartsSumAndAreOrdered) {
+  std::set<std::vector<int>> seen;
+  for_each_composition(3, 2, [&seen](const std::vector<int>& parts) {
+    ASSERT_EQ(parts.size(), 2u);
+    EXPECT_EQ(parts[0] + parts[1], 3);
+    seen.insert(parts);
+  });
+  // Ordered: (0,3) and (3,0) both present.
+  EXPECT_EQ(seen.count({0, 3}), 1u);
+  EXPECT_EQ(seen.count({3, 0}), 1u);
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Compositions, ZeroParts) {
+  EXPECT_EQ(for_each_composition(0, 0, [](const std::vector<int>&) {}), 1u);
+  EXPECT_EQ(for_each_composition(2, 0, [](const std::vector<int>&) {}), 0u);
+}
+
+}  // namespace
+}  // namespace qoslb

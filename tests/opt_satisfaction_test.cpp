@@ -1,0 +1,140 @@
+#include "opt/satisfaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace qoslb {
+namespace {
+
+TEST(MinResources, EmptyNeedsZero) {
+  const GroupingResult g = min_resources_to_satisfy_all({});
+  EXPECT_TRUE(g.feasible);
+  EXPECT_EQ(g.groups, 0);
+}
+
+TEST(MinResources, UniformThresholdPacksTightly) {
+  // 9 users with threshold 3 -> 3 groups of 3.
+  const GroupingResult g = min_resources_to_satisfy_all(std::vector<int>(9, 3));
+  EXPECT_TRUE(g.feasible);
+  EXPECT_EQ(g.groups, 3);
+}
+
+TEST(MinResources, MixedThresholds) {
+  // {4,4,4,4} fits in one group (4 users, min threshold 4).
+  EXPECT_EQ(min_resources_to_satisfy_all({4, 4, 4, 4}).groups, 1);
+  // {1,1,1} needs three singleton groups.
+  EXPECT_EQ(min_resources_to_satisfy_all({1, 1, 1}).groups, 3);
+  // {3,1}: block {3} then {1}? Greedy desc: [3,1]: block of size 1 (3>=1 but
+  // t[1]=1 < 2 stops growth) -> then {1} -> 2 groups.
+  EXPECT_EQ(min_resources_to_satisfy_all({3, 1}).groups, 2);
+}
+
+TEST(MinResources, InfeasibleWhenThresholdBelowOne) {
+  EXPECT_FALSE(min_resources_to_satisfy_all({2, 0, 3}).feasible);
+}
+
+TEST(MinResources, GreedyMatchesBruteForceOnSmallInstances) {
+  // Cross-validate greedy block count against the exact optimizer: all users
+  // satisfiable with m resources iff max_satisfied == n.
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = static_cast<int>(uniform_int(rng, 1, 9));
+    std::vector<int> thresholds(n);
+    for (auto& t : thresholds) t = static_cast<int>(uniform_int(rng, 1, 6));
+    const GroupingResult g = min_resources_to_satisfy_all(thresholds);
+    ASSERT_TRUE(g.feasible);
+    for (int m = 1; m <= 4; ++m) {
+      const bool greedy_says = g.groups <= m;
+      const bool exact_says = max_satisfied_identical(thresholds, m) == n;
+      EXPECT_EQ(greedy_says, exact_says)
+          << "n=" << n << " m=" << m << " trial=" << trial;
+    }
+  }
+}
+
+TEST(AllSatisfiable, Wrapper) {
+  EXPECT_TRUE(all_satisfiable({3, 3, 3}, 1));
+  EXPECT_FALSE(all_satisfiable({1, 1}, 1));
+  EXPECT_TRUE(all_satisfiable({1, 1}, 2));
+}
+
+TEST(SatisfiedForOccupancies, SimpleCases) {
+  // Two users threshold 1, occupancies {1,1}: both satisfied.
+  const auto matrix = identical_threshold_matrix({1, 1}, 2);
+  EXPECT_EQ(satisfied_for_occupancies(matrix, {1, 1}), 2);
+  // Occupancies {2,0}: a resource with 2 users, thresholds 1 -> none satisfied.
+  EXPECT_EQ(satisfied_for_occupancies(matrix, {2, 0}), 0);
+}
+
+TEST(SatisfiedForOccupancies, FlexibleUsersConserved) {
+  // Thresholds {9,2,2,2,1}, occupancies {3,2}: put 9 + two fillers on the
+  // 3-resource, the two 2s on the 2-resource -> 1 + 2 = 3 satisfied.
+  const auto matrix = identical_threshold_matrix({9, 2, 2, 2, 1}, 2);
+  EXPECT_EQ(satisfied_for_occupancies(matrix, {3, 2}), 3);
+}
+
+TEST(SatisfiedForOccupancies, RejectsBadOccupancies) {
+  const auto matrix = identical_threshold_matrix({1, 1}, 2);
+  EXPECT_THROW(satisfied_for_occupancies(matrix, {1, 0}), std::invalid_argument);
+  EXPECT_THROW(satisfied_for_occupancies(matrix, {-1, 3}), std::invalid_argument);
+}
+
+TEST(MaxSatisfiedIdentical, MatchesBruteForce) {
+  Xoshiro256 rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = static_cast<int>(uniform_int(rng, 1, 7));
+    const int m = static_cast<int>(uniform_int(rng, 1, 3));
+    std::vector<int> thresholds(n);
+    for (auto& t : thresholds) t = static_cast<int>(uniform_int(rng, 0, 5));
+    const auto matrix = identical_threshold_matrix(thresholds, m);
+    EXPECT_EQ(max_satisfied_identical(thresholds, m),
+              max_satisfied_bruteforce(matrix))
+        << "trial=" << trial << " n=" << n << " m=" << m;
+  }
+}
+
+TEST(MaxSatisfiedIdentical, OverloadedInstanceCapped) {
+  // 6 users threshold 2 on 1 resource: at most 2 can be satisfied? Load is 6
+  // on the only resource -> nobody satisfied.
+  EXPECT_EQ(max_satisfied_identical(std::vector<int>(6, 2), 1), 0);
+  // With 2 resources: dump 4 users on one, keep 2 on the other -> 2 satisfied.
+  EXPECT_EQ(max_satisfied_identical(std::vector<int>(6, 2), 2), 2);
+}
+
+TEST(MaxSatisfiedIdentical, GuardsLargeInputs) {
+  EXPECT_THROW(max_satisfied_identical(std::vector<int>(65, 1), 2),
+               std::invalid_argument);
+}
+
+TEST(MaxSatisfiedHeterogeneous, MatchesBruteForce) {
+  Xoshiro256 rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(uniform_int(rng, 1, 6));
+    const int m = static_cast<int>(uniform_int(rng, 2, 3));
+    std::vector<std::vector<int>> matrix(n, std::vector<int>(m));
+    for (auto& row : matrix)
+      for (auto& t : row) t = static_cast<int>(uniform_int(rng, 0, 4));
+    EXPECT_EQ(max_satisfied_heterogeneous(matrix),
+              max_satisfied_bruteforce(matrix))
+        << "trial=" << trial;
+  }
+}
+
+TEST(MaxSatisfiedHeterogeneous, FastResourceHostsMore) {
+  // Resource 0 admits up to 4 of these users, resource 1 only 1.
+  std::vector<std::vector<int>> matrix(5, std::vector<int>{4, 1});
+  EXPECT_EQ(max_satisfied_heterogeneous(matrix), 5);
+}
+
+TEST(BruteForce, GuardsHugeInputs) {
+  const auto matrix = identical_threshold_matrix(std::vector<int>(30, 1), 4);
+  EXPECT_THROW(max_satisfied_bruteforce(matrix), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qoslb

@@ -1,0 +1,123 @@
+#include "stats/ttest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace qoslb {
+namespace {
+
+TEST(StudentTCdf, KnownQuantiles) {
+  // Standard t-table values.
+  EXPECT_NEAR(student_t_cdf(0.0, 10), 0.5, 1e-12);
+  EXPECT_NEAR(student_t_cdf(1.812, 10), 0.95, 1e-3);   // t_{0.95,10}
+  EXPECT_NEAR(student_t_cdf(2.228, 10), 0.975, 1e-3);  // t_{0.975,10}
+  EXPECT_NEAR(student_t_cdf(-2.228, 10), 0.025, 1e-3);
+  EXPECT_NEAR(student_t_cdf(1.96, 1e6), 0.975, 1e-3);  // -> normal
+}
+
+TEST(StudentTCdf, MonotoneInT) {
+  double previous = 0.0;
+  for (double t = -5.0; t <= 5.0; t += 0.25) {
+    const double cdf = student_t_cdf(t, 7);
+    EXPECT_GT(cdf, previous);
+    previous = cdf;
+  }
+}
+
+TEST(Welch, ClearlyDifferentMeans) {
+  std::vector<double> a, b;
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(10.0 + uniform_real(rng, -1, 1));
+    b.push_back(13.0 + uniform_real(rng, -1, 1));
+  }
+  const WelchResult result = welch_t_test(a, b);
+  EXPECT_LT(result.t, 0.0);  // mean(a) < mean(b)
+  EXPECT_LT(result.p_two_sided, 1e-6);
+}
+
+TEST(Welch, SameDistributionIsUsuallyInsignificant) {
+  Xoshiro256 rng(2);
+  int significant = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 25; ++i) {
+      a.push_back(uniform_real(rng));
+      b.push_back(uniform_real(rng));
+    }
+    if (welch_t_test(a, b).p_two_sided < 0.05) ++significant;
+  }
+  // ~5% false positive rate; allow generous slop.
+  EXPECT_LE(significant, 8);
+}
+
+TEST(Welch, IdenticalConstantSamples) {
+  const std::vector<double> a = {3.0, 3.0, 3.0};
+  const WelchResult result = welch_t_test(a, a);
+  EXPECT_DOUBLE_EQ(result.p_two_sided, 1.0);
+  EXPECT_DOUBLE_EQ(result.t, 0.0);
+}
+
+TEST(Welch, ConstantButDifferentSamples) {
+  const std::vector<double> a = {3.0, 3.0, 3.0};
+  const std::vector<double> b = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(welch_t_test(a, b).p_two_sided, 0.0);
+}
+
+TEST(Welch, UnequalVariancesHandled) {
+  // Same mean, wildly different variances: no significance expected.
+  std::vector<double> tight, wide;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 40; ++i) {
+    tight.push_back(5.0 + uniform_real(rng, -0.01, 0.01));
+    wide.push_back(5.0 + uniform_real(rng, -3.0, 3.0));
+  }
+  const WelchResult result = welch_t_test(tight, wide);
+  EXPECT_GT(result.p_two_sided, 0.05);
+  // Welch df collapses toward the wide sample's df.
+  EXPECT_LT(result.degrees_of_freedom, 45.0);
+}
+
+TEST(Welch, RejectsTinySamples) {
+  const std::vector<double> one = {1.0};
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_THROW(welch_t_test(one, two), std::invalid_argument);
+}
+
+
+TEST(ChiSquareTail, KnownValues) {
+  // chi2 upper tail at the 95th percentile of chi2(k) is 0.05.
+  EXPECT_NEAR(chi_square_upper_tail(3.841, 1), 0.05, 2e-3);
+  EXPECT_NEAR(chi_square_upper_tail(11.070, 5), 0.05, 2e-3);
+  EXPECT_NEAR(chi_square_upper_tail(18.307, 10), 0.05, 2e-3);
+  EXPECT_DOUBLE_EQ(chi_square_upper_tail(0.0, 4), 1.0);
+}
+
+TEST(ChiSquare, UniformCountsPassGoodnessOfFit) {
+  const std::vector<double> observed = {98, 103, 102, 97, 101, 99};
+  const std::vector<double> expected(6, 100.0);
+  const ChiSquareResult result = chi_square_test(observed, expected);
+  EXPECT_GT(result.p_value, 0.9);
+}
+
+TEST(ChiSquare, SkewedCountsFail) {
+  const std::vector<double> observed = {300, 50, 50, 50, 50, 100};
+  const std::vector<double> expected(6, 100.0);
+  const ChiSquareResult result = chi_square_test(observed, expected);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(ChiSquare, RejectsBadInput) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(chi_square_test(one, one), std::invalid_argument);
+  const std::vector<double> obs = {1.0, 2.0};
+  const std::vector<double> bad = {1.0, 0.0};
+  EXPECT_THROW(chi_square_test(obs, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qoslb

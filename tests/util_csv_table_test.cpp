@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace qoslb {
+namespace {
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"n", "rounds"});
+  csv.cell(16LL).cell(3.5);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "n,rounds\n16,3.5\n");
+  EXPECT_EQ(csv.rows_written(), 1u);
+}
+
+TEST(CsvWriter, RowWidthMustMatchHeader) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  csv.cell(1LL);
+  EXPECT_THROW(csv.end_row(), std::logic_error);
+}
+
+TEST(CsvWriter, HeaderMustComeFirst) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.cell(1LL);
+  csv.end_row();
+  EXPECT_THROW(csv.header({"a"}), std::invalid_argument);
+}
+
+TEST(CsvWriter, EndRowWithoutCellsThrows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  EXPECT_THROW(csv.end_row(), std::invalid_argument);
+}
+
+TEST(TablePrinter, AlignsNumericColumnsRight) {
+  TablePrinter table({"name", "value"});
+  table.cell("alpha").cell(5LL).end_row();
+  table.cell("b").cell(12345LL).end_row();
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("12345"), std::string::npos);
+  // Numeric column right-aligned: " 5" has leading spaces before it.
+  EXPECT_NE(text.find("    5"), std::string::npos);
+}
+
+TEST(TablePrinter, RowWidthEnforced) {
+  TablePrinter table({"a", "b"});
+  table.cell("x");
+  EXPECT_THROW(table.end_row(), std::invalid_argument);
+}
+
+TEST(TablePrinter, TooManyCellsRejected) {
+  TablePrinter table({"a"});
+  table.cell("x");
+  EXPECT_THROW(table.cell("y"), std::invalid_argument);
+}
+
+TEST(TablePrinter, CsvExportMatchesRows) {
+  TablePrinter table({"k", "v"});
+  table.cell("x").cell(1LL).end_row();
+  table.cell("y").cell(2LL).end_row();
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "k,v\nx,1\ny,2\n");
+}
+
+TEST(TablePrinter, RowCount) {
+  TablePrinter table({"a"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.cell("1").end_row();
+  EXPECT_EQ(table.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace qoslb

@@ -4,6 +4,7 @@
 #include <set>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "rng/distributions.hpp"
@@ -14,14 +15,25 @@ namespace qoslb {
 namespace {
 
 // Agent layout: resources occupy agent ids [0, m), users [m, m+n).
+//
+// Two operating modes share these agents. In *trusting* mode (no fault plan)
+// the message flow is exactly the paper's realization — no sequence numbers,
+// no timers — and stays byte-identical to the pre-fault-layer code. In
+// *loss-tolerant* mode (robust == true; armed whenever faults are injected)
+// every user-initiated operation carries a per-user monotone sequence
+// number, replies are matched against the outstanding operation, silence is
+// detected by timeouts and answered with bounded exponential-backoff
+// retries, and departures are retransmitted until acknowledged so a lost
+// LEAVE cannot strand a phantom resident.
 
 class ResourceAgent : public DesAgent {
  public:
   /// `gated` selects the admission handshake (P4). Ungated resources accept
   /// every join and instead notify residents displaced by the arrival — the
   /// optimistic realization (P2).
-  ResourceAgent(ResourceId rid, Counters* counters, bool gated = true)
-      : rid_(rid), counters_(counters), gated_(gated) {}
+  ResourceAgent(ResourceId rid, Counters* counters, bool gated = true,
+                bool robust = false)
+      : rid_(rid), counters_(counters), gated_(gated), robust_(robust) {}
 
   /// Registers an initial resident before the simulation starts.
   void seed_resident(AgentId user, int threshold) {
@@ -34,15 +46,37 @@ class ResourceAgent : public DesAgent {
   void on_message(const Message& msg, DesEngine& engine) override {
     switch (msg.type) {
       case MsgType::kProbe: {
+        if (robust_ && stale_or_record(msg)) {
+          ++counters_->stale_drops;
+          break;
+        }
         Message reply;
         reply.type = MsgType::kLoadReply;
         reply.src = rid_;
         reply.dst = msg.src;
+        reply.seq = msg.seq;
         reply.a = load();
         engine.send(reply);
         break;
       }
       case MsgType::kMigrateRequest: {
+        if (robust_ && stale_or_record(msg)) {
+          ++counters_->stale_drops;
+          break;
+        }
+        if (robust_ && residents_.count(msg.src) != 0) {
+          // Duplicate (or retried) request from someone already admitted:
+          // re-grant idempotently, without touching state or counters.
+          ++counters_->stale_drops;
+          Message again;
+          again.type = MsgType::kGrant;
+          again.src = rid_;
+          again.dst = msg.src;
+          again.seq = msg.seq;
+          again.a = load();
+          engine.send(again);
+          break;
+        }
         const int requester_threshold = static_cast<int>(msg.a);
         const int post_load = load() + 1;
         const bool fits_requester = post_load <= requester_threshold;
@@ -50,6 +84,7 @@ class ResourceAgent : public DesAgent {
         Message reply;
         reply.src = rid_;
         reply.dst = msg.src;
+        reply.seq = msg.seq;
         if (!gated_ || (fits_requester && fits_residents)) {
           residents_[msg.src] = requester_threshold;
           by_threshold_[requester_threshold].insert(msg.src);
@@ -66,21 +101,66 @@ class ResourceAgent : public DesAgent {
         break;
       }
       case MsgType::kLeave: {
+        if (robust_) {
+          if (stale_or_record(msg)) {
+            ++counters_->stale_drops;
+            break;
+          }
+          const auto it = residents_.find(msg.src);
+          if (it == residents_.end()) {
+            // Duplicate of an already-processed departure: the state change
+            // happened, only the ack was lost. Re-ack, change nothing.
+            ++counters_->stale_drops;
+            send_leave_ack(engine, msg);
+            break;
+          }
+          erase_resident(it);
+          send_leave_ack(engine, msg);
+          notify_newly_satisfied(engine);
+          break;
+        }
         const auto it = residents_.find(msg.src);
         QOSLB_CHECK(it != residents_.end(), "leave from non-resident");
-        const auto bucket = by_threshold_.find(it->second);
-        bucket->second.erase(msg.src);
-        if (bucket->second.empty()) by_threshold_.erase(bucket);
-        residents_.erase(it);
+        erase_resident(it);
         notify_newly_satisfied(engine);
         break;
       }
       default:
-        break;  // resources ignore other message kinds
+        break;  // resources ignore other message kinds (incl. kRecover:
+                // resource state survives a crash; only its inbox is lost)
     }
   }
 
  private:
+  /// Per-sender monotone sequence guard (loss-tolerant mode): a message
+  /// whose seq is below the highest seen from that sender was overtaken by a
+  /// newer operation (e.g. a heavy-tail-delayed LEAVE arriving after the
+  /// user already re-joined) and must be ignored. Equality is allowed — a
+  /// retransmission of the latest operation is handled idempotently above.
+  bool stale_or_record(const Message& msg) {
+    if (msg.seq == 0) return false;
+    auto& last = last_seq_[msg.src];
+    if (msg.seq < last) return true;
+    last = msg.seq;
+    return false;
+  }
+
+  void erase_resident(std::map<AgentId, int>::iterator it) {
+    const auto bucket = by_threshold_.find(it->second);
+    bucket->second.erase(it->first);
+    if (bucket->second.empty()) by_threshold_.erase(bucket);
+    residents_.erase(it);
+  }
+
+  void send_leave_ack(DesEngine& engine, const Message& leave) {
+    Message ack;
+    ack.type = MsgType::kLeaveAck;
+    ack.src = rid_;
+    ack.dst = leave.src;
+    ack.seq = leave.seq;
+    engine.send(ack);
+  }
+
   /// Minimum threshold among residents that are satisfied at the current
   /// load; residents already unsatisfied cannot be hurt further and do not
   /// gate admission (same rule as the synchronous P4). O(log n) via the
@@ -127,8 +207,10 @@ class ResourceAgent : public DesAgent {
   ResourceId rid_;
   Counters* counters_;
   bool gated_;
+  bool robust_;
   std::map<AgentId, int> residents_;  // resident user agent id -> threshold here
   std::map<int, std::set<AgentId>> by_threshold_;  // threshold -> residents
+  std::map<AgentId, std::uint32_t> last_seq_;  // staleness guard (robust mode)
 };
 
 class UserAgent : public DesAgent {
@@ -136,9 +218,10 @@ class UserAgent : public DesAgent {
   /// `lambda` is the optimistic-commit probability (only drawn for ungated
   /// runs; the gated protocol always requests and lets the resource decide).
   UserAgent(UserId uid, const Instance* instance, ResourceId start,
-            Counters* counters, bool gated = true, double lambda = 1.0)
+            Counters* counters, bool gated = true, double lambda = 1.0,
+            bool robust = false, ExponentialBackoff backoff = {})
       : uid_(uid), instance_(instance), current_(start), counters_(counters),
-        gated_(gated), lambda_(lambda) {}
+        gated_(gated), lambda_(lambda), robust_(robust), backoff_(backoff) {}
 
   ResourceId current_resource() const { return current_; }
 
@@ -150,6 +233,10 @@ class UserAgent : public DesAgent {
         handle_load_reply(msg, engine);
         break;
       case MsgType::kGrant: {
+        if (robust_) {
+          handle_grant_robust(msg, engine);
+          break;
+        }
         // Leave the old resource, adopt the new one.
         Message leave;
         leave.type = MsgType::kLeave;
@@ -169,11 +256,36 @@ class UserAgent : public DesAgent {
         break;
       }
       case MsgType::kReject:
+        if (robust_) {
+          if (op_kind_ != Op::kRequest || msg.seq != op_seq_) {
+            ++counters_->stale_drops;
+            break;
+          }
+          clear_op();
+          if (searching_) probe_own(engine, /*delay=*/2.0);
+          break;
+        }
         pending_request_ = false;
         if (searching_) probe_own(engine, /*delay=*/2.0);
         break;
+      case MsgType::kLeaveAck:
+        if (robust_) {
+          const auto it = pending_leaves_.find(msg.seq);
+          if (it != pending_leaves_.end())
+            pending_leaves_.erase(it);
+          else
+            ++counters_->stale_drops;  // ack for a retransmitted/cancelled leave
+        }
+        break;
       case MsgType::kTimer:
+        if (robust_) {
+          handle_timer_robust(msg, engine);
+          break;
+        }
         probe_own(engine);
+        break;
+      case MsgType::kRecover:
+        if (robust_) handle_recover(engine);
         break;
       default:
         break;
@@ -181,6 +293,13 @@ class UserAgent : public DesAgent {
   }
 
  private:
+  enum class Op : std::uint8_t { kNone, kProbeOwn, kProbeOther, kRequest };
+
+  struct PendingLeave {
+    ResourceId resource;
+    unsigned retries;
+  };
+
   AgentId agent_id(DesEngine& engine) const {
     (void)engine;
     return static_cast<AgentId>(instance_->num_resources() + uid_);
@@ -188,13 +307,24 @@ class UserAgent : public DesAgent {
 
   int threshold_on(ResourceId r) const { return instance_->threshold(uid_, r); }
 
+  bool op_active() const { return op_kind_ != Op::kNone; }
+  void clear_op() { op_kind_ = Op::kNone; }
+
+  /// "Am I already busy?" gate. Loss-tolerant mode enforces one outstanding
+  /// operation per user (every op has a timeout, so nothing can be lost by
+  /// waiting); trusting mode reproduces the legacy gating exactly, which
+  /// only serializes migrate requests.
+  bool busy() const {
+    return robust_ ? op_active() : pending_request_;
+  }
+
+  std::uint32_t next_seq() {
+    if (++seq_ == 0) ++seq_;  // 0 is the unsolicited marker
+    return seq_;
+  }
+
   void probe_own(DesEngine& engine, double delay = 1.0) {
-    Message probe;
-    probe.type = MsgType::kProbe;
-    probe.src = agent_id(engine);
-    probe.dst = current_;
-    ++counters_->probes;
-    engine.send(probe, delay);
+    begin_probe(engine, current_, delay);
   }
 
   void probe_random_other(DesEngine& engine) {
@@ -203,31 +333,213 @@ class UserAgent : public DesAgent {
     ResourceId target = current_;
     while (target == current_)
       target = static_cast<ResourceId>(uniform_u64_below(engine.rng(), m));
+    begin_probe(engine, target, 1.0);
+  }
+
+  void begin_probe(DesEngine& engine, ResourceId target, double delay) {
+    if (robust_) {
+      op_kind_ = target == current_ ? Op::kProbeOwn : Op::kProbeOther;
+      op_target_ = target;
+      op_seq_ = next_seq();
+      op_retries_ = 0;
+    }
+    send_probe(engine, target, delay);
+  }
+
+  void send_probe(DesEngine& engine, ResourceId target, double delay) {
     Message probe;
     probe.type = MsgType::kProbe;
     probe.src = agent_id(engine);
     probe.dst = target;
+    probe.seq = robust_ ? op_seq_ : 0;
     ++counters_->probes;
-    engine.send(probe);
+    engine.send(probe, delay);
+    if (robust_) arm_op_timer(engine, delay);
+  }
+
+  void begin_request(DesEngine& engine, ResourceId target) {
+    op_kind_ = Op::kRequest;
+    op_target_ = target;
+    op_seq_ = next_seq();
+    op_retries_ = 0;
+    send_request(engine);
+  }
+
+  void send_request(DesEngine& engine) {
+    Message request;
+    request.type = MsgType::kMigrateRequest;
+    request.src = agent_id(engine);
+    request.dst = op_target_;
+    request.seq = op_seq_;
+    request.a = threshold_on(op_target_);
+    ++counters_->migrate_requests;
+    engine.send(request);
+    arm_op_timer(engine, 1.0);
+  }
+
+  /// Arms the timeout for the outstanding operation: the send's base delay
+  /// plus the backoff budget for the current attempt (which must exceed a
+  /// round trip, or healthy replies would race the timer).
+  void arm_op_timer(DesEngine& engine, double base_delay) {
+    engine.schedule_timer(
+        agent_id(engine),
+        base_delay + backoff_.jittered(engine.rng(), op_retries_),
+        static_cast<std::int64_t>(op_seq_));
+  }
+
+  void retry_op(DesEngine& engine) {
+    ++op_retries_;
+    ++counters_->retries;
+    op_seq_ = next_seq();
+    if (op_kind_ == Op::kRequest)
+      send_request(engine);
+    else
+      send_probe(engine, op_target_, 1.0);
+  }
+
+  /// Starts (or skips, if already in flight) an acknowledged departure from
+  /// `resource`: LEAVE is retransmitted with backoff until the kLeaveAck
+  /// lands, so a lost departure cannot strand a phantom resident.
+  void begin_leave(DesEngine& engine, ResourceId resource) {
+    for (const auto& [seq, leave] : pending_leaves_)
+      if (leave.resource == resource) return;  // already departing
+    const std::uint32_t seq = next_seq();
+    pending_leaves_.emplace(seq, PendingLeave{resource, 0});
+    send_leave(engine, resource, seq);
+  }
+
+  void send_leave(DesEngine& engine, ResourceId resource, std::uint32_t seq) {
+    Message leave;
+    leave.type = MsgType::kLeave;
+    leave.src = agent_id(engine);
+    leave.dst = resource;
+    leave.seq = seq;
+    engine.send(leave);
+    engine.schedule_timer(
+        agent_id(engine),
+        1.0 + backoff_.jittered(engine.rng(), pending_leaves_.at(seq).retries),
+        static_cast<std::int64_t>(seq));
+  }
+
+  /// Cancels a pending departure from `resource` (we just re-joined it); a
+  /// still-in-flight old LEAVE is neutralized by the resource's per-sender
+  /// sequence guard.
+  void cancel_leave(ResourceId resource) {
+    for (auto it = pending_leaves_.begin(); it != pending_leaves_.end(); ++it) {
+      if (it->second.resource == resource) {
+        pending_leaves_.erase(it);
+        return;
+      }
+    }
+  }
+
+  void handle_grant_robust(const Message& msg, DesEngine& engine) {
+    const auto from = static_cast<ResourceId>(msg.src);
+    const bool matches =
+        op_kind_ == Op::kRequest && msg.seq == op_seq_ && from == op_target_;
+    if (!matches) {
+      ++counters_->stale_drops;
+      // A stale grant (we timed out and moved on) still admitted us over
+      // there; undo the phantom residency — unless it is where we live now,
+      // or we are still retrying a request to that very resource (the retry
+      // will be answered by an idempotent re-grant we do want to keep).
+      const bool still_requesting_it =
+          op_kind_ == Op::kRequest && op_target_ == from;
+      if (from != current_ && !still_requesting_it) begin_leave(engine, from);
+      return;
+    }
+    clear_op();
+    begin_leave(engine, current_);
+    cancel_leave(from);
+    current_ = from;
+    if (static_cast<int>(msg.a) > threshold_on(current_)) {
+      searching_ = true;
+      probe_own(engine);
+    } else {
+      searching_ = false;
+    }
+  }
+
+  void handle_timer_robust(const Message& msg, DesEngine& engine) {
+    const auto seq = static_cast<std::uint32_t>(msg.a);
+    if (const auto it = pending_leaves_.find(seq); it != pending_leaves_.end()) {
+      ++counters_->timeouts;
+      if (backoff_.exhausted(it->second.retries)) {
+        // Give up: if the resource comes back it will reconcile through the
+        // idempotent re-grant / sequence-guard paths.
+        pending_leaves_.erase(it);
+        return;
+      }
+      ++it->second.retries;
+      ++counters_->retries;
+      send_leave(engine, it->second.resource, seq);
+      return;
+    }
+    if (op_active() && seq == op_seq_) {
+      ++counters_->timeouts;
+      if (backoff_.exhausted(op_retries_)) {
+        const Op timed_out = op_kind_;
+        clear_op();
+        // Graceful degradation: persistent silence means the target is down
+        // or unreachable. A silent *own* resource cannot certify our
+        // satisfaction — assume the worst and re-enter search elsewhere; a
+        // silent candidate is abandoned for a fresh scan from our own.
+        if (timed_out == Op::kProbeOwn) {
+          searching_ = true;
+          probe_random_other(engine);
+        } else {
+          probe_own(engine);
+        }
+        return;
+      }
+      retry_op(engine);
+      return;
+    }
+    // Stale timer: the operation it guarded already completed.
+  }
+
+  void handle_recover(DesEngine& engine) {
+    // Our crash window just ended. Whatever was in flight is gone (the
+    // inbox, including our own timers, was dropped); restart cleanly.
+    clear_op();
+    for (auto& [seq, leave] : pending_leaves_)
+      send_leave(engine, leave.resource, seq);
+    probe_own(engine);
   }
 
   void handle_load_reply(const Message& msg, DesEngine& engine) {
     const auto from = static_cast<ResourceId>(msg.src);
     const int load = static_cast<int>(msg.a);
+    if (robust_ && msg.seq != 0) {
+      // Solicited reply: must answer the outstanding probe, else it is a
+      // duplicate or overtaken by a timeout retry.
+      const bool matches =
+          (op_kind_ == Op::kProbeOwn || op_kind_ == Op::kProbeOther) &&
+          msg.seq == op_seq_ && from == op_target_;
+      if (!matches) {
+        ++counters_->stale_drops;
+        return;
+      }
+      clear_op();
+    }
     if (from == current_) {
       if (load <= threshold_on(current_)) {
         searching_ = false;  // satisfied in place
       } else {
         searching_ = true;
-        if (!pending_request_) probe_random_other(engine);
+        if (!busy()) probe_random_other(engine);
       }
       return;
     }
     // Reply from a candidate resource.
-    if (!searching_ || pending_request_) return;
+    if (!searching_ || busy()) return;
     if (load + 1 <= threshold_on(from)) {
       if (!gated_ && !bernoulli(engine.rng(), lambda_)) {
         probe_own(engine, /*delay=*/1.0);  // damped: skip this opportunity
+        return;
+      }
+      if (robust_) {
+        begin_request(engine, from);
         return;
       }
       Message request;
@@ -249,8 +561,18 @@ class UserAgent : public DesAgent {
   Counters* counters_;
   bool gated_;
   double lambda_;
+  bool robust_;
+  ExponentialBackoff backoff_;
   bool searching_ = false;
-  bool pending_request_ = false;
+  bool pending_request_ = false;  // trusting mode only
+
+  // Loss-tolerant mode state.
+  std::uint32_t seq_ = 0;
+  Op op_kind_ = Op::kNone;
+  ResourceId op_target_ = 0;
+  std::uint32_t op_seq_ = 0;
+  unsigned op_retries_ = 0;
+  std::map<std::uint32_t, PendingLeave> pending_leaves_;
 };
 
 }  // namespace
@@ -261,9 +583,21 @@ AsyncRunResult run_async(const Instance& instance, const AsyncConfig& config,
                          bool gated, double lambda) {
   const std::size_t m = instance.num_resources();
   const std::size_t n = instance.num_users();
+  QOSLB_REQUIRE(config.initial_assignment.empty() ||
+                    config.initial_assignment.size() == n,
+                "initial_assignment must have one entry per user");
+  const bool robust = config.force_timeouts || config.faults.any();
 
   AsyncRunResult result;
   DesEngine engine(config.seed, config.latency_jitter);
+  std::optional<FaultInjector> injector;
+  if (config.faults.any()) {
+    // Mix the run seed into the plan seed so the same plan yields
+    // independent fault realizations across replications.
+    injector.emplace(config.faults,
+                     config.faults.seed ^ (config.seed * 0x9E3779B97F4A7C15ULL));
+    engine.set_fault_injector(&*injector);
+  }
 
   std::vector<std::unique_ptr<ResourceAgent>> resources;
   std::vector<std::unique_ptr<UserAgent>> users;
@@ -272,20 +606,26 @@ AsyncRunResult run_async(const Instance& instance, const AsyncConfig& config,
 
   for (ResourceId r = 0; r < m; ++r) {
     resources.push_back(
-        std::make_unique<ResourceAgent>(r, &result.counters, gated));
+        std::make_unique<ResourceAgent>(r, &result.counters, gated, robust));
     const AgentId id = engine.add_agent(resources.back().get());
     QOSLB_CHECK(id == r, "resource agent ids must equal resource ids");
   }
 
   Xoshiro256 placement_rng(config.seed ^ 0xA5A5A5A5ULL);
   for (UserId u = 0; u < n; ++u) {
-    const ResourceId start =
-        config.random_start
-            ? static_cast<ResourceId>(uniform_u64_below(placement_rng, m))
-            : ResourceId{0};
+    ResourceId start;
+    if (!config.initial_assignment.empty()) {
+      start = config.initial_assignment[u];
+      QOSLB_REQUIRE(start < m, "initial_assignment entry out of range");
+    } else if (config.random_start) {
+      start = static_cast<ResourceId>(uniform_u64_below(placement_rng, m));
+    } else {
+      start = ResourceId{0};
+    }
     users.push_back(std::make_unique<UserAgent>(u, &instance, start,
                                                 &result.counters, gated,
-                                                lambda));
+                                                lambda, robust,
+                                                config.backoff));
     const AgentId id = engine.add_agent(users.back().get());
     QOSLB_CHECK(id == m + u, "user agent ids must follow resource ids");
     resources[start]->seed_resident(id, instance.threshold(u, start));
@@ -294,6 +634,10 @@ AsyncRunResult run_async(const Instance& instance, const AsyncConfig& config,
   result.events = engine.run(config.max_events);
   result.virtual_time = engine.now();
   result.counters.events = result.events;
+  result.hit_event_cap = engine.pending() > 0;
+  result.termination = result.hit_event_cap ? AsyncTermination::kEventCap
+                                            : AsyncTermination::kQuiesced;
+  if (injector) result.faults = injector->stats();
 
   // Final satisfaction from the users' own view (consistent when the queue
   // drained; best-effort when max_events was hit).

@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/instance.hpp"
 #include "sim/accounting.hpp"
+#include "sim/faults.hpp"
+#include "util/backoff.hpp"
 
 namespace qoslb {
 
@@ -11,11 +14,42 @@ namespace qoslb {
 /// DES engine delivers each message after its base delay plus Uniform(0,
 /// latency_jitter) — there is no global round clock, matching the
 /// asynchronous message-passing model of the distributed-computing setting.
+///
+/// Fault injection: `faults` describes message drops/duplicates, heavy-tail
+/// delays, and resource crash windows (see sim/faults.hpp). Whenever the
+/// plan is active (faults.any()) — or `force_timeouts` is set — the agents
+/// run in *loss-tolerant* mode: every probe/request carries a sequence
+/// number, replies are matched against it (stale and duplicate messages are
+/// suppressed), unanswered operations time out and are retried under
+/// `backoff` with bounded attempts, and departures are retransmitted until
+/// acknowledged. With an inert plan the protocols run exactly the paper's
+/// trusting realization — byte-identical schedules and counters to the
+/// pre-fault-layer implementation.
 struct AsyncConfig {
   std::uint64_t seed = 1;
   double latency_jitter = 0.5;
   std::uint64_t max_events = 5'000'000;
   bool random_start = true;  // false: all users start on resource 0
+
+  /// Non-empty: user u starts on initial_assignment[u] (overrides
+  /// random_start). Used to chain churn transforms with an async re-run.
+  std::vector<ResourceId> initial_assignment;
+
+  /// Message/crash fault plan; inert by default.
+  FaultPlan faults;
+
+  /// Timeout/retry policy for loss-tolerant mode. delay(k) is the timeout
+  /// armed for attempt k, so it must exceed a round trip (2 * (1 + jitter)).
+  ExponentialBackoff backoff;
+
+  /// Arm timeouts/sequence numbers even with an inert fault plan (testing).
+  bool force_timeouts = false;
+};
+
+/// Why an asynchronous run stopped.
+enum class AsyncTermination : std::uint8_t {
+  kQuiesced,  // the event queue drained: no agent has anything left to say
+  kEventCap,  // max_events deliveries happened first (result is best-effort)
 };
 
 struct AsyncRunResult {
@@ -23,7 +57,10 @@ struct AsyncRunResult {
   std::size_t satisfied = 0;
   double virtual_time = 0.0;   // time of the last delivered event
   std::uint64_t events = 0;
+  AsyncTermination termination = AsyncTermination::kQuiesced;
+  bool hit_event_cap = false;  // convenience: termination == kEventCap
   Counters counters;
+  FaultStats faults;           // what the injector actually did (zero if off)
 };
 
 /// Runs the asynchronous admission protocol — the message-passing
@@ -33,7 +70,12 @@ struct AsyncRunResult {
 /// post-admission load keeps the requester and all currently satisfied
 /// residents satisfied, and notify residents that become satisfied in place
 /// when departures free capacity. Feasible instances quiesce (the event queue
-/// drains); infeasible ones are cut off at max_events.
+/// drains); infeasible ones are cut off at max_events. Under an active fault
+/// plan the loss-tolerant machinery (timeouts, bounded retries with
+/// exponential backoff, stale/duplicate suppression, acknowledged leaves)
+/// keeps feasible instances converging instead of deadlocking on a lost
+/// GRANT; a user whose resource crashed detects the silence via timeouts and
+/// re-enters search.
 AsyncRunResult run_async_admission(const Instance& instance,
                                    const AsyncConfig& config = {});
 
@@ -43,7 +85,7 @@ AsyncRunResult run_async_admission(const Instance& instance,
 /// decisions taken on in-flight information can overshoot, displace
 /// residents, and re-trigger their searches. This is the asynchronous
 /// herding failure mode the admission handshake removes; with λ well below
-/// 1 the dynamics still settle in practice. Same config/termination
+/// 1 the dynamics still settle in practice. Same config/termination/fault
 /// semantics as run_async_admission.
 AsyncRunResult run_async_optimistic(const Instance& instance, double lambda,
                                     const AsyncConfig& config = {});

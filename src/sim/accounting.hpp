@@ -17,7 +17,14 @@ struct Counters {
   std::uint64_t rounds = 0;
   std::uint64_t events = 0;
 
-  /// Total messages under the round-trip cost model.
+  // Loss-tolerance accounting (asynchronous protocols under fault
+  // injection; all zero in fault-free runs).
+  std::uint64_t timeouts = 0;     // operations whose reply never arrived in time
+  std::uint64_t retries = 0;      // re-sent probes/requests/leaves
+  std::uint64_t stale_drops = 0;  // received messages ignored as stale/duplicate
+
+  /// Total messages under the round-trip cost model. Retries are already
+  /// counted by their operation counters; LEAVE acks ride on migrations.
   std::uint64_t messages() const {
     return 2 * probes + migrate_requests + grants + rejects + migrations;
   }
@@ -30,6 +37,9 @@ struct Counters {
     migrations += other.migrations;
     rounds += other.rounds;
     events += other.events;
+    timeouts += other.timeouts;
+    retries += other.retries;
+    stale_drops += other.stale_drops;
     return *this;
   }
 };

@@ -1,6 +1,7 @@
 #include "sim/des.hpp"
 
 #include "rng/distributions.hpp"
+#include "sim/faults.hpp"
 #include "util/check.hpp"
 
 namespace qoslb {
@@ -17,12 +18,34 @@ AgentId DesEngine::add_agent(DesAgent* agent) {
   return static_cast<AgentId>(agents_.size() - 1);
 }
 
+void DesEngine::set_fault_injector(FaultInjector* injector) {
+  QOSLB_REQUIRE(!started_, "injector must be attached before run()");
+  injector_ = injector;
+}
+
+void DesEngine::enqueue(Message message, double latency) {
+  queue_.push(Scheduled{now_ + latency, seq_++, message});
+}
+
 void DesEngine::send(Message message, double delay) {
   QOSLB_REQUIRE(message.dst < agents_.size(), "message to unknown agent");
   QOSLB_REQUIRE(delay >= 0.0, "delay must be non-negative");
+  if (injector_ != nullptr) {
+    const FaultInjector::SendFate fate = injector_->on_send(message, now_);
+    if (fate.drop) return;
+    double latency = delay + fate.extra_delay;
+    if (jitter_ > 0.0) latency += uniform_real(rng_, 0.0, jitter_);
+    enqueue(message, latency);
+    if (fate.duplicate) {
+      double dup_latency = delay + fate.dup_extra_delay;
+      if (jitter_ > 0.0) dup_latency += uniform_real(rng_, 0.0, jitter_);
+      enqueue(message, dup_latency);
+    }
+    return;
+  }
   double latency = delay;
   if (jitter_ > 0.0) latency += uniform_real(rng_, 0.0, jitter_);
-  queue_.push(Scheduled{now_ + latency, seq_++, message});
+  enqueue(message, latency);
 }
 
 void DesEngine::schedule_timer(AgentId agent, double delay, std::int64_t payload) {
@@ -38,6 +61,18 @@ std::uint64_t DesEngine::run(std::uint64_t max_events) {
   if (!started_) {
     started_ = true;
     for (std::size_t i = 0; i < agents_.size(); ++i) agents_[i]->on_start(*this);
+    // Crash windows end with an explicit wakeup so a crashed agent (whose
+    // own timers were swallowed) can rebuild its in-flight state.
+    if (injector_ != nullptr) {
+      for (const CrashWindow& window : injector_->plan().crashes) {
+        if (window.agent >= agents_.size()) continue;
+        Message notice;
+        notice.type = MsgType::kRecover;
+        notice.src = window.agent;
+        notice.dst = window.agent;
+        enqueue(notice, window.t_recover - now_);
+      }
+    }
   }
   std::uint64_t count = 0;
   while (!queue_.empty() && count < max_events) {
@@ -47,6 +82,8 @@ std::uint64_t DesEngine::run(std::uint64_t max_events) {
     now_ = next.time;
     ++delivered_;
     ++count;
+    if (injector_ != nullptr && !injector_->deliverable(next.message, now_))
+      continue;  // destination is crashed: the inbox entry is lost
     agents_[next.message.dst]->on_message(next.message, *this);
   }
   return count;

@@ -11,6 +11,7 @@
 namespace qoslb {
 
 class DesEngine;
+class FaultInjector;
 
 /// An asynchronous agent (user or resource). Agents only interact through
 /// messages — the engine owns time and delivery; an agent sees nothing but
@@ -36,6 +37,13 @@ class DesEngine {
   /// Registers an agent (not owned); returns its id. All registration must
   /// happen before run().
   AgentId add_agent(DesAgent* agent);
+
+  /// Attaches a fault injector (not owned; may be null to detach). Every
+  /// subsequent send() consults it for drop/duplicate/extra-delay decisions
+  /// and every delivery is suppressed while the destination is crashed.
+  /// Must be set before run(); with no injector the engine's behavior (and
+  /// RNG stream) is bit-identical to an engine built without the hook.
+  void set_fault_injector(FaultInjector* injector);
 
   /// Schedules delivery of `message` after `delay` (plus jitter) from now.
   void send(Message message, double delay = 1.0);
@@ -65,8 +73,11 @@ class DesEngine {
     }
   };
 
+  void enqueue(Message message, double latency);
+
   std::vector<DesAgent*> agents_;
   std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+  FaultInjector* injector_ = nullptr;
   Xoshiro256 rng_;
   double jitter_;
   double now_ = 0.0;

@@ -1,0 +1,123 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/distributions.hpp"
+#include "util/check.hpp"
+
+namespace qoslb {
+namespace {
+
+std::size_t type_index(MsgType type) {
+  const auto index = static_cast<std::size_t>(type);
+  QOSLB_CHECK(index < kNumMsgTypes, "message type outside fault tables");
+  return index;
+}
+
+/// Local clocks and recovery notices are not network traffic.
+bool network_message(MsgType type) {
+  return type != MsgType::kTimer && type != MsgType::kRecover;
+}
+
+}  // namespace
+
+bool FaultPlan::any() const {
+  for (const double p : drop)
+    if (p > 0.0) return true;
+  for (const double p : dup)
+    if (p > 0.0) return true;
+  if (heavy_tail_prob > 0.0) return true;
+  return !crashes.empty();
+}
+
+FaultPlan& FaultPlan::drop_all(double p) {
+  QOSLB_REQUIRE(p >= 0.0 && p < 1.0, "drop probability must be in [0,1)");
+  for (std::size_t t = 0; t < kNumMsgTypes; ++t)
+    if (network_message(static_cast<MsgType>(t))) drop[t] = p;
+  return *this;
+}
+
+FaultPlan& FaultPlan::dup_all(double p) {
+  QOSLB_REQUIRE(p >= 0.0 && p <= 1.0, "dup probability must be in [0,1]");
+  for (std::size_t t = 0; t < kNumMsgTypes; ++t)
+    if (network_message(static_cast<MsgType>(t))) dup[t] = p;
+  return *this;
+}
+
+FaultPlan& FaultPlan::heavy_tail(double p, double scale, double alpha) {
+  QOSLB_REQUIRE(p >= 0.0 && p <= 1.0, "heavy-tail probability must be in [0,1]");
+  QOSLB_REQUIRE(scale > 0.0 && alpha > 0.0, "heavy-tail scale/alpha must be > 0");
+  heavy_tail_prob = p;
+  heavy_tail_scale = scale;
+  heavy_tail_alpha = alpha;
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash(AgentId agent, double t_crash, double t_recover) {
+  QOSLB_REQUIRE(t_recover > t_crash && t_crash >= 0.0,
+                "crash window must be non-empty and non-negative");
+  crashes.push_back(CrashWindow{agent, t_crash, t_recover});
+  return *this;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), rng_(seed) {
+  for (const double p : plan_.drop)
+    QOSLB_REQUIRE(p >= 0.0 && p < 1.0, "drop probability must be in [0,1)");
+  for (const double p : plan_.dup)
+    QOSLB_REQUIRE(p >= 0.0 && p <= 1.0, "dup probability must be in [0,1]");
+  for (const CrashWindow& window : plan_.crashes)
+    QOSLB_REQUIRE(window.t_recover > window.t_crash,
+                  "crash window must be non-empty");
+}
+
+double FaultInjector::sample_extra_delay() {
+  // Pareto(scale, alpha): scale / U^(1/alpha) with U in (0, 1].
+  const double u = 1.0 - uniform_real(rng_);
+  const double raw = plan_.heavy_tail_scale *
+                     std::pow(u, -1.0 / plan_.heavy_tail_alpha);
+  return std::min(raw, plan_.heavy_tail_cap);
+}
+
+FaultInjector::SendFate FaultInjector::on_send(const Message& message,
+                                               double now) {
+  (void)now;
+  SendFate fate;
+  if (!network_message(message.type)) return fate;
+  const std::size_t t = type_index(message.type);
+  if (plan_.drop[t] > 0.0 && bernoulli(rng_, plan_.drop[t])) {
+    fate.drop = true;
+    ++stats_.dropped;
+    return fate;
+  }
+  if (plan_.heavy_tail_prob > 0.0 && bernoulli(rng_, plan_.heavy_tail_prob)) {
+    fate.extra_delay = sample_extra_delay();
+    ++stats_.delayed;
+  }
+  if (plan_.dup[t] > 0.0 && bernoulli(rng_, plan_.dup[t])) {
+    fate.duplicate = true;
+    ++stats_.duplicated;
+    if (plan_.heavy_tail_prob > 0.0 && bernoulli(rng_, plan_.heavy_tail_prob)) {
+      fate.dup_extra_delay = sample_extra_delay();
+      ++stats_.delayed;
+    }
+  }
+  return fate;
+}
+
+bool FaultInjector::deliverable(const Message& message, double time) {
+  // Recovery notices fire exactly at t_recover, which is outside the
+  // half-open window, but keep them exempt explicitly for clarity.
+  if (message.type == MsgType::kRecover) return true;
+  for (const CrashWindow& window : plan_.crashes) {
+    if (window.agent == message.dst && time >= window.t_crash &&
+        time < window.t_recover) {
+      ++stats_.crash_dropped;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qoslb

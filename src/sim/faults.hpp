@@ -1,0 +1,112 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "rng/xoshiro256.hpp"
+#include "sim/message.hpp"
+
+namespace qoslb {
+
+/// A scheduled outage: `agent` silently drops everything addressed to it
+/// (including its own timers — a crashed node's clock does not fire) during
+/// [t_crash, t_recover). At t_recover the engine delivers a kRecover notice
+/// so the agent can rebuild its in-flight state.
+struct CrashWindow {
+  AgentId agent = kNoAgent;
+  double t_crash = 0.0;
+  double t_recover = 0.0;
+};
+
+/// Declarative description of the network faults to inject into a DES run.
+/// All sampling happens in the FaultInjector from its own seeded generator,
+/// so a (plan, seed) pair reproduces the exact same fault realization and the
+/// engine's RNG stream is untouched — runs with the injector disabled are
+/// byte-identical to runs on an engine without the hook.
+///
+/// kTimer and kRecover are exempt from drop/duplicate/delay (they model local
+/// clocks, not network traffic) but are still swallowed by crash windows.
+struct FaultPlan {
+  std::array<double, kNumMsgTypes> drop{};  // per-MsgType drop probability
+  std::array<double, kNumMsgTypes> dup{};   // per-MsgType duplication probability
+
+  /// With probability heavy_tail_prob a message is additionally delayed by a
+  /// Pareto(scale, alpha) draw capped at heavy_tail_cap — the long-tail
+  /// latency spikes real networks exhibit.
+  double heavy_tail_prob = 0.0;
+  double heavy_tail_scale = 4.0;
+  double heavy_tail_alpha = 1.5;
+  double heavy_tail_cap = 200.0;
+
+  std::vector<CrashWindow> crashes;
+
+  /// Seed for the injector's private fault stream (combined with the run
+  /// seed by the caller, so plans are reusable across runs).
+  std::uint64_t seed = 0x5EEDFA17ULL;
+
+  /// True when any fault channel is active; an inert plan means the injector
+  /// should not be attached at all.
+  bool any() const;
+
+  // Chainable conveniences for the common uniform settings.
+  FaultPlan& drop_all(double p);
+  FaultPlan& dup_all(double p);
+  FaultPlan& heavy_tail(double p, double scale = 4.0, double alpha = 1.5);
+  FaultPlan& crash(AgentId agent, double t_crash, double t_recover);
+};
+
+/// Tally of injected faults, surfaced through AsyncRunResult and the CLI.
+struct FaultStats {
+  std::uint64_t dropped = 0;        // messages discarded at send time
+  std::uint64_t duplicated = 0;     // extra copies enqueued
+  std::uint64_t delayed = 0;        // messages given heavy-tail extra delay
+  std::uint64_t crash_dropped = 0;  // deliveries swallowed by a crash window
+
+  std::uint64_t total() const {
+    return dropped + duplicated + delayed + crash_dropped;
+  }
+
+  FaultStats& operator+=(const FaultStats& other) {
+    dropped += other.dropped;
+    duplicated += other.duplicated;
+    delayed += other.delayed;
+    crash_dropped += other.crash_dropped;
+    return *this;
+  }
+};
+
+/// Samples per-message fault decisions for a DesEngine. Attached via
+/// DesEngine::set_fault_injector(); owns its RNG so the fault stream is
+/// independent of (and does not perturb) the engine's latency stream.
+class FaultInjector {
+ public:
+  /// What happens to one outbound message (and its optional duplicate).
+  struct SendFate {
+    bool drop = false;
+    bool duplicate = false;
+    double extra_delay = 0.0;      // added to the original copy
+    double dup_extra_delay = 0.0;  // added to the duplicate copy
+  };
+
+  FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+  /// Decides the fate of a message being sent at virtual time `now`.
+  SendFate on_send(const Message& message, double now);
+
+  /// False when `message` must be swallowed because its destination is
+  /// inside a crash window at delivery time `time`.
+  bool deliverable(const Message& message, double time);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  double sample_extra_delay();
+
+  FaultPlan plan_;
+  Xoshiro256 rng_;
+  FaultStats stats_;
+};
+
+}  // namespace qoslb

@@ -18,13 +18,22 @@ enum class MsgType : std::uint8_t {
   kGrant,          // resource -> user: admission granted
   kReject,         // resource -> user: admission denied
   kLeave,          // user -> resource: I am departing
-  kTimer,          // self-scheduled wakeup
+  kLeaveAck,       // resource -> user: departure recorded (loss-tolerant mode)
+  kTimer,          // self-scheduled wakeup (local clock; never faulted)
+  kRecover,        // injector -> agent: your crash window just ended
 };
+
+/// Number of MsgType values, for per-type fault tables.
+inline constexpr std::size_t kNumMsgTypes = 9;
 
 struct Message {
   MsgType type = MsgType::kTimer;
   AgentId src = kNoAgent;
   AgentId dst = kNoAgent;
+  /// Request sequence number for duplicate/stale suppression under message
+  /// faults; 0 means unsolicited (resource-initiated notifies, legacy mode).
+  /// Replies echo the request's seq.
+  std::uint32_t seq = 0;
   std::int64_t a = 0;
   std::int64_t b = 0;
   std::int64_t c = 0;

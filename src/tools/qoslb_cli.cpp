@@ -31,6 +31,7 @@
 #include "core/trace.hpp"
 #include "net/generators.hpp"
 #include "util/args.hpp"
+#include "util/strings.hpp"
 #include "util/table.hpp"
 
 using namespace qoslb;
@@ -198,6 +199,14 @@ int mode_async(ArgParser& args) {
   const double jitter = args.get_double("jitter", 0.5);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const bool random_start = !args.get_flag("all0");
+  // Fault injection (docs/faults.md): --drop/--dup are uniform per-message
+  // probabilities, --heavy-tail the probability of a Pareto latency spike,
+  // --crash=R:T0:T1 crashes resource R over [T0, T1) (repeatable via a
+  // comma-separated list).
+  const double drop = args.get_double("drop", 0.0);
+  const double dup = args.get_double("dup", 0.0);
+  const double heavy_tail = args.get_double("heavy-tail", 0.0);
+  const std::string crash_spec = args.get_string("crash", "");
   args.finish();
 
   Xoshiro256 rng(seed);
@@ -206,10 +215,23 @@ int mode_async(ArgParser& args) {
   config.seed = seed;
   config.latency_jitter = jitter;
   config.random_start = random_start;
+  if (drop != 0.0) config.faults.drop_all(drop);
+  if (dup != 0.0) config.faults.dup_all(dup);
+  if (heavy_tail != 0.0) config.faults.heavy_tail(heavy_tail);
+  for (const std::string& window : split(crash_spec, ',')) {
+    if (window.empty()) continue;
+    const std::vector<std::string> parts = split(window, ':');
+    if (parts.size() != 3)
+      throw std::invalid_argument("--crash expects R:T0:T1, got '" + window +
+                                  "'");
+    config.faults.crash(static_cast<AgentId>(std::stoul(parts[0])),
+                        std::stod(parts[1]), std::stod(parts[2]));
+  }
   const AsyncRunResult result = run_async_admission(instance, config);
 
   TablePrinter table({"n", "m", "virtual_time", "events", "messages",
-                      "migrations", "satisfied", "all_satisfied"});
+                      "migrations", "satisfied", "all_satisfied", "quiesced",
+                      "faults", "timeouts", "retries"});
   table.cell(static_cast<long long>(n))
       .cell(static_cast<long long>(m))
       .cell(result.virtual_time, 5)
@@ -218,6 +240,10 @@ int mode_async(ArgParser& args) {
       .cell(static_cast<unsigned long long>(result.counters.migrations))
       .cell(static_cast<unsigned long long>(result.satisfied))
       .cell(result.all_satisfied ? "yes" : "no")
+      .cell(result.termination == AsyncTermination::kQuiesced ? "yes" : "no")
+      .cell(static_cast<unsigned long long>(result.faults.total()))
+      .cell(static_cast<unsigned long long>(result.counters.timeouts))
+      .cell(static_cast<unsigned long long>(result.counters.retries))
       .end_row();
   table.print(std::cout);
   return 0;

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <algorithm>
+
+#include "rng/distributions.hpp"
+#include "util/check.hpp"
+
+namespace qoslb {
+
+/// Capped exponential backoff schedule: attempt k (0-based) waits
+/// min(cap, base * factor^k), optionally stretched by a multiplicative
+/// jitter so concurrent retriers decorrelate. Header-only and stateless —
+/// callers track their own attempt counts, which keeps one policy shareable
+/// across every outstanding operation of an agent.
+struct ExponentialBackoff {
+  double base = 6.0;
+  double factor = 2.0;
+  double cap = 60.0;
+  unsigned max_retries = 10;
+  /// Retry k waits delay(k) * (1 + Uniform(0, jitter_frac)).
+  double jitter_frac = 0.25;
+
+  double delay(unsigned attempt) const {
+    QOSLB_REQUIRE(base > 0.0 && factor >= 1.0 && cap >= base,
+                  "backoff needs base > 0, factor >= 1, cap >= base");
+    double d = base;
+    for (unsigned k = 0; k < attempt; ++k) {
+      d *= factor;
+      if (d >= cap) return cap;  // early out: no overflow for huge attempts
+    }
+    return std::min(d, cap);
+  }
+
+  /// True once `attempt` retries have been spent and the caller should give
+  /// up (fail over / re-enter search) instead of retrying again.
+  bool exhausted(unsigned attempt) const { return attempt >= max_retries; }
+
+  template <typename Rng>
+  double jittered(Rng& rng, unsigned attempt) const {
+    const double d = delay(attempt);
+    if (jitter_frac <= 0.0) return d;
+    return d * (1.0 + uniform_real(rng, 0.0, jitter_frac));
+  }
+};
+
+}  // namespace qoslb

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/async/async_protocols.hpp"
 #include "core/generators.hpp"
 #include "rng/distributions.hpp"
 #include "core/protocols/registry.hpp"
@@ -108,6 +109,40 @@ TEST(Churn, ProtocolRecoversAfterResourceFailure) {
   EXPECT_TRUE(result.converged);
   // Slack 0.5 leaves enough headroom that 5 of 6 resources still suffice.
   EXPECT_TRUE(result.all_satisfied);
+}
+
+TEST(Churn, FailResourceThenAsyncReconverges) {
+  // Robustness end-to-end in the *asynchronous* realization: converge, kill
+  // a resource (its users scattered over the survivors), then hand the
+  // survivor world to the DES admission protocol and require reconvergence.
+  Xoshiro256 rng(19);
+  const Instance inst = make_uniform_feasible(120, 6, 0.5, 1.0, rng);
+  State state = State::round_robin(inst);
+  const World failed = fail_resource(snapshot_world(state), 0, rng);
+
+  AsyncConfig config;
+  config.seed = 23;
+  config.initial_assignment = failed.assignment;
+  const AsyncRunResult result = run_async_admission(failed.instance, config);
+  EXPECT_TRUE(result.all_satisfied);
+  EXPECT_EQ(result.termination, AsyncTermination::kQuiesced);
+}
+
+TEST(Churn, FailResourceThenAsyncReconvergesUnderMessageFaults) {
+  // Same chain, but the re-run additionally fights message loss and
+  // duplication — crash + scatter + lossy recovery in one scenario.
+  Xoshiro256 rng(29);
+  const Instance inst = make_uniform_feasible(120, 6, 0.5, 1.0, rng);
+  State state = State::round_robin(inst);
+  const World failed = fail_resource(snapshot_world(state), 2, rng);
+
+  AsyncConfig config;
+  config.seed = 31;
+  config.initial_assignment = failed.assignment;
+  config.faults.drop_all(0.08).dup_all(0.04);
+  const AsyncRunResult result = run_async_admission(failed.instance, config);
+  EXPECT_TRUE(result.all_satisfied);
+  EXPECT_EQ(result.termination, AsyncTermination::kQuiesced);
 }
 
 // ---- greedy optimum bound ----

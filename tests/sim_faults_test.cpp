@@ -1,0 +1,208 @@
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/des.hpp"
+
+namespace qoslb {
+namespace {
+
+/// Records every delivery (time, type, src) it sees.
+class RecorderAgent : public DesAgent {
+ public:
+  struct Delivery {
+    double time;
+    MsgType type;
+    AgentId src;
+    bool operator==(const Delivery&) const = default;
+  };
+  void on_message(const Message& msg, DesEngine& engine) override {
+    deliveries.push_back({engine.now(), msg.type, msg.src});
+  }
+  std::vector<Delivery> deliveries;
+};
+
+Message probe_to(AgentId dst, AgentId src = 0) {
+  Message m;
+  m.type = MsgType::kProbe;
+  m.src = src;
+  m.dst = dst;
+  return m;
+}
+
+// ---- FaultPlan ----
+
+TEST(FaultPlan, InertByDefault) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.any());
+}
+
+TEST(FaultPlan, AnyDetectsEveryChannel) {
+  EXPECT_TRUE(FaultPlan{}.drop_all(0.1).any());
+  EXPECT_TRUE(FaultPlan{}.dup_all(0.1).any());
+  EXPECT_TRUE(FaultPlan{}.heavy_tail(0.1).any());
+  EXPECT_TRUE(FaultPlan{}.crash(0, 1.0, 2.0).any());
+}
+
+TEST(FaultPlan, TimersAreNeverNetworkFaulted) {
+  FaultPlan plan;
+  plan.drop_all(0.5).dup_all(0.5);
+  EXPECT_EQ(plan.drop[static_cast<std::size_t>(MsgType::kTimer)], 0.0);
+  EXPECT_EQ(plan.dup[static_cast<std::size_t>(MsgType::kTimer)], 0.0);
+  EXPECT_EQ(plan.drop[static_cast<std::size_t>(MsgType::kRecover)], 0.0);
+}
+
+TEST(FaultPlan, RejectsBadParameters) {
+  EXPECT_THROW(FaultPlan{}.drop_all(1.0), std::invalid_argument);
+  EXPECT_THROW(FaultPlan{}.drop_all(-0.1), std::invalid_argument);
+  EXPECT_THROW(FaultPlan{}.crash(0, 5.0, 5.0), std::invalid_argument);
+  FaultPlan bad;
+  bad.drop[0] = 1.5;
+  EXPECT_THROW(FaultInjector(bad, 1), std::invalid_argument);
+}
+
+// ---- injection through the engine ----
+
+TEST(FaultInjector, DropsAreCountedAndConserved) {
+  DesEngine engine(1);
+  RecorderAgent recorder;
+  const AgentId id = engine.add_agent(&recorder);
+  FaultInjector injector(FaultPlan{}.drop_all(0.5), /*seed=*/42);
+  engine.set_fault_injector(&injector);
+  const int sent = 400;
+  for (int i = 0; i < sent; ++i) engine.send(probe_to(id));
+  engine.run();
+  EXPECT_GT(injector.stats().dropped, 0u);
+  EXPECT_LT(injector.stats().dropped, static_cast<std::uint64_t>(sent));
+  EXPECT_EQ(recorder.deliveries.size() + injector.stats().dropped,
+            static_cast<std::size_t>(sent));
+}
+
+TEST(FaultInjector, DuplicatesDeliverTwice) {
+  DesEngine engine(1);
+  RecorderAgent recorder;
+  const AgentId id = engine.add_agent(&recorder);
+  FaultInjector injector(FaultPlan{}.dup_all(1.0), /*seed=*/7);
+  engine.set_fault_injector(&injector);
+  for (int i = 0; i < 10; ++i) engine.send(probe_to(id));
+  engine.run();
+  EXPECT_EQ(recorder.deliveries.size(), 20u);
+  EXPECT_EQ(injector.stats().duplicated, 10u);
+}
+
+TEST(FaultInjector, TimersPassThroughUnfaulted) {
+  DesEngine engine(1);
+  RecorderAgent recorder;
+  const AgentId id = engine.add_agent(&recorder);
+  FaultInjector injector(FaultPlan{}.drop_all(0.999).dup_all(1.0), /*seed=*/3);
+  engine.set_fault_injector(&injector);
+  for (int i = 0; i < 50; ++i) engine.schedule_timer(id, 1.0 + i);
+  engine.run();
+  EXPECT_EQ(recorder.deliveries.size(), 50u);  // no drop, no dup
+  EXPECT_EQ(injector.stats().dropped, 0u);
+}
+
+TEST(FaultInjector, HeavyTailAddsAtLeastScale) {
+  DesEngine engine(1, /*jitter=*/0.0);
+  RecorderAgent recorder;
+  const AgentId id = engine.add_agent(&recorder);
+  FaultPlan plan;
+  plan.heavy_tail(1.0, /*scale=*/5.0, /*alpha=*/1.5);
+  plan.heavy_tail_cap = 50.0;
+  FaultInjector injector(plan, /*seed=*/9);
+  engine.set_fault_injector(&injector);
+  for (int i = 0; i < 30; ++i) engine.send(probe_to(id), 1.0);
+  engine.run();
+  ASSERT_EQ(recorder.deliveries.size(), 30u);
+  for (const auto& d : recorder.deliveries) {
+    EXPECT_GE(d.time, 6.0);         // base delay + Pareto scale
+    EXPECT_LE(d.time, 1.0 + 50.0);  // capped
+  }
+  EXPECT_EQ(injector.stats().delayed, 30u);
+}
+
+TEST(FaultInjector, CrashWindowSwallowsInboxHalfOpen) {
+  DesEngine engine(1, /*jitter=*/0.0);
+  RecorderAgent recorder;
+  const AgentId id = engine.add_agent(&recorder);
+  FaultInjector injector(FaultPlan{}.crash(id, 4.0, 10.0), /*seed=*/5);
+  engine.set_fault_injector(&injector);
+  engine.send(probe_to(id, 1), 2.0);   // before the window: delivered
+  engine.send(probe_to(id, 2), 5.0);   // inside: swallowed
+  engine.send(probe_to(id, 3), 9.99);  // still inside: swallowed
+  engine.send(probe_to(id, 4), 12.0);  // after recovery: delivered
+  engine.run();
+  // kRecover notice at t=10 plus the two surviving probes.
+  ASSERT_EQ(recorder.deliveries.size(), 3u);
+  EXPECT_EQ(recorder.deliveries[0].src, 1u);
+  EXPECT_EQ(recorder.deliveries[1].type, MsgType::kRecover);
+  EXPECT_DOUBLE_EQ(recorder.deliveries[1].time, 10.0);
+  EXPECT_EQ(recorder.deliveries[2].src, 4u);
+  EXPECT_EQ(injector.stats().crash_dropped, 2u);
+}
+
+TEST(FaultInjector, DeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    DesEngine engine(1, /*jitter=*/0.3);
+    RecorderAgent recorder;
+    const AgentId id = engine.add_agent(&recorder);
+    FaultPlan plan;
+    plan.drop_all(0.3).dup_all(0.2).heavy_tail(0.2);
+    FaultInjector injector(plan, seed);
+    engine.set_fault_injector(&injector);
+    for (int i = 0; i < 100; ++i) engine.send(probe_to(id));
+    engine.run();
+    return recorder.deliveries;
+  };
+  EXPECT_EQ(run_once(11), run_once(11));
+  EXPECT_NE(run_once(11), run_once(12));
+}
+
+TEST(FaultInjector, NoInjectorMeansNoBehaviorChange) {
+  // The hook must be invisible when not attached: same schedule and RNG
+  // stream as an engine built before the fault layer existed.
+  auto run_once = [](bool attach_then_detach) {
+    DesEngine engine(3, /*jitter=*/0.5);
+    RecorderAgent recorder;
+    const AgentId id = engine.add_agent(&recorder);
+    FaultInjector injector(FaultPlan{}.drop_all(0.9), /*seed=*/1);
+    if (attach_then_detach) {
+      engine.set_fault_injector(&injector);
+      engine.set_fault_injector(nullptr);
+    }
+    for (int i = 0; i < 20; ++i) engine.send(probe_to(id));
+    engine.run();
+    return recorder.deliveries;
+  };
+  EXPECT_EQ(run_once(false), run_once(true));
+}
+
+TEST(FaultInjector, AttachAfterRunRejected) {
+  DesEngine engine(1);
+  RecorderAgent recorder;
+  const AgentId id = engine.add_agent(&recorder);
+  engine.send(probe_to(id));
+  engine.run();
+  FaultInjector injector(FaultPlan{}.drop_all(0.1), 1);
+  EXPECT_THROW(engine.set_fault_injector(&injector), std::invalid_argument);
+}
+
+TEST(FaultStats, Accumulate) {
+  FaultStats a, b;
+  a.dropped = 1;
+  a.delayed = 2;
+  b.dropped = 3;
+  b.duplicated = 4;
+  b.crash_dropped = 5;
+  a += b;
+  EXPECT_EQ(a.dropped, 4u);
+  EXPECT_EQ(a.duplicated, 4u);
+  EXPECT_EQ(a.delayed, 2u);
+  EXPECT_EQ(a.crash_dropped, 5u);
+  EXPECT_EQ(a.total(), 15u);
+}
+
+}  // namespace
+}  // namespace qoslb

@@ -1,0 +1,82 @@
+#include "util/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rng/xoshiro256.hpp"
+
+namespace qoslb {
+namespace {
+
+TEST(ExponentialBackoff, GrowsGeometricallyThenCaps) {
+  ExponentialBackoff backoff{/*base=*/2.0, /*factor=*/2.0, /*cap=*/10.0,
+                             /*max_retries=*/5, /*jitter_frac=*/0.0};
+  EXPECT_DOUBLE_EQ(backoff.delay(0), 2.0);
+  EXPECT_DOUBLE_EQ(backoff.delay(1), 4.0);
+  EXPECT_DOUBLE_EQ(backoff.delay(2), 8.0);
+  EXPECT_DOUBLE_EQ(backoff.delay(3), 10.0);  // capped
+  EXPECT_DOUBLE_EQ(backoff.delay(4), 10.0);
+}
+
+TEST(ExponentialBackoff, HugeAttemptStaysAtCap) {
+  ExponentialBackoff backoff;
+  EXPECT_DOUBLE_EQ(backoff.delay(100000u), backoff.cap);  // no overflow
+}
+
+TEST(ExponentialBackoff, FactorOneIsConstant) {
+  ExponentialBackoff backoff{/*base=*/3.0, /*factor=*/1.0, /*cap=*/9.0,
+                             /*max_retries=*/3, /*jitter_frac=*/0.0};
+  EXPECT_DOUBLE_EQ(backoff.delay(0), 3.0);
+  EXPECT_DOUBLE_EQ(backoff.delay(7), 3.0);
+}
+
+TEST(ExponentialBackoff, ExhaustedAfterMaxRetries) {
+  ExponentialBackoff backoff;
+  backoff.max_retries = 3;
+  EXPECT_FALSE(backoff.exhausted(0));
+  EXPECT_FALSE(backoff.exhausted(2));
+  EXPECT_TRUE(backoff.exhausted(3));
+  EXPECT_TRUE(backoff.exhausted(4));
+}
+
+TEST(ExponentialBackoff, JitterStretchesWithinBounds) {
+  ExponentialBackoff backoff{/*base=*/4.0, /*factor=*/2.0, /*cap=*/64.0,
+                             /*max_retries=*/5, /*jitter_frac=*/0.5};
+  Xoshiro256 rng(7);
+  for (unsigned attempt = 0; attempt < 4; ++attempt) {
+    const double plain = backoff.delay(attempt);
+    for (int i = 0; i < 50; ++i) {
+      const double jittered = backoff.jittered(rng, attempt);
+      EXPECT_GE(jittered, plain);
+      EXPECT_LT(jittered, plain * 1.5);
+    }
+  }
+}
+
+TEST(ExponentialBackoff, JitterDeterministicPerSeed) {
+  ExponentialBackoff backoff;
+  Xoshiro256 a(5), b(5);
+  for (unsigned k = 0; k < 8; ++k)
+    EXPECT_DOUBLE_EQ(backoff.jittered(a, k), backoff.jittered(b, k));
+}
+
+TEST(ExponentialBackoff, ZeroJitterIsExact) {
+  ExponentialBackoff backoff;
+  backoff.jitter_frac = 0.0;
+  Xoshiro256 rng(1);
+  EXPECT_DOUBLE_EQ(backoff.jittered(rng, 2), backoff.delay(2));
+}
+
+TEST(ExponentialBackoff, RejectsBadParameters) {
+  ExponentialBackoff backoff;
+  backoff.base = 0.0;
+  EXPECT_THROW(backoff.delay(0), std::invalid_argument);
+  backoff = ExponentialBackoff{};
+  backoff.factor = 0.5;
+  EXPECT_THROW(backoff.delay(1), std::invalid_argument);
+  backoff = ExponentialBackoff{};
+  backoff.cap = backoff.base / 2.0;
+  EXPECT_THROW(backoff.delay(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qoslb

@@ -10,10 +10,10 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/experiment.hpp"
 #include "core/generators.hpp"
 #include "core/protocols/registry.hpp"
-#include "core/runner.hpp"
 #include "core/state.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
@@ -59,10 +59,10 @@ inline ReplicatedRun run_uniform_feasible_once(
   spec.kind = kind;
   spec.lambda = lambda;
   const auto protocol = make_protocol(spec);
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = max_rounds;
   ReplicatedRun run;
-  run.result = run_protocol(*protocol, state, rng, config);
+  run.result = Engine(config).run(*protocol, state, rng);
   run.num_users = instance.num_users();
   return run;
 }

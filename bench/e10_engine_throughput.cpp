@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/async/async_protocols.hpp"
 #include "util/timer.hpp"
 
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
   args.finish();
 
   TablePrinter table({"engine", "n", "work_units", "seconds", "units_per_sec"});
+  BenchJson json("e10_engine_throughput");
   std::cout << "E10: engine throughput (reps=" << common.reps
             << ", best-of runs reported)\n";
 
@@ -29,7 +31,7 @@ int main(int argc, char** argv) {
   for (const long long n : sizes) {
     const std::size_t m = static_cast<std::size_t>(n) / 16;
     double best_rate = 0, best_seconds = 0;
-    std::uint64_t units = 0;
+    std::uint64_t units = 0, rounds = 0;
     for (std::size_t rep = 0; rep < common.reps; ++rep) {
       Xoshiro256 rng(common.seed + rep);
       const Instance instance =
@@ -38,16 +40,17 @@ int main(int argc, char** argv) {
       ProtocolSpec spec;
       spec.kind = "adaptive";
       const auto protocol = make_protocol(spec);
-      RunConfig config;
+      EngineConfig config;
       config.max_rounds = 1u << 16;
       Stopwatch watch;
-      const RunResult result = run_protocol(*protocol, state, rng, config);
+      const EngineResult result = Engine(config).run(*protocol, state, rng);
       const double seconds = watch.seconds();
       units = result.rounds * static_cast<std::uint64_t>(n);
       const double rate = static_cast<double>(units) / seconds;
       if (rate > best_rate) {
         best_rate = rate;
         best_seconds = seconds;
+        rounds = result.rounds;
       }
     }
     table.cell("round(sync)")
@@ -56,6 +59,14 @@ int main(int argc, char** argv) {
         .cell(best_seconds)
         .cell(best_rate)
         .end_row();
+    json.add_row()
+        .field("engine", "round(sync)")
+        .field("n", static_cast<long long>(n))
+        .field("threads", 1LL)
+        .field("seconds", best_seconds)
+        .field("users_per_sec", best_rate)
+        .field("rounds_per_sec",
+               best_seconds > 0 ? static_cast<double>(rounds) / best_seconds : 0.0);
   }
 
   // Discrete-event engine: asynchronous admission; one unit = one delivery.
@@ -68,11 +79,11 @@ int main(int argc, char** argv) {
       const Instance instance = make_uniform_feasible(
           static_cast<std::size_t>(n), static_cast<std::size_t>(n) / 16, 0.5,
           1.0, rng);
-      AsyncConfig config;
+      EngineConfig config;
       config.seed = common.seed + rep;
       config.random_start = false;
       Stopwatch watch;
-      const AsyncRunResult result = run_async_admission(instance, config);
+      const EngineResult result = Engine(config).run_async_admission(instance);
       const double seconds = watch.seconds();
       units = result.events;
       const double rate = static_cast<double>(units) / seconds;
@@ -87,8 +98,15 @@ int main(int argc, char** argv) {
         .cell(best_seconds)
         .cell(best_rate)
         .end_row();
+    json.add_row()
+        .field("engine", "des(async)")
+        .field("n", static_cast<long long>(n))
+        .field("threads", 1LL)
+        .field("seconds", best_seconds)
+        .field("events_per_sec", best_rate);
   }
 
   emit(table, common);
+  json.write("BENCH_engine.json");
   return 0;
 }

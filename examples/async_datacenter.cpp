@@ -11,9 +11,7 @@
 
 #include <iostream>
 
-#include "core/async/async_protocols.hpp"
-#include "core/generators.hpp"
-#include "util/table.hpp"
+#include "qoslb.hpp"
 
 using namespace qoslb;
 
@@ -28,11 +26,11 @@ int main() {
   TablePrinter table({"jitter", "virtual_time", "events", "probes",
                       "migrations", "rejects", "all_satisfied"});
   for (const double jitter : {0.0, 0.5, 2.0, 8.0}) {
-    AsyncConfig config;
+    EngineConfig config;
     config.seed = 5;
     config.latency_jitter = jitter;
     config.random_start = false;
-    const AsyncRunResult result = run_async_admission(instance, config);
+    const EngineResult result = Engine(config).run_async_admission(instance);
     table.cell(jitter, 2)
         .cell(result.virtual_time, 5)
         .cell(static_cast<unsigned long long>(result.events))

@@ -12,12 +12,7 @@
 #include <iostream>
 #include <string>
 
-#include "core/instance.hpp"
-#include "core/protocols/registry.hpp"
-#include "core/runner.hpp"
-#include "core/state.hpp"
-#include "rng/distributions.hpp"
-#include "util/table.hpp"
+#include "qoslb.hpp"
 
 using namespace qoslb;
 
@@ -84,9 +79,10 @@ int main() {
   ProtocolSpec spec;
   spec.kind = "adaptive";
   auto protocol = make_protocol(spec);
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 50000;
-  RunResult result = run_protocol(*protocol, state, rng, config);
+  Engine engine(config);
+  EngineResult result = engine.run(*protocol, state, rng);
   std::cout << "  ... adaptive sampling converged in " << result.rounds
             << " rounds, " << result.counters.migrations << " migrations\n";
   report("steady state", instance, state, region);
@@ -105,7 +101,7 @@ int main() {
   report("flash crowd hits PoP 0", crowd_instance, crowd_state, region);
 
   auto crowd_protocol = make_protocol(spec);
-  result = run_protocol(*crowd_protocol, crowd_state, rng, config);
+  result = engine.run(*crowd_protocol, crowd_state, rng);
   std::cout << "  ... re-converged in " << result.rounds << " rounds, "
             << result.counters.migrations << " migrations\n";
   report("after re-balancing", crowd_instance, crowd_state, region);

@@ -10,10 +10,7 @@
 
 #include <iostream>
 
-#include "core/weighted/weighted_generators.hpp"
-#include "core/weighted/weighted_protocols.hpp"
-#include "core/weighted/weighted_state.hpp"
-#include "util/table.hpp"
+#include "qoslb.hpp"
 
 using namespace qoslb;
 
@@ -31,8 +28,9 @@ void run_cluster(double slack, WeightedProtocol& scheduler, std::uint64_t cap,
   // Jobs arrive through one submission queue: everything starts on node 0.
   WeightedState state = WeightedState::all_on(cluster, 0);
   Xoshiro256 run_rng(7);
-  const WeightedRunResult result =
-      run_weighted_protocol(scheduler, state, run_rng, cap);
+  EngineConfig config;
+  config.max_rounds = cap;
+  const EngineResult result = Engine(config).run_weighted(scheduler, state, run_rng);
 
   std::size_t heavy_total = 0, heavy_happy = 0;
   for (UserId job = 0; job < cluster.num_users(); ++job) {

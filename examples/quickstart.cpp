@@ -8,12 +8,7 @@
 
 #include <iostream>
 
-#include "core/generators.hpp"
-#include "core/protocols/registry.hpp"
-#include "core/runner.hpp"
-#include "core/satisfaction.hpp"
-#include "core/state.hpp"
-#include "util/table.hpp"
+#include "qoslb.hpp"
 
 using namespace qoslb;
 
@@ -36,9 +31,9 @@ int main() {
   spec.kind = "admission";
   const auto protocol = make_protocol(spec);
 
-  RunConfig config;
+  EngineConfig config;
   config.record_trajectory = true;
-  const RunResult result = run_protocol(*protocol, state, rng, config);
+  const EngineResult result = Engine(config).run(*protocol, state, rng);
 
   std::cout << "protocol " << protocol->name() << " converged after "
             << result.rounds << " rounds, "

@@ -13,12 +13,7 @@
 #include <iostream>
 #include <string>
 
-#include "core/generators.hpp"
-#include "core/protocols/registry.hpp"
-#include "core/runner.hpp"
-#include "core/state.hpp"
-#include "net/generators.hpp"
-#include "util/table.hpp"
+#include "qoslb.hpp"
 
 using namespace qoslb;
 
@@ -43,9 +38,9 @@ Outcome run_case(const Instance& instance, const Graph* graph,
     spec.kind = "admission";
   }
   const auto protocol = make_protocol(spec);
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 100000;
-  const RunResult result = run_protocol(*protocol, state, rng, config);
+  const EngineResult result = Engine(config).run(*protocol, state, rng);
   return Outcome{result.rounds, result.counters.migrations,
                  static_cast<double>(result.final_satisfied) /
                      static_cast<double>(instance.num_users())};

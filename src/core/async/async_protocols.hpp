@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/instance.hpp"
 #include "sim/accounting.hpp"
 #include "sim/faults.hpp"
@@ -10,10 +11,11 @@
 
 namespace qoslb {
 
-/// Configuration for the asynchronous (event-driven) protocol runs. The
-/// DES engine delivers each message after its base delay plus Uniform(0,
-/// latency_jitter) — there is no global round clock, matching the
-/// asynchronous message-passing model of the distributed-computing setting.
+/// The asynchronous (event-driven) runs are configured through the unified
+/// EngineConfig: the DES engine delivers each message after its base delay
+/// plus Uniform(0, latency_jitter) — there is no global round clock,
+/// matching the asynchronous message-passing model of the
+/// distributed-computing setting.
 ///
 /// Fault injection: `faults` describes message drops/duplicates, heavy-tail
 /// delays, and resource crash windows (see sim/faults.hpp). Whenever the
@@ -21,37 +23,21 @@ namespace qoslb {
 /// run in *loss-tolerant* mode: every probe/request carries a sequence
 /// number, replies are matched against it (stale and duplicate messages are
 /// suppressed), unanswered operations time out and are retried under
-/// `backoff` with bounded attempts, and departures are retransmitted until
-/// acknowledged. With an inert plan the protocols run exactly the paper's
-/// trusting realization — byte-identical schedules and counters to the
+/// `backoff` with bounded attempts (delay(k) must exceed a round trip,
+/// 2 * (1 + jitter)), and departures are retransmitted until acknowledged.
+/// With an inert plan the protocols run exactly the paper's trusting
+/// realization — byte-identical schedules and counters to the
 /// pre-fault-layer implementation.
-struct AsyncConfig {
-  std::uint64_t seed = 1;
-  double latency_jitter = 0.5;
-  std::uint64_t max_events = 5'000'000;
-  bool random_start = true;  // false: all users start on resource 0
+///
+/// Deprecated alias, kept for one release: use EngineConfig.
+using AsyncConfig = EngineConfig;
 
-  /// Non-empty: user u starts on initial_assignment[u] (overrides
-  /// random_start). Used to chain churn transforms with an async re-run.
-  std::vector<ResourceId> initial_assignment;
+/// Deprecated alias, kept for one release: use Termination. Async runs stop
+/// with kQuiesced (the event queue drained) or kEventCap.
+using AsyncTermination = Termination;
 
-  /// Message/crash fault plan; inert by default.
-  FaultPlan faults;
-
-  /// Timeout/retry policy for loss-tolerant mode. delay(k) is the timeout
-  /// armed for attempt k, so it must exceed a round trip (2 * (1 + jitter)).
-  ExponentialBackoff backoff;
-
-  /// Arm timeouts/sequence numbers even with an inert fault plan (testing).
-  bool force_timeouts = false;
-};
-
-/// Why an asynchronous run stopped.
-enum class AsyncTermination : std::uint8_t {
-  kQuiesced,  // the event queue drained: no agent has anything left to say
-  kEventCap,  // max_events deliveries happened first (result is best-effort)
-};
-
+/// Deprecated: prefer Engine::run_async_admission / run_async_optimistic,
+/// which return the unified EngineResult (satisfied → final_satisfied).
 struct AsyncRunResult {
   bool all_satisfied = false;
   std::size_t satisfied = 0;

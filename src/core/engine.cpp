@@ -1,0 +1,242 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+
+#include "core/async/async_protocols.hpp"
+#include "core/weighted/weighted_protocols.hpp"
+#include "core/weighted/weighted_state.hpp"
+#include "rng/splitmix64.hpp"
+#include "sim/parallel_round_engine.hpp"
+#include "sim/round_engine.hpp"
+#include "util/check.hpp"
+
+namespace qoslb {
+namespace {
+
+/// Classic sequential driver (the former runner.cpp ProtocolTask): one
+/// step() per round, satisfaction recount after each, the stability check on
+/// the fast path (all satisfied) every round and on the period otherwise.
+class SequentialTask : public RoundTask {
+ public:
+  SequentialTask(Protocol& protocol, State& state, Xoshiro256& rng,
+                 const EngineConfig& config, EngineResult& result)
+      : protocol_(&protocol), state_(&state), rng_(&rng), config_(&config),
+        result_(&result) {}
+
+  void round(std::uint64_t round_index) override {
+    (void)round_index;
+    protocol_->step(*state_, *rng_, result_->counters);
+    ++result_->counters.rounds;
+    satisfied_ = state_->count_satisfied();
+    if (config_->record_trajectory)
+      result_->unsatisfied_trajectory.push_back(
+          static_cast<std::uint32_t>(state_->num_users() - satisfied_));
+    ++rounds_done_;
+  }
+
+  bool converged() const override {
+    if (rounds_done_ == 0) satisfied_ = state_->count_satisfied();
+    // Fast path: full satisfaction implies stability for the satisfaction
+    // protocols and is cheap to confirm for the others.
+    if (satisfied_ == state_->num_users()) return protocol_->is_stable(*state_);
+    if (rounds_done_ % config_->stability_check_period == 0)
+      return protocol_->is_stable(*state_);
+    return false;
+  }
+
+ private:
+  Protocol* protocol_;
+  State* state_;
+  Xoshiro256* rng_;
+  const EngineConfig* config_;
+  EngineResult* result_;
+  mutable std::size_t satisfied_ = 0;
+  std::uint64_t rounds_done_ = 0;
+};
+
+/// Binds Protocol::step_range/commit_round to the sharded round engine: the
+/// decide fan-out writes into per-shard buffers and per-shard counters, the
+/// commit merges both in shard order — so the outcome is independent of
+/// which worker executed which shard.
+class ShardedProtocolTask : public ShardedRoundTask {
+ public:
+  ShardedProtocolTask(Protocol& protocol, State& state, Counters& counters)
+      : protocol_(&protocol), state_(&state), counters_(&counters) {}
+
+  void begin_round(std::size_t num_shards) override {
+    snapshot_ = state_->loads();
+    shards_.clear();
+    shards_.resize(num_shards);
+    shard_counters_.assign(num_shards, Counters{});
+  }
+
+  void decide(std::size_t shard, std::size_t begin, std::size_t end,
+              PhiloxEngine& rng) override {
+    AnyRng any(rng);
+    protocol_->step_range(*state_, snapshot_, static_cast<UserId>(begin),
+                          static_cast<UserId>(end), shards_[shard], any,
+                          shard_counters_[shard]);
+  }
+
+  void commit() override {
+    for (const Counters& shard : shard_counters_) *counters_ += shard;
+    protocol_->commit_round(*state_, shards_, *counters_);
+  }
+
+ private:
+  Protocol* protocol_;
+  State* state_;
+  Counters* counters_;
+  std::vector<int> snapshot_;
+  std::vector<MigrationBuffer> shards_;
+  std::vector<Counters> shard_counters_;
+};
+
+EngineResult from_async(const AsyncRunResult& async) {
+  EngineResult result;
+  result.termination = async.termination;
+  result.converged = async.termination == Termination::kQuiesced;
+  result.all_satisfied = async.all_satisfied;
+  result.final_satisfied = async.satisfied;
+  result.virtual_time = async.virtual_time;
+  result.events = async.events;
+  result.counters = async.counters;
+  result.faults = async.faults;
+  result.rounds = async.counters.rounds;
+  return result;
+}
+
+}  // namespace
+
+Engine::Engine(EngineConfig config) : config_(std::move(config)) {
+  QOSLB_REQUIRE(config_.stability_check_period >= 1,
+                "stability_check_period must be positive");
+  QOSLB_REQUIRE(config_.shard_size >= 1, "shard_size must be positive");
+}
+
+EngineResult Engine::run(Protocol& protocol, State& state,
+                         Xoshiro256& rng) const {
+  protocol.reset();
+  const bool want_sharded =
+      config_.execution == RoundExecution::kSharded ||
+      (config_.execution == RoundExecution::kAuto && config_.threads != 1);
+  if (want_sharded && protocol.supports_step_range())
+    return run_sharded(protocol, state, rng);
+  return run_sequential(protocol, state, rng);
+}
+
+EngineResult Engine::run_sequential(Protocol& protocol, State& state,
+                                    Xoshiro256& rng) const {
+  EngineResult result;
+  SequentialTask task(protocol, state, rng, config_, result);
+  const RoundRunResult rounds = run_rounds(task, config_.max_rounds);
+  result.rounds = rounds.rounds;
+  result.converged = rounds.converged;
+  result.termination =
+      rounds.converged ? Termination::kConverged : Termination::kRoundCap;
+  result.final_satisfied = state.count_satisfied();
+  result.all_satisfied = result.final_satisfied == state.num_users();
+  result.threads_used = 1;
+  return result;
+}
+
+EngineResult Engine::run_sharded(Protocol& protocol, State& state,
+                                 Xoshiro256& rng) const {
+  EngineResult result;
+  const std::size_t n = state.num_users();
+
+  ParallelRoundEngine::Options options;
+  options.threads = config_.threads;
+  options.shard_size = config_.shard_size;
+  // Fold one draw of the caller's RNG into the master seed so replications
+  // that advance that RNG (the established seeding idiom) stay distinct
+  // while (config, rng state) still pins the run exactly.
+  options.seed = derive_seed(config_.seed, rng());
+  ParallelRoundEngine engine(options);
+  ShardedProtocolTask task(protocol, state, result.counters);
+
+  const auto count_satisfied = [&] {
+    return static_cast<std::size_t>(
+        engine.map_reduce(n, [&](std::size_t begin, std::size_t end) {
+          std::uint64_t satisfied = 0;
+          for (std::size_t u = begin; u < end; ++u)
+            satisfied += state.satisfied(static_cast<UserId>(u)) ? 1 : 0;
+          return satisfied;
+        }));
+  };
+
+  // Same convergence schedule as the sequential driver, with the O(n)
+  // recount fanned out over the pool so it does not serialize the round.
+  std::uint64_t rounds_done = 0;
+  std::size_t satisfied = count_satisfied();
+  const auto converged = [&] {
+    if (satisfied == n) return protocol.is_stable(state);
+    if (rounds_done % config_.stability_check_period == 0)
+      return protocol.is_stable(state);
+    return false;
+  };
+
+  if (converged()) {
+    result.converged = true;
+  } else {
+    for (std::uint64_t r = 0; r < config_.max_rounds; ++r) {
+      engine.round(task, n, r);
+      ++result.counters.rounds;
+      ++result.rounds;
+      ++rounds_done;
+      satisfied = count_satisfied();
+      if (config_.record_trajectory)
+        result.unsatisfied_trajectory.push_back(
+            static_cast<std::uint32_t>(n - satisfied));
+      if (converged()) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+
+  result.termination =
+      result.converged ? Termination::kConverged : Termination::kRoundCap;
+  result.final_satisfied = satisfied;
+  result.all_satisfied = satisfied == n;
+  result.threads_used = engine.threads();
+  return result;
+}
+
+EngineResult Engine::run_weighted(WeightedProtocol& protocol,
+                                  WeightedState& state, Xoshiro256& rng) const {
+  // The weighted loop checks stability *before* each step (matching the
+  // historical run_weighted_protocol semantics exactly).
+  EngineResult result;
+  protocol.reset();
+  for (std::uint64_t round = 0; round <= config_.max_rounds; ++round) {
+    const std::size_t satisfied = state.count_satisfied();
+    const bool check_now = round % config_.stability_check_period == 0;
+    if ((satisfied == state.num_users() || check_now) &&
+        protocol.is_stable(state)) {
+      result.converged = true;
+      break;
+    }
+    if (round == config_.max_rounds) break;
+    protocol.step(state, rng, result.counters);
+    ++result.counters.rounds;
+    ++result.rounds;
+  }
+  result.termination =
+      result.converged ? Termination::kConverged : Termination::kRoundCap;
+  result.final_satisfied = state.count_satisfied();
+  result.final_satisfied_weight = state.satisfied_weight();
+  result.all_satisfied = result.final_satisfied == state.num_users();
+  return result;
+}
+
+EngineResult Engine::run_async_admission(const Instance& instance) const {
+  return from_async(::qoslb::run_async_admission(instance, config_));
+}
+
+EngineResult Engine::run_async_optimistic(const Instance& instance,
+                                          double lambda) const {
+  return from_async(::qoslb::run_async_optimistic(instance, lambda, config_));
+}
+
+}  // namespace qoslb

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/state.hpp"
+#include "sim/accounting.hpp"
+#include "sim/faults.hpp"
+#include "util/backoff.hpp"
+
+namespace qoslb {
+
+class Instance;
+class WeightedProtocol;
+class WeightedState;
+
+/// Why a run stopped.
+enum class Termination : std::uint8_t {
+  kConverged,  // reached the protocol's stability notion
+  kRoundCap,   // max_rounds exhausted first
+  kQuiesced,   // async: the event queue drained
+  kEventCap,   // async: max_events deliveries happened first (best-effort)
+};
+
+/// How the synchronous round loop executes.
+enum class RoundExecution : std::uint8_t {
+  kAuto,        // sharded iff threads != 1 and the protocol supports it
+  kSequential,  // classic single-threaded step(), driven by the caller's RNG
+  kSharded,     // sharded snapshot/decide/commit path, any thread count
+};
+
+/// The one run configuration (DESIGN.md §6, docs/engine.md). Supersedes the
+/// former RunConfig / AsyncConfig / weighted runner arguments; fields that
+/// don't apply to a given entry point are simply ignored by it.
+struct EngineConfig {
+  // --- synchronous rounds ---
+  std::uint64_t max_rounds = 1u << 20;
+  /// The (possibly O(n·m)) protocol stability check runs every this many
+  /// rounds; the all-satisfied fast path is checked every round, so feasible
+  /// runs report exact round counts.
+  std::uint32_t stability_check_period = 4;
+  bool record_trajectory = false;
+
+  // --- sharded execution (tentpole; see docs/engine.md) ---
+  RoundExecution execution = RoundExecution::kAuto;
+  /// Worker threads for the sharded path: 0 = hardware concurrency,
+  /// 1 = single worker. With kAuto, threads == 1 keeps the sequential path.
+  std::size_t threads = 1;
+  /// Users per shard. The shard partition is fixed (independent of the
+  /// thread count), which is what makes sharded results thread-invariant.
+  std::size_t shard_size = 16384;
+
+  /// Master seed for the sharded path's counter-based substreams and for
+  /// async runs. The sharded path additionally folds in one draw from the
+  /// caller's RNG, so replications seeded through that RNG stay distinct.
+  std::uint64_t seed = 1;
+
+  // --- asynchronous (DES) runs ---
+  double latency_jitter = 0.5;
+  std::uint64_t max_events = 5'000'000;
+  bool random_start = true;  // false: all users start on resource 0
+  /// Non-empty: user u starts on initial_assignment[u] (overrides
+  /// random_start). Used to chain churn transforms with an async re-run.
+  std::vector<ResourceId> initial_assignment;
+  /// Message/crash fault plan; inert by default (see sim/faults.hpp).
+  FaultPlan faults;
+  /// Timeout/retry policy for loss-tolerant mode.
+  ExponentialBackoff backoff;
+  /// Arm timeouts/sequence numbers even with an inert fault plan (testing).
+  bool force_timeouts = false;
+};
+
+/// The one run result. Supersedes RunResult / AsyncRunResult /
+/// WeightedRunResult; entry points leave the fields they don't produce at
+/// their zero defaults.
+struct EngineResult {
+  std::uint64_t rounds = 0;
+  Termination termination = Termination::kRoundCap;
+  bool converged = false;      // termination == kConverged or kQuiesced
+  bool all_satisfied = false;  // every user satisfied at the end
+  std::size_t final_satisfied = 0;
+  std::uint64_t final_satisfied_weight = 0;  // weighted runs only
+  double virtual_time = 0.0;                 // async: time of the last event
+  std::uint64_t events = 0;                  // async: deliveries executed
+  std::size_t threads_used = 1;              // sharded runs: worker count
+  Counters counters;
+  FaultStats faults;  // what the injector actually did (zero if off)
+  /// Unsatisfied count after each round (only if record_trajectory).
+  std::vector<std::uint32_t> unsatisfied_trajectory;
+};
+
+/// The unified run facade: one configuration, one result, every execution
+/// substrate — the classic sequential round loop, the sharded parallel round
+/// engine (sim/parallel_round_engine), the weighted-model runner, and the
+/// asynchronous DES realizations. See docs/engine.md for the API migration
+/// table from the former entry points.
+class Engine {
+ public:
+  Engine() = default;
+  explicit Engine(EngineConfig config);
+
+  const EngineConfig& config() const { return config_; }
+
+  /// Drives `protocol` on `state` until stable or max_rounds, resetting the
+  /// protocol's adaptive state first. Sharded across config().threads
+  /// workers when the execution policy engages it and the protocol
+  /// implements step_range(); the sharded path is deterministic in
+  /// (config().seed, rng state) and bit-identical for every thread count.
+  EngineResult run(Protocol& protocol, State& state, Xoshiro256& rng) const;
+
+  /// Weighted-model counterpart of run() (always sequential).
+  EngineResult run_weighted(WeightedProtocol& protocol, WeightedState& state,
+                            Xoshiro256& rng) const;
+
+  /// Asynchronous (DES) admission protocol under this config's seed,
+  /// latency, start and fault plan.
+  EngineResult run_async_admission(const Instance& instance) const;
+
+  /// Asynchronous optimistic (λ-damped) protocol.
+  EngineResult run_async_optimistic(const Instance& instance,
+                                    double lambda) const;
+
+ private:
+  EngineResult run_sequential(Protocol& protocol, State& state,
+                              Xoshiro256& rng) const;
+  EngineResult run_sharded(Protocol& protocol, State& state,
+                           Xoshiro256& rng) const;
+
+  EngineConfig config_;
+};
+
+}  // namespace qoslb

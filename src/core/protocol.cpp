@@ -1,0 +1,34 @@
+#include "core/protocol.hpp"
+
+#include "core/protocols/common.hpp"
+#include "util/check.hpp"
+
+namespace qoslb {
+
+void Protocol::step(State& state, Xoshiro256& rng, Counters& counters) {
+  QOSLB_REQUIRE(supports_step_range(),
+                "protocol overrides neither step() nor step_range()");
+  // Single-shard realization of the round: same decide logic, the caller's
+  // sequential RNG, so this is bit-identical however many ranges the decide
+  // loop is split into (the draws are consumed in user order either way).
+  const std::vector<int> snapshot = state.loads();
+  std::vector<MigrationBuffer> shards(1);
+  AnyRng any(rng);
+  step_range(state, snapshot, 0, static_cast<UserId>(state.num_users()),
+             shards[0], any, counters);
+  commit_round(state, shards, counters);
+}
+
+void Protocol::step_range(const State& state, const std::vector<int>&, UserId,
+                          UserId, MigrationBuffer&, AnyRng&, Counters&) {
+  (void)state;
+  QOSLB_REQUIRE(false, "step_range() is not implemented by " + name());
+}
+
+void Protocol::commit_round(State& state, std::vector<MigrationBuffer>& shards,
+                            Counters& counters) {
+  for (MigrationBuffer& shard : shards)
+    apply_all(state, shard.requests, counters);
+}
+
+}  // namespace qoslb

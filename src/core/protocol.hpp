@@ -1,28 +1,86 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/satisfaction.hpp"
 #include "core/state.hpp"
+#include "core/types.hpp"
+#include "rng/any_rng.hpp"
 #include "rng/xoshiro256.hpp"
 #include "sim/accounting.hpp"
 
 namespace qoslb {
 
+/// A migration wish produced in the decision phase of a synchronous round.
+struct MigrationRequest {
+  UserId user;
+  ResourceId target;
+};
+
+/// Per-shard output of a sharded decision phase (docs/engine.md). Each shard
+/// appends the wishes of its user range here; the commit phase merges the
+/// buffers in shard order, so the result is independent of which worker ran
+/// which shard.
+struct MigrationBuffer {
+  std::vector<MigrationRequest> requests;
+  /// Optional per-resource aggregates a protocol tallies while deciding
+  /// (e.g. AdaptiveSampling's migration-intent counts). Sized lazily by the
+  /// protocol; summed across shards in commit_round().
+  std::vector<std::uint32_t> resource_tallies;
+};
+
 /// A distributed (or sequential-baseline) QoS load-balancing dynamic.
 ///
-/// `step()` executes one synchronous round: every decision is taken against
-/// the loads observed at the round boundary, and all migrations are applied
-/// together — the synchronous model of the paper. Sequential baselines
-/// perform a single move per step. Message costs are charged to `counters`
-/// under the cost model documented in sim/accounting.hpp.
+/// One synchronous round: every decision is taken against the loads observed
+/// at the round boundary, and all migrations are applied together — the
+/// synchronous model of the paper. The round splits into two hooks:
+///
+///   * step_range() — decide for a contiguous user range against the
+///     immutable round-boundary load snapshot, appending wishes to a
+///     MigrationBuffer. Pure with respect to the protocol object (it must
+///     not touch mutable members), so the engine may fan ranges out across
+///     threads; each shard gets its own RNG substream.
+///   * commit_round() — apply the round's shard buffers (in shard order)
+///     and roll any per-round protocol state forward. Always sequential.
+///
+/// Protocols implementing the pair advertise it via supports_step_range()
+/// and inherit a step() that runs decide+commit over the full user range
+/// with the caller's sequential RNG — the classic single-threaded path.
+/// Sequential baselines (one move per step) override step() directly and
+/// leave the sharded hooks unimplemented.
 class Protocol {
  public:
   virtual ~Protocol() = default;
 
   virtual std::string name() const = 0;
 
-  virtual void step(State& state, Xoshiro256& rng, Counters& counters) = 0;
+  /// Executes one synchronous round (or one sequential-baseline move). The
+  /// default implementation routes through step_range()/commit_round() over
+  /// the full user range and requires supports_step_range().
+  virtual void step(State& state, Xoshiro256& rng, Counters& counters);
+
+  /// True when step_range()/commit_round() are implemented and the engine
+  /// may shard the decision phase across threads.
+  virtual bool supports_step_range() const { return false; }
+
+  /// Decides for users [user_begin, user_end) against `load_snapshot` (the
+  /// loads at the round boundary), appending wishes to `out`. `rng` is the
+  /// range's private stream; `counters` the range's private tally. Must be
+  /// const with respect to protocol and state mutations — it runs
+  /// concurrently with other ranges of the same round.
+  virtual void step_range(const State& state,
+                          const std::vector<int>& load_snapshot,
+                          UserId user_begin, UserId user_end,
+                          MigrationBuffer& out, AnyRng& rng,
+                          Counters& counters);
+
+  /// Applies one round's shard buffers in shard order and rolls per-round
+  /// protocol state forward. The default commit is optimistic: every request
+  /// is executed (apply_all).
+  virtual void commit_round(State& state, std::vector<MigrationBuffer>& shards,
+                            Counters& counters);
 
   /// The stability notion this dynamic converges to. The default is the
   /// satisfaction equilibrium; the pure load-balancing baseline overrides

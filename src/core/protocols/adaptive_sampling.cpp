@@ -16,17 +16,28 @@ std::string AdaptiveSampling::name() const {
   return probes_ == 1 ? "adaptive" : "adaptive(k=" + std::to_string(probes_) + ")";
 }
 
-void AdaptiveSampling::step(State& state, Xoshiro256& rng, Counters& counters) {
-  const Instance& instance = state.instance();
-  const std::vector<int> snapshot = state.loads();
-  if (last_intents_.size() != state.num_resources()) {
-    last_intents_.assign(state.num_resources(), 0);
-    prev_intents_.assign(state.num_resources(), 0);
-  }
+namespace {
 
-  std::vector<std::uint32_t> intents(state.num_resources(), 0);
-  std::vector<MigrationRequest> moves;
-  for (UserId u = 0; u < state.num_users(); ++u) {
+/// The contention window may still be unsized on the first round (it is only
+/// rolled forward in commit_round, which must not race the decide fan-out);
+/// an unsized window reads as zero intents everywhere.
+std::uint32_t intent_at(const std::vector<std::uint32_t>& intents,
+                        ResourceId r) {
+  return r < intents.size() ? intents[r] : 0;
+}
+
+}  // namespace
+
+void AdaptiveSampling::step_range(const State& state,
+                                  const std::vector<int>& snapshot,
+                                  UserId user_begin, UserId user_end,
+                                  MigrationBuffer& out, AnyRng& rng,
+                                  Counters& counters) {
+  const Instance& instance = state.instance();
+  if (out.resource_tallies.size() != state.num_resources())
+    out.resource_tallies.assign(state.num_resources(), 0);
+
+  for (UserId u = user_begin; u < user_end; ++u) {
     const ResourceId current = state.resource_of(u);
     if (snapshot[current] <= instance.threshold(u, current)) continue;
 
@@ -45,17 +56,27 @@ void AdaptiveSampling::step(State& state, Xoshiro256& rng, Counters& counters) {
       }
     }
     if (best == kNoResource) continue;
-    ++intents[best];
+    ++out.resource_tallies[best];
     const int slack = instance.threshold(u, best) - snapshot[best];
     const std::uint32_t contention =
-        std::max(last_intents_[best], prev_intents_[best]);
+        std::max(intent_at(last_intents_, best), intent_at(prev_intents_, best));
     const double p = std::min(
         1.0, static_cast<double>(slack) / std::max<std::uint32_t>(1, contention));
-    if (bernoulli(rng, p)) moves.push_back(MigrationRequest{u, best});
+    if (bernoulli(rng, p)) out.requests.push_back(MigrationRequest{u, best});
   }
+}
+
+void AdaptiveSampling::commit_round(State& state,
+                                    std::vector<MigrationBuffer>& shards,
+                                    Counters& counters) {
+  std::vector<std::uint32_t> intents(state.num_resources(), 0);
+  for (const MigrationBuffer& shard : shards)
+    for (std::size_t r = 0; r < shard.resource_tallies.size(); ++r)
+      intents[r] += shard.resource_tallies[r];
   prev_intents_ = std::move(last_intents_);
   last_intents_ = std::move(intents);
-  apply_all(state, moves, counters);
+  for (MigrationBuffer& shard : shards)
+    apply_all(state, shard.requests, counters);
 }
 
 }  // namespace qoslb

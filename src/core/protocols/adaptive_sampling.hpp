@@ -28,7 +28,19 @@ class AdaptiveSampling : public Protocol {
 
   std::string name() const override;
 
-  void step(State& state, Xoshiro256& rng, Counters& counters) override;
+  bool supports_step_range() const override { return true; }
+
+  /// Tallies this range's migration intents into out.resource_tallies (the
+  /// contention estimate the *next* rounds damp against) while reading the
+  /// previous rounds' estimates, which are frozen during the decide phase.
+  void step_range(const State& state, const std::vector<int>& load_snapshot,
+                  UserId user_begin, UserId user_end, MigrationBuffer& out,
+                  AnyRng& rng, Counters& counters) override;
+
+  /// Sums the shard intent tallies into the two-round contention window,
+  /// then applies all requests optimistically.
+  void commit_round(State& state, std::vector<MigrationBuffer>& shards,
+                    Counters& counters) override;
 
   void reset() override {
     last_intents_.clear();

@@ -14,12 +14,13 @@ std::string AdmissionControl::name() const {
   return probes_ == 1 ? "admission" : "admission(k=" + std::to_string(probes_) + ")";
 }
 
-void AdmissionControl::step(State& state, Xoshiro256& rng, Counters& counters) {
+void AdmissionControl::step_range(const State& state,
+                                  const std::vector<int>& snapshot,
+                                  UserId user_begin, UserId user_end,
+                                  MigrationBuffer& out, AnyRng& rng,
+                                  Counters& counters) {
   const Instance& instance = state.instance();
-  const std::vector<int> snapshot = state.loads();
-
-  std::vector<MigrationRequest> requests;
-  for (UserId u = 0; u < state.num_users(); ++u) {
+  for (UserId u = user_begin; u < user_end; ++u) {
     const ResourceId current = state.resource_of(u);
     if (snapshot[current] <= instance.threshold(u, current)) continue;
 
@@ -37,8 +38,20 @@ void AdmissionControl::step(State& state, Xoshiro256& rng, Counters& counters) {
         best_quality = quality;
       }
     }
-    if (best != kNoResource) requests.push_back(MigrationRequest{u, best});
+    if (best != kNoResource) out.requests.push_back(MigrationRequest{u, best});
   }
+}
+
+void AdmissionControl::commit_round(State& state,
+                                    std::vector<MigrationBuffer>& shards,
+                                    Counters& counters) {
+  std::size_t total = 0;
+  for (const MigrationBuffer& shard : shards) total += shard.requests.size();
+  std::vector<MigrationRequest> requests;
+  requests.reserve(total);
+  for (const MigrationBuffer& shard : shards)
+    requests.insert(requests.end(), shard.requests.begin(),
+                    shard.requests.end());
   apply_with_admission(state, requests, counters);
 }
 

@@ -18,7 +18,17 @@ class AdmissionControl : public Protocol {
 
   std::string name() const override;
 
-  void step(State& state, Xoshiro256& rng, Counters& counters) override;
+  bool supports_step_range() const override { return true; }
+
+  void step_range(const State& state, const std::vector<int>& load_snapshot,
+                  UserId user_begin, UserId user_end, MigrationBuffer& out,
+                  AnyRng& rng, Counters& counters) override;
+
+  /// The admission gate needs every requester of a resource at once, so the
+  /// commit merges the shard buffers (shard order = ascending user id)
+  /// before the per-resource grant scan.
+  void commit_round(State& state, std::vector<MigrationBuffer>& shards,
+                    Counters& counters) override;
 
  private:
   int probes_;

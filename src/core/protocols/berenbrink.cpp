@@ -7,12 +7,13 @@
 
 namespace qoslb {
 
-void BerenbrinkBalancing::step(State& state, Xoshiro256& rng, Counters& counters) {
+void BerenbrinkBalancing::step_range(const State& state,
+                                     const std::vector<int>& snapshot,
+                                     UserId user_begin, UserId user_end,
+                                     MigrationBuffer& out, AnyRng& rng,
+                                     Counters& counters) {
   const Instance& instance = state.instance();
-  const std::vector<int> snapshot = state.loads();
-
-  std::vector<MigrationRequest> moves;
-  for (UserId u = 0; u < state.num_users(); ++u) {
+  for (UserId u = user_begin; u < user_end; ++u) {
     const ResourceId current = state.resource_of(u);
     const auto r = static_cast<ResourceId>(
         uniform_u64_below(rng, state.num_resources()));
@@ -24,9 +25,8 @@ void BerenbrinkBalancing::step(State& state, Xoshiro256& rng, Counters& counters
     const double dst = static_cast<double>(snapshot[r] + 1) / instance.capacity(r);
     if (dst >= src) continue;
     const double p = 1.0 - dst / src;
-    if (bernoulli(rng, p)) moves.push_back(MigrationRequest{u, r});
+    if (bernoulli(rng, p)) out.requests.push_back(MigrationRequest{u, r});
   }
-  apply_all(state, moves, counters);
 }
 
 bool BerenbrinkBalancing::is_stable(const State& state) const {

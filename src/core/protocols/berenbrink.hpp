@@ -17,7 +17,11 @@ class BerenbrinkBalancing : public Protocol {
 
   std::string name() const override { return "berenbrink"; }
 
-  void step(State& state, Xoshiro256& rng, Counters& counters) override;
+  bool supports_step_range() const override { return true; }
+
+  void step_range(const State& state, const std::vector<int>& load_snapshot,
+                  UserId user_begin, UserId user_end, MigrationBuffer& out,
+                  AnyRng& rng, Counters& counters) override;
 
   /// Stability = Nash of the balancing game: no user can strictly improve
   /// its quality by a unilateral move. For identical capacities this is

@@ -3,17 +3,12 @@
 #include <utility>
 #include <vector>
 
+#include "core/protocol.hpp"  // MigrationRequest / MigrationBuffer
 #include "core/state.hpp"
 #include "core/types.hpp"
 #include "sim/accounting.hpp"
 
 namespace qoslb {
-
-/// A migration wish produced in the decision phase of a synchronous round.
-struct MigrationRequest {
-  UserId user;
-  ResourceId target;
-};
 
 /// Applies optimistic (ungated) migrations; every request is executed.
 void apply_all(State& state, const std::vector<MigrationRequest>& requests,

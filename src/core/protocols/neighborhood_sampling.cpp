@@ -25,15 +25,15 @@ std::string NeighborhoodSampling::name() const {
              : "nbr-uniform(lambda=" + format_double(migrate_prob_, 3) + ")";
 }
 
-void NeighborhoodSampling::step(State& state, Xoshiro256& rng,
-                                Counters& counters) {
+void NeighborhoodSampling::step_range(const State& state,
+                                      const std::vector<int>& snapshot,
+                                      UserId user_begin, UserId user_end,
+                                      MigrationBuffer& out, AnyRng& rng,
+                                      Counters& counters) {
   const Instance& instance = state.instance();
   QOSLB_REQUIRE(graph_->num_vertices() == state.num_resources(),
                 "resource graph size mismatch");
-  const std::vector<int> snapshot = state.loads();
-
-  std::vector<MigrationRequest> requests;
-  for (UserId u = 0; u < state.num_users(); ++u) {
+  for (UserId u = user_begin; u < user_end; ++u) {
     const ResourceId current = state.resource_of(u);
     if (snapshot[current] <= instance.threshold(u, current)) continue;
     const auto neighbors = graph_->neighbors(current);
@@ -53,13 +53,25 @@ void NeighborhoodSampling::step(State& state, Xoshiro256& rng,
     }
     if (best == kNoResource) continue;
     if (commit_ == Commit::kOptimistic && !bernoulli(rng, migrate_prob_)) continue;
-    requests.push_back(MigrationRequest{u, best});
+    out.requests.push_back(MigrationRequest{u, best});
   }
+}
 
-  if (commit_ == Commit::kAdmission)
+void NeighborhoodSampling::commit_round(State& state,
+                                        std::vector<MigrationBuffer>& shards,
+                                        Counters& counters) {
+  if (commit_ == Commit::kAdmission) {
+    std::size_t total = 0;
+    for (const MigrationBuffer& shard : shards) total += shard.requests.size();
+    std::vector<MigrationRequest> requests;
+    requests.reserve(total);
+    for (const MigrationBuffer& shard : shards)
+      requests.insert(requests.end(), shard.requests.begin(),
+                      shard.requests.end());
     apply_with_admission(state, requests, counters);
-  else
-    apply_all(state, requests, counters);
+    return;
+  }
+  for (MigrationBuffer& shard : shards) apply_all(state, shard.requests, counters);
 }
 
 bool NeighborhoodSampling::is_stable(const State& state) const {

@@ -21,7 +21,16 @@ class NeighborhoodSampling : public Protocol {
 
   std::string name() const override;
 
-  void step(State& state, Xoshiro256& rng, Counters& counters) override;
+  bool supports_step_range() const override { return true; }
+
+  void step_range(const State& state, const std::vector<int>& load_snapshot,
+                  UserId user_begin, UserId user_end, MigrationBuffer& out,
+                  AnyRng& rng, Counters& counters) override;
+
+  /// Optimistic commit applies every request; admission commit merges the
+  /// shards and runs the per-resource grant scan.
+  void commit_round(State& state, std::vector<MigrationBuffer>& shards,
+                    Counters& counters) override;
 
   /// Stability is relative to the reachable neighborhood: an unsatisfied user
   /// with a satisfying deviation outside its neighborhood is *not* unstable.

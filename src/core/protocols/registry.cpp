@@ -1,45 +1,115 @@
 #include "core/protocols/registry.hpp"
 
+#include <functional>
 #include <stdexcept>
 
+#include "core/parallel/parallel_sampling.hpp"
 #include "core/protocols/adaptive_sampling.hpp"
 #include "core/protocols/admission_control.hpp"
 #include "core/protocols/berenbrink.hpp"
+#include "core/protocols/cached_sampling.hpp"
 #include "core/protocols/neighborhood_sampling.hpp"
 #include "core/protocols/sequential_best_response.hpp"
 #include "core/protocols/uniform_sampling.hpp"
 
 namespace qoslb {
 
+namespace {
+
+struct Entry {
+  ProtocolInfo info;
+  std::function<std::unique_ptr<Protocol>(const ProtocolSpec&)> build;
+};
+
+NeighborhoodSampling::Commit commit_for(const std::string& kind) {
+  return kind == "nbr-admission" ? NeighborhoodSampling::Commit::kAdmission
+                                 : NeighborhoodSampling::Commit::kOptimistic;
+}
+
+std::unique_ptr<Protocol> make_neighborhood(const ProtocolSpec& spec) {
+  if (spec.graph == nullptr)
+    throw std::invalid_argument("protocol kind '" + spec.kind +
+                                "' needs a resource graph");
+  return std::make_unique<NeighborhoodSampling>(*spec.graph,
+                                                commit_for(spec.kind),
+                                                spec.lambda, spec.probes);
+}
+
+const std::vector<Entry>& entries() {
+  static const std::vector<Entry> kEntries = {
+      {{"seq-br", "sequential best response, random user order (P1)"},
+       [](const ProtocolSpec&) {
+         return std::make_unique<SequentialBestResponse>(
+             SequentialBestResponse::Order::kRandom);
+       }},
+      {{"seq-br-rr", "sequential best response, round-robin user order"},
+       [](const ProtocolSpec&) {
+         return std::make_unique<SequentialBestResponse>(
+             SequentialBestResponse::Order::kRoundRobin);
+       }},
+      {{"uniform",
+        "uniform sampling with lambda-damped optimistic migration (P2)"},
+       [](const ProtocolSpec& spec) {
+         return std::make_unique<UniformSampling>(spec.lambda, spec.probes);
+       }},
+      {{"adaptive",
+        "contention-adaptive migration probability slack/intents (P3)"},
+       [](const ProtocolSpec& spec) {
+         return std::make_unique<AdaptiveSampling>(spec.probes);
+       }},
+      {{"admission",
+        "resource-gated admission: REQUEST/GRANT commit, monotone (P4)"},
+       [](const ProtocolSpec& spec) {
+         return std::make_unique<AdmissionControl>(spec.probes);
+       }},
+      {{"nbr-uniform",
+        "neighborhood-restricted optimistic sampling on a resource graph (P5)"},
+       make_neighborhood},
+      {{"nbr-admission",
+        "neighborhood-restricted sampling with admission commit (P5)"},
+       make_neighborhood},
+      {{"berenbrink",
+        "classic selfish load balancing, QoS-oblivious baseline (P6)"},
+       [](const ProtocolSpec&) {
+         return std::make_unique<BerenbrinkBalancing>();
+       }},
+      {{"cached",
+        "uniform sampling against a shared load cache with ttl rounds (E17)"},
+       [](const ProtocolSpec& spec) {
+         return std::make_unique<CachedSampling>(spec.lambda, spec.ttl);
+       }},
+      {{"par-uniform",
+        "thread-parallel uniform sampling, Philox per-user substreams"},
+       [](const ProtocolSpec& spec) {
+         return std::make_unique<ParallelUniformSampling>(
+             spec.lambda, spec.seed, spec.threads);
+       }},
+  };
+  return kEntries;
+}
+
+}  // namespace
+
+const std::vector<ProtocolInfo>& protocol_registry() {
+  static const std::vector<ProtocolInfo> kInfos = [] {
+    std::vector<ProtocolInfo> infos;
+    infos.reserve(entries().size());
+    for (const Entry& entry : entries()) infos.push_back(entry.info);
+    return infos;
+  }();
+  return kInfos;
+}
+
 std::vector<std::string> protocol_kinds() {
-  return {"seq-br",    "seq-br-rr", "uniform",       "adaptive",
-          "admission", "nbr-uniform", "nbr-admission", "berenbrink"};
+  std::vector<std::string> kinds;
+  kinds.reserve(entries().size());
+  for (const Entry& entry : entries()) kinds.push_back(entry.info.name);
+  return kinds;
 }
 
 std::unique_ptr<Protocol> make_protocol(const ProtocolSpec& spec) {
-  if (spec.kind == "seq-br")
-    return std::make_unique<SequentialBestResponse>(
-        SequentialBestResponse::Order::kRandom);
-  if (spec.kind == "seq-br-rr")
-    return std::make_unique<SequentialBestResponse>(
-        SequentialBestResponse::Order::kRoundRobin);
-  if (spec.kind == "uniform")
-    return std::make_unique<UniformSampling>(spec.lambda, spec.probes);
-  if (spec.kind == "adaptive")
-    return std::make_unique<AdaptiveSampling>(spec.probes);
-  if (spec.kind == "admission")
-    return std::make_unique<AdmissionControl>(spec.probes);
-  if (spec.kind == "nbr-uniform" || spec.kind == "nbr-admission") {
-    if (spec.graph == nullptr)
-      throw std::invalid_argument("protocol kind '" + spec.kind +
-                                  "' needs a resource graph");
-    const auto commit = spec.kind == "nbr-admission"
-                            ? NeighborhoodSampling::Commit::kAdmission
-                            : NeighborhoodSampling::Commit::kOptimistic;
-    return std::make_unique<NeighborhoodSampling>(*spec.graph, commit,
-                                                  spec.lambda, spec.probes);
-  }
-  if (spec.kind == "berenbrink") return std::make_unique<BerenbrinkBalancing>();
+  for (const Entry& entry : entries())
+    if (entry.info.name == spec.kind) return entry.build(spec);
   throw std::invalid_argument("unknown protocol kind '" + spec.kind + "'");
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,16 +10,29 @@
 
 namespace qoslb {
 
-/// Declarative protocol construction for bench/example command lines.
+/// Declarative protocol construction for the CLI, benches, and examples.
 struct ProtocolSpec {
   std::string kind;            // one of protocol_kinds()
   double lambda = 1.0;         // migration probability (optimistic protocols)
   int probes = 1;              // probes per round
   const Graph* graph = nullptr;  // resource graph (nbr-* kinds only)
+  std::uint32_t ttl = 0;       // load-cache time-to-live ("cached" kind)
+  std::uint64_t seed = 1;      // substream master seed ("par-uniform" kind)
+  std::size_t threads = 0;     // worker count, 0 = hardware ("par-uniform")
 };
 
-/// Kinds: "seq-br", "seq-br-rr", "uniform", "adaptive", "admission",
-/// "nbr-uniform", "nbr-admission", "berenbrink".
+/// One registry row: the spec kind plus a human-readable one-liner for
+/// `--list-protocols`-style discovery.
+struct ProtocolInfo {
+  std::string name;
+  std::string description;
+};
+
+/// Every registered kind, in presentation order. This is the single source
+/// of truth: protocol_kinds() and make_protocol() are derived from it.
+const std::vector<ProtocolInfo>& protocol_registry();
+
+/// Kind names only, in registry order.
 std::vector<std::string> protocol_kinds();
 
 /// Builds the protocol described by `spec`; throws std::invalid_argument for

@@ -22,13 +22,13 @@ std::string UniformSampling::name() const {
   return n + ")";
 }
 
-void UniformSampling::step(State& state, Xoshiro256& rng, Counters& counters) {
+void UniformSampling::step_range(const State& state,
+                                 const std::vector<int>& snapshot,
+                                 UserId user_begin, UserId user_end,
+                                 MigrationBuffer& out, AnyRng& rng,
+                                 Counters& counters) {
   const Instance& instance = state.instance();
-  // Decisions are taken against the loads at the round boundary.
-  const std::vector<int> snapshot = state.loads();
-
-  std::vector<MigrationRequest> moves;
-  for (UserId u = 0; u < state.num_users(); ++u) {
+  for (UserId u = user_begin; u < user_end; ++u) {
     const ResourceId current = state.resource_of(u);
     if (snapshot[current] <= instance.threshold(u, current)) continue;  // satisfied
 
@@ -47,9 +47,8 @@ void UniformSampling::step(State& state, Xoshiro256& rng, Counters& counters) {
       }
     }
     if (best != kNoResource && bernoulli(rng, migrate_prob_))
-      moves.push_back(MigrationRequest{u, best});
+      out.requests.push_back(MigrationRequest{u, best});
   }
-  apply_all(state, moves, counters);
 }
 
 }  // namespace qoslb

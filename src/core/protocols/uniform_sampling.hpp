@@ -19,7 +19,11 @@ class UniformSampling : public Protocol {
 
   std::string name() const override;
 
-  void step(State& state, Xoshiro256& rng, Counters& counters) override;
+  bool supports_step_range() const override { return true; }
+
+  void step_range(const State& state, const std::vector<int>& load_snapshot,
+                  UserId user_begin, UserId user_end, MigrationBuffer& out,
+                  AnyRng& rng, Counters& counters) override;
 
   double migrate_prob() const { return migrate_prob_; }
   int probes_per_round() const { return probes_; }

@@ -1,61 +1,10 @@
 #include "core/runner.hpp"
 
-#include "sim/round_engine.hpp"
-
 namespace qoslb {
-namespace {
-
-class ProtocolTask : public RoundTask {
- public:
-  ProtocolTask(Protocol& protocol, State& state, Xoshiro256& rng,
-               const RunConfig& config, RunResult& result)
-      : protocol_(&protocol), state_(&state), rng_(&rng), config_(&config),
-        result_(&result) {}
-
-  void round(std::uint64_t round_index) override {
-    (void)round_index;
-    protocol_->step(*state_, *rng_, result_->counters);
-    ++result_->counters.rounds;
-    satisfied_ = state_->count_satisfied();
-    if (config_->record_trajectory)
-      result_->unsatisfied_trajectory.push_back(
-          static_cast<std::uint32_t>(state_->num_users() - satisfied_));
-    ++rounds_done_;
-  }
-
-  bool converged() const override {
-    if (rounds_done_ == 0) satisfied_ = state_->count_satisfied();
-    // Fast path: full satisfaction implies stability for the satisfaction
-    // protocols and is cheap to confirm for the others.
-    if (satisfied_ == state_->num_users()) return protocol_->is_stable(*state_);
-    if (rounds_done_ % config_->stability_check_period == 0)
-      return protocol_->is_stable(*state_);
-    return false;
-  }
-
- private:
-  Protocol* protocol_;
-  State* state_;
-  Xoshiro256* rng_;
-  const RunConfig* config_;
-  RunResult* result_;
-  mutable std::size_t satisfied_ = 0;
-  std::uint64_t rounds_done_ = 0;
-};
-
-}  // namespace
 
 RunResult run_protocol(Protocol& protocol, State& state, Xoshiro256& rng,
                        const RunConfig& config) {
-  RunResult result;
-  protocol.reset();
-  ProtocolTask task(protocol, state, rng, config, result);
-  const RoundRunResult rounds = run_rounds(task, config.max_rounds);
-  result.rounds = rounds.rounds;
-  result.converged = rounds.converged;
-  result.final_satisfied = state.count_satisfied();
-  result.all_satisfied = result.final_satisfied == state.num_users();
-  return result;
+  return Engine(config).run(protocol, state, rng);
 }
 
 }  // namespace qoslb

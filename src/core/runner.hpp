@@ -1,35 +1,26 @@
 #pragma once
 
-#include <cstdint>
-#include <vector>
+// Deprecated compatibility shim — the run entry points were unified behind
+// the qoslb::Engine facade (core/engine.hpp, docs/engine.md). This header
+// and the aliases below are kept for one release; include core/engine.hpp
+// and call Engine::run() in new code.
 
+#include "core/engine.hpp"
 #include "core/protocol.hpp"
 #include "core/state.hpp"
-#include "sim/accounting.hpp"
 
 namespace qoslb {
 
-struct RunConfig {
-  std::uint64_t max_rounds = 1u << 20;
-  /// The (possibly O(n·m)) protocol stability check runs every this many
-  /// rounds; the all-satisfied fast path is checked every round, so feasible
-  /// runs report exact round counts.
-  std::uint32_t stability_check_period = 4;
-  bool record_trajectory = false;
-};
+/// Deprecated: use EngineConfig (identical fields plus the sharded-execution
+/// and async knobs).
+using RunConfig = EngineConfig;
 
-struct RunResult {
-  std::uint64_t rounds = 0;
-  bool converged = false;       // reached the protocol's stability notion
-  bool all_satisfied = false;   // every user satisfied at the end
-  std::size_t final_satisfied = 0;
-  Counters counters;
-  /// Unsatisfied count after each round (only if record_trajectory).
-  std::vector<std::uint32_t> unsatisfied_trajectory;
-};
+/// Deprecated: use EngineResult (identical fields plus `termination`).
+using RunResult = EngineResult;
 
-/// Drives `protocol` on `state` until stable or max_rounds. Resets the
-/// protocol's adaptive state first.
+/// Deprecated: use Engine(config).run(protocol, state, rng). Drives
+/// `protocol` on `state` until stable or max_rounds on the classic
+/// sequential path; resets the protocol's adaptive state first.
 RunResult run_protocol(Protocol& protocol, State& state, Xoshiro256& rng,
                        const RunConfig& config = {});
 

@@ -156,26 +156,10 @@ WeightedRunResult run_weighted_protocol(WeightedProtocol& protocol,
                                         WeightedState& state, Xoshiro256& rng,
                                         std::uint64_t max_rounds,
                                         std::uint32_t stability_check_period) {
-  QOSLB_REQUIRE(stability_check_period >= 1, "check period must be positive");
-  WeightedRunResult result;
-  protocol.reset();
-  for (std::uint64_t round = 0; round <= max_rounds; ++round) {
-    const std::size_t satisfied = state.count_satisfied();
-    const bool check_now = round % stability_check_period == 0;
-    if ((satisfied == state.num_users() || check_now) &&
-        protocol.is_stable(state)) {
-      result.converged = true;
-      break;
-    }
-    if (round == max_rounds) break;
-    protocol.step(state, rng, result.counters);
-    ++result.counters.rounds;
-    ++result.rounds;
-  }
-  result.final_satisfied = state.count_satisfied();
-  result.final_satisfied_weight = state.satisfied_weight();
-  result.all_satisfied = result.final_satisfied == state.num_users();
-  return result;
+  EngineConfig config;
+  config.max_rounds = max_rounds;
+  config.stability_check_period = stability_check_period;
+  return Engine(config).run_weighted(protocol, state, rng);
 }
 
 }  // namespace qoslb

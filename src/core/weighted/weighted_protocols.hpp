@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/weighted/weighted_state.hpp"
 #include "rng/xoshiro256.hpp"
 #include "sim/accounting.hpp"
@@ -56,16 +57,10 @@ class WeightedSequentialBestResponse : public WeightedProtocol {
   void step(WeightedState& state, Xoshiro256& rng, Counters& counters) override;
 };
 
-struct WeightedRunResult {
-  std::uint64_t rounds = 0;
-  bool converged = false;
-  bool all_satisfied = false;
-  std::size_t final_satisfied = 0;
-  std::uint64_t final_satisfied_weight = 0;
-  Counters counters;
-};
+/// Deprecated alias, kept for one release: use EngineResult.
+using WeightedRunResult = EngineResult;
 
-/// Runner mirroring core/runner.hpp for the weighted model.
+/// Deprecated: use Engine(config).run_weighted(protocol, state, rng).
 WeightedRunResult run_weighted_protocol(WeightedProtocol& protocol,
                                         WeightedState& state, Xoshiro256& rng,
                                         std::uint64_t max_rounds = 1u << 20,

@@ -1,0 +1,34 @@
+#pragma once
+
+/// Umbrella header for the stable qoslb API.
+///
+/// Downstream code (examples, benches, external users) should include only
+/// this header; the individual headers below remain available but their
+/// layout is an implementation detail and may shift between releases. The
+/// curated surface:
+///
+///   - Engine / EngineConfig / EngineResult  — the one way to run a protocol
+///     (synchronous rounds, sequential or sharded-parallel, weighted, async)
+///   - Protocol + the registry (make_protocol / protocol_registry)
+///   - Instance / State and the generator families
+///   - the weighted-user model and the async (DES) fault model
+///   - RNG (Xoshiro256, Philox substreams) and small table/CSV helpers
+
+#include "core/engine.hpp"
+#include "core/generators.hpp"
+#include "core/instance.hpp"
+#include "core/protocol.hpp"
+#include "core/protocols/registry.hpp"
+#include "core/satisfaction.hpp"
+#include "core/state.hpp"
+#include "core/async/async_protocols.hpp"
+#include "core/weighted/weighted_generators.hpp"
+#include "core/weighted/weighted_protocols.hpp"
+#include "core/weighted/weighted_state.hpp"
+#include "net/generators.hpp"
+#include "net/graph.hpp"
+#include "rng/distributions.hpp"
+#include "rng/philox.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sim/faults.hpp"
+#include "util/table.hpp"

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+namespace qoslb {
+
+/// Type-erased UniformRandomBitGenerator facade over any 64-bit engine.
+///
+/// The sharded round path (Protocol::step_range) must run over *either* the
+/// caller's sequential Xoshiro256 (single-shard compatibility path — bit
+/// identical to the classic step()) or a per-shard counter-based
+/// PhiloxEngine substream (parallel path). Virtual member templates don't
+/// exist, so the hook takes this thin facade instead: one indirect call per
+/// draw, no allocation, no ownership. The referenced engine must outlive
+/// the facade.
+class AnyRng {
+ public:
+  using result_type = std::uint64_t;
+
+  template <typename Rng>
+  explicit AnyRng(Rng& rng)
+      : state_(&rng),
+        next_([](void* state) { return (*static_cast<Rng*>(state))(); }) {}
+
+  std::uint64_t operator()() { return next_(state_); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+ private:
+  void* state_;
+  std::uint64_t (*next_)(void*);
+};
+
+}  // namespace qoslb

@@ -1,0 +1,68 @@
+#include "sim/parallel_round_engine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "rng/splitmix64.hpp"
+#include "util/check.hpp"
+
+namespace qoslb {
+
+ParallelRoundEngine::ParallelRoundEngine(Options options) : options_(options) {
+  QOSLB_REQUIRE(options_.shard_size >= 1, "shard_size must be positive");
+  if (options_.threads != 1)
+    pool_ = std::make_unique<ThreadPool>(options_.threads);
+}
+
+ParallelRoundEngine::~ParallelRoundEngine() = default;
+
+std::size_t ParallelRoundEngine::num_shards(std::size_t num_items) const {
+  return std::max<std::size_t>(
+      1, (num_items + options_.shard_size - 1) / options_.shard_size);
+}
+
+std::uint64_t ParallelRoundEngine::substream_key(std::uint64_t seed,
+                                                 std::uint64_t round,
+                                                 std::uint64_t shard) {
+  return derive_seed(derive_seed(seed, round), shard);
+}
+
+void ParallelRoundEngine::round(ShardedRoundTask& task, std::size_t num_items,
+                                std::uint64_t round_index) {
+  const std::size_t shards = num_shards(num_items);
+  task.begin_round(shards);
+  const auto run_shard = [&](std::size_t s) {
+    const std::size_t begin = s * options_.shard_size;
+    const std::size_t end = std::min(num_items, begin + options_.shard_size);
+    PhiloxEngine rng(substream_key(options_.seed, round_index, s));
+    task.decide(s, begin, end, rng);
+  };
+  if (pool_) {
+    pool_->parallel_for(shards, run_shard);
+  } else {
+    for (std::size_t s = 0; s < shards; ++s) run_shard(s);
+  }
+  task.commit();
+}
+
+std::uint64_t ParallelRoundEngine::map_reduce(
+    std::size_t num_items,
+    const std::function<std::uint64_t(std::size_t, std::size_t)>& body) {
+  const std::size_t shards = num_shards(num_items);
+  std::vector<std::uint64_t> partial(shards, 0);
+  const auto run_shard = [&](std::size_t s) {
+    const std::size_t begin = s * options_.shard_size;
+    const std::size_t end = std::min(num_items, begin + options_.shard_size);
+    partial[s] = body(begin, end);
+  };
+  if (pool_) {
+    pool_->parallel_for(shards, run_shard);
+  } else {
+    for (std::size_t s = 0; s < shards; ++s) run_shard(s);
+  }
+  std::uint64_t total = 0;
+  for (const std::uint64_t p : partial) total += p;
+  return total;
+}
+
+}  // namespace qoslb

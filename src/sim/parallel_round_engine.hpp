@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "rng/philox.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qoslb {
+
+/// One synchronous round decomposed for sharded execution: the engine calls
+/// begin_round() once (snapshot the round-boundary state, size the shard
+/// buffers), fans decide() out over the shards — concurrently when a pool is
+/// attached — and finally calls commit() on the driving thread.
+///
+/// The task owns its buffers; decide() for different shards must be
+/// mutually independent (write only shard-local data, read only the
+/// round-boundary snapshot), which is what makes the fan-out safe.
+class ShardedRoundTask {
+ public:
+  virtual ~ShardedRoundTask() = default;
+
+  /// Called once per round, before any decide(), with the shard count.
+  virtual void begin_round(std::size_t num_shards) = 0;
+
+  /// Decides for items [begin, end); `shard` is the shard index and `rng`
+  /// the shard's private counter-based substream. May run concurrently with
+  /// other shards of the same round.
+  virtual void decide(std::size_t shard, std::size_t begin, std::size_t end,
+                      PhiloxEngine& rng) = 0;
+
+  /// Applies the round. Runs on the driving thread after every decide() of
+  /// the round has returned.
+  virtual void commit() = 0;
+};
+
+/// Sharded parallel executor for synchronous rounds (docs/engine.md).
+///
+/// Items (users) are partitioned into fixed-size shards — the partition
+/// depends only on `shard_size` and the item count, never on the worker
+/// count — and each shard decides against the immutable round snapshot with
+/// its own deterministic Philox substream keyed by (seed, round, shard).
+/// Workers merely execute shards; since no shard reads another shard's
+/// output and commit() consumes the buffers in shard order, the results are
+/// bit-identical for every thread count, including the inline serial path.
+class ParallelRoundEngine {
+ public:
+  struct Options {
+    /// Worker threads: 0 = hardware concurrency, 1 = inline serial (no pool).
+    std::size_t threads = 0;
+    /// Items per shard. Fixed so the RNG substream assignment — and hence
+    /// the result — is invariant under the thread count.
+    std::size_t shard_size = 16384;
+    /// Master seed the per-(round, shard) substream keys derive from.
+    std::uint64_t seed = 1;
+  };
+
+  explicit ParallelRoundEngine(Options options);
+  ~ParallelRoundEngine();
+
+  ParallelRoundEngine(const ParallelRoundEngine&) = delete;
+  ParallelRoundEngine& operator=(const ParallelRoundEngine&) = delete;
+
+  std::size_t threads() const { return pool_ ? pool_->size() : 1; }
+  std::size_t num_shards(std::size_t num_items) const;
+
+  /// Executes one round of `task` over `num_items` items: begin_round, the
+  /// sharded decide fan-out, commit.
+  void round(ShardedRoundTask& task, std::size_t num_items,
+             std::uint64_t round_index);
+
+  /// Shards [0, num_items) with the same fixed partition as round(), runs
+  /// `body(begin, end)` on the pool, and returns the sum of the results in
+  /// shard order. Used for O(n) per-round scans (e.g. satisfied counts) that
+  /// would otherwise serialize the round loop.
+  std::uint64_t map_reduce(
+      std::size_t num_items,
+      const std::function<std::uint64_t(std::size_t, std::size_t)>& body);
+
+  /// Substream key for (seed, round, shard): two chained SplitMix64
+  /// derivations, so distinct coordinates give decorrelated Philox streams.
+  static std::uint64_t substream_key(std::uint64_t seed, std::uint64_t round,
+                                     std::uint64_t shard);
+
+ private:
+  Options options_;
+  std::unique_ptr<ThreadPool> pool_;  // null for the inline serial path
+};
+
+}  // namespace qoslb

@@ -13,21 +13,23 @@
 //   open   open-system run; prints violation metrics.
 //   gen    generate an instance + start state to --out (io format).
 //
-// Shared options: --seed, --reps (run mode), --csv.
+// Shared options: --seed, --reps (run mode), --csv, --threads (run mode).
+// `qoslb --list-protocols` prints every registered protocol kind with a
+// one-line description and exits.
 
+#include <algorithm>
 #include <fstream>
 #include <optional>
 #include <iostream>
 #include <stdexcept>
 #include <string>
 
-#include "core/async/async_protocols.hpp"
+#include "core/engine.hpp"
 #include "core/io/instance_io.hpp"
 #include "core/experiment.hpp"
 #include "core/generators.hpp"
 #include "core/open/open_system.hpp"
 #include "core/protocols/registry.hpp"
-#include "core/runner.hpp"
 #include "core/trace.hpp"
 #include "net/generators.hpp"
 #include "util/args.hpp"
@@ -73,6 +75,7 @@ int mode_run(ArgParser& args) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const auto max_rounds = static_cast<std::uint64_t>(
       args.get_int("max-rounds", 1 << 20));
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
   const bool csv = args.get_flag("csv");
   args.finish();
 
@@ -88,10 +91,11 @@ int mode_run(ArgParser& args) {
         spec.probes = static_cast<int>(probes);
         spec.graph = &graph;
         const auto protocol = make_protocol(spec);
-        RunConfig config;
+        EngineConfig config;
         config.max_rounds = max_rounds;
+        config.threads = threads;
         ReplicatedRun run;
-        run.result = run_protocol(*protocol, state, rng, config);
+        run.result = Engine(config).run(*protocol, state, rng);
         run.num_users = instance.num_users();
         return run;
       });
@@ -211,7 +215,7 @@ int mode_async(ArgParser& args) {
 
   Xoshiro256 rng(seed);
   const Instance instance = make_uniform_feasible(n, m, slack, 1.5, rng);
-  AsyncConfig config;
+  EngineConfig config;
   config.seed = seed;
   config.latency_jitter = jitter;
   config.random_start = random_start;
@@ -227,7 +231,7 @@ int mode_async(ArgParser& args) {
     config.faults.crash(static_cast<AgentId>(std::stoul(parts[0])),
                         std::stod(parts[1]), std::stod(parts[2]));
   }
-  const AsyncRunResult result = run_async_admission(instance, config);
+  const EngineResult result = Engine(config).run_async_admission(instance);
 
   TablePrinter table({"n", "m", "virtual_time", "events", "messages",
                       "migrations", "satisfied", "all_satisfied", "quiesced",
@@ -238,9 +242,9 @@ int mode_async(ArgParser& args) {
       .cell(static_cast<unsigned long long>(result.events))
       .cell(static_cast<unsigned long long>(result.counters.messages()))
       .cell(static_cast<unsigned long long>(result.counters.migrations))
-      .cell(static_cast<unsigned long long>(result.satisfied))
+      .cell(static_cast<unsigned long long>(result.final_satisfied))
       .cell(result.all_satisfied ? "yes" : "no")
-      .cell(result.termination == AsyncTermination::kQuiesced ? "yes" : "no")
+      .cell(result.termination == Termination::kQuiesced ? "yes" : "no")
       .cell(static_cast<unsigned long long>(result.faults.total()))
       .cell(static_cast<unsigned long long>(result.counters.timeouts))
       .cell(static_cast<unsigned long long>(result.counters.retries))
@@ -285,6 +289,15 @@ int mode_open(ArgParser& args) {
 int main(int argc, char** argv) {
   try {
     ArgParser args(argc, argv);
+    if (args.get_flag("list-protocols")) {
+      std::size_t width = 0;
+      for (const ProtocolInfo& info : protocol_registry())
+        width = std::max(width, info.name.size());
+      for (const ProtocolInfo& info : protocol_registry())
+        std::cout << info.name << std::string(width - info.name.size() + 2, ' ')
+                  << info.description << '\n';
+      return 0;
+    }
     const std::string mode = args.get_string("mode", "run");
     if (mode == "run") return mode_run(args);
     if (mode == "trace") return mode_trace(args);

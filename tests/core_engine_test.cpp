@@ -1,0 +1,329 @@
+// qoslb::Engine — the unified run facade (PR 2).
+//
+// Covers the three contracts the sharded round engine stands on:
+//   1. thread-count invariance: kSharded produces bit-identical results for
+//      any worker count, because randomness is keyed by (seed, round, shard)
+//      and shard geometry never depends on the thread count;
+//   2. step_range/commit_round equivalence: splitting a round's user range
+//      into shards that share one sequential RNG is exactly the default
+//      step() — the decide phase is range-local by construction;
+//   3. facade regressions: Engine::run_async_admission matches the PR 1
+//      fault-tolerant DES results, sharded execution falls back to the
+//      sequential driver for protocols without step_range, and the
+//      deprecated run_protocol shim routes through the same engine.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/runner.hpp"  // deprecated shim — deliberately not in qoslb.hpp
+#include "net/generators.hpp"
+#include "qoslb.hpp"
+#include "sim/parallel_round_engine.hpp"
+
+namespace qoslb {
+namespace {
+
+Instance test_instance(std::size_t n, std::size_t m, std::uint64_t seed = 1) {
+  Xoshiro256 rng(seed);
+  return make_uniform_feasible(n, m, 0.5, 1.5, rng);
+}
+
+std::vector<ResourceId> assignment_of(const State& state) {
+  std::vector<ResourceId> assignment(state.num_users());
+  for (UserId u = 0; u < state.num_users(); ++u)
+    assignment[u] = state.resource_of(u);
+  return assignment;
+}
+
+void expect_counters_eq(const Counters& a, const Counters& b) {
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.migrate_requests, b.migrate_requests);
+  EXPECT_EQ(a.grants, b.grants);
+  EXPECT_EQ(a.rejects, b.rejects);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+// ---- 1. thread-count invariance ----
+
+struct ShardedCase {
+  std::string kind;
+  double lambda;
+};
+
+class ShardedDeterminism : public ::testing::TestWithParam<ShardedCase> {};
+
+TEST_P(ShardedDeterminism, IdenticalForEveryThreadCount) {
+  const ShardedCase& param = GetParam();
+  const Instance instance = test_instance(2000, 32);
+  const Graph ring = make_ring(32);
+
+  std::vector<ResourceId> reference;
+  EngineResult reference_result;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    State state = State::all_on(instance, 0);
+    ProtocolSpec spec;
+    spec.kind = param.kind;
+    spec.lambda = param.lambda;
+    spec.graph = &ring;
+    const auto protocol = make_protocol(spec);
+    EngineConfig config;
+    config.execution = RoundExecution::kSharded;
+    config.threads = threads;
+    config.shard_size = 128;  // 16 shards — every worker count shares them
+    config.max_rounds = 400;
+    Xoshiro256 rng(77);
+    const EngineResult result = Engine(config).run(*protocol, state, rng);
+
+    if (threads == 1) {
+      reference = assignment_of(state);
+      reference_result = result;
+      continue;
+    }
+    EXPECT_EQ(assignment_of(state), reference) << "threads=" << threads;
+    EXPECT_EQ(result.rounds, reference_result.rounds) << "threads=" << threads;
+    EXPECT_EQ(result.final_satisfied, reference_result.final_satisfied);
+    EXPECT_EQ(result.converged, reference_result.converged);
+    expect_counters_eq(result.counters, reference_result.counters);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShardedProtocols, ShardedDeterminism,
+    ::testing::Values(ShardedCase{"uniform", 0.5}, ShardedCase{"adaptive", 1.0},
+                      ShardedCase{"admission", 1.0},
+                      ShardedCase{"nbr-uniform", 0.5},
+                      ShardedCase{"nbr-admission", 1.0},
+                      ShardedCase{"berenbrink", 1.0}),
+    [](const auto& info) {
+      std::string name = info.param.kind;
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+// ---- 2. step_range splitting is exactly step() ----
+
+class StepRangeEquivalence : public ::testing::TestWithParam<ShardedCase> {};
+
+TEST_P(StepRangeEquivalence, SplitRangesMatchFullStep) {
+  const ShardedCase& param = GetParam();
+  const Instance instance = test_instance(600, 16, 3);
+  const Graph ring = make_ring(16);
+  ProtocolSpec spec;
+  spec.kind = param.kind;
+  spec.lambda = param.lambda;
+  spec.graph = &ring;
+  const auto whole = make_protocol(spec);
+  const auto split = make_protocol(spec);
+  ASSERT_TRUE(whole->supports_step_range());
+
+  State state_whole = State::all_on(instance, 0);
+  State state_split = State::all_on(instance, 0);
+  Xoshiro256 rng_whole(11), rng_split(11);
+  Counters counters_whole, counters_split;
+  const UserId n = static_cast<UserId>(instance.num_users());
+  const UserId cut = n / 3;
+
+  for (int round = 0; round < 12; ++round) {
+    whole->step(state_whole, rng_whole, counters_whole);
+
+    // Two shards sharing one sequential RNG consume the exact same draws in
+    // the exact same order as the full-range default step().
+    const std::vector<int> snapshot = state_split.loads();
+    std::vector<MigrationBuffer> shards(2);
+    AnyRng any(rng_split);
+    split->step_range(state_split, snapshot, 0, cut, shards[0], any,
+                      counters_split);
+    split->step_range(state_split, snapshot, cut, n, shards[1], any,
+                      counters_split);
+    split->commit_round(state_split, shards, counters_split);
+
+    ASSERT_EQ(assignment_of(state_split), assignment_of(state_whole))
+        << param.kind << " diverged at round " << round;
+  }
+  expect_counters_eq(counters_split, counters_whole);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShardedProtocols, StepRangeEquivalence,
+    ::testing::Values(ShardedCase{"uniform", 0.5}, ShardedCase{"adaptive", 1.0},
+                      ShardedCase{"admission", 1.0},
+                      ShardedCase{"nbr-uniform", 0.5},
+                      ShardedCase{"nbr-admission", 1.0},
+                      ShardedCase{"berenbrink", 1.0}),
+    [](const auto& info) {
+      std::string name = info.param.kind;
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+// ---- 3. facade regressions ----
+
+/// Same fault cocktail as core_async_test's PR 1 golden scenario.
+EngineConfig faulty_config(std::uint64_t seed) {
+  EngineConfig config;
+  config.seed = seed;
+  config.random_start = false;
+  config.faults.drop_all(0.10).dup_all(0.05).crash(/*agent=*/2, 5.0, 150.0);
+  return config;
+}
+
+TEST(EngineAsync, MatchesFaultTolerantGoldenRun) {
+  Xoshiro256 rng(1);
+  const Instance instance = make_uniform_feasible(80, 8, 0.5, 1.0, rng);
+  const EngineConfig config = faulty_config(7);
+  const EngineResult engine_result = Engine(config).run_async_admission(instance);
+  const AsyncRunResult direct = run_async_admission(instance, config);
+
+  // PR 1 invariants: the loss-tolerant protocol drives the faulty run to
+  // full satisfaction and quiesces.
+  EXPECT_TRUE(engine_result.all_satisfied);
+  EXPECT_TRUE(engine_result.converged);
+  EXPECT_EQ(engine_result.termination, Termination::kQuiesced);
+  EXPECT_EQ(engine_result.final_satisfied, 80u);
+  EXPECT_GT(engine_result.faults.dropped, 0u);
+  EXPECT_GT(engine_result.counters.retries, 0u);
+
+  // And the facade is a faithful view of the DES run.
+  EXPECT_EQ(engine_result.final_satisfied, direct.satisfied);
+  EXPECT_EQ(engine_result.events, direct.events);
+  EXPECT_DOUBLE_EQ(engine_result.virtual_time, direct.virtual_time);
+  EXPECT_EQ(engine_result.counters.messages(), direct.counters.messages());
+  EXPECT_EQ(engine_result.faults.dropped, direct.faults.dropped);
+}
+
+TEST(EngineSharded, FallsBackToSequentialWithoutStepRange) {
+  const Instance instance = test_instance(400, 16, 5);
+  ProtocolSpec spec;
+  spec.kind = "seq-br";  // no step_range implementation
+
+  EngineConfig sharded;
+  sharded.execution = RoundExecution::kSharded;
+  sharded.threads = 4;
+  State state_sharded = State::all_on(instance, 0);
+  Xoshiro256 rng_sharded(21);
+  const auto p1 = make_protocol(spec);
+  const EngineResult a = Engine(sharded).run(*p1, state_sharded, rng_sharded);
+  EXPECT_EQ(a.threads_used, 1u);
+
+  State state_seq = State::all_on(instance, 0);
+  Xoshiro256 rng_seq(21);
+  const auto p2 = make_protocol(spec);
+  const EngineResult b = Engine(EngineConfig{}).run(*p2, state_seq, rng_seq);
+  EXPECT_EQ(assignment_of(state_sharded), assignment_of(state_seq));
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(EngineShim, DeprecatedRunProtocolRoutesThroughEngine) {
+  const Instance instance = test_instance(400, 16, 5);
+  ProtocolSpec spec;
+  spec.kind = "uniform";
+  spec.lambda = 0.5;
+
+  State state_shim = State::all_on(instance, 0);
+  Xoshiro256 rng_shim(13);
+  const auto p1 = make_protocol(spec);
+  RunConfig legacy;  // deprecated alias of EngineConfig
+  const RunResult via_shim = run_protocol(*p1, state_shim, rng_shim, legacy);
+
+  State state_engine = State::all_on(instance, 0);
+  Xoshiro256 rng_engine(13);
+  const auto p2 = make_protocol(spec);
+  const EngineResult direct =
+      Engine(EngineConfig{}).run(*p2, state_engine, rng_engine);
+
+  EXPECT_EQ(assignment_of(state_shim), assignment_of(state_engine));
+  EXPECT_EQ(via_shim.rounds, direct.rounds);
+  EXPECT_EQ(via_shim.termination, direct.termination);
+}
+
+TEST(EngineTermination, RoundCapAndConvergedAreDistinguished) {
+  const Instance instance = test_instance(400, 16, 5);
+
+  // A barely-damped uniform sampler cannot absorb the all-on-one pile in a
+  // single round, so the capped run must report kRoundCap.
+  ProtocolSpec slow;
+  slow.kind = "uniform";
+  slow.lambda = 0.1;
+  EngineConfig capped;
+  capped.max_rounds = 1;
+  State state = State::all_on(instance, 0);
+  Xoshiro256 rng(3);
+  const auto p1 = make_protocol(slow);
+  const EngineResult capped_result = Engine(capped).run(*p1, state, rng);
+  EXPECT_FALSE(capped_result.converged);
+  EXPECT_EQ(capped_result.termination, Termination::kRoundCap);
+
+  ProtocolSpec fast;
+  fast.kind = "admission";
+  State state2 = State::all_on(instance, 0);
+  Xoshiro256 rng2(3);
+  const auto p2 = make_protocol(fast);
+  const EngineResult full = Engine(EngineConfig{}).run(*p2, state2, rng2);
+  EXPECT_TRUE(full.converged);
+  EXPECT_EQ(full.termination, Termination::kConverged);
+}
+
+// ---- registry surface ----
+
+TEST(Registry, EveryKindHasInfoAndBuilds) {
+  const auto& infos = protocol_registry();
+  const auto kinds = protocol_kinds();
+  ASSERT_EQ(infos.size(), kinds.size());
+  const Graph ring = make_ring(8);
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    EXPECT_EQ(infos[i].name, kinds[i]);
+    EXPECT_FALSE(infos[i].description.empty()) << infos[i].name;
+    ProtocolSpec spec;
+    spec.kind = infos[i].name;
+    spec.graph = &ring;
+    EXPECT_NE(make_protocol(spec), nullptr) << infos[i].name;
+  }
+}
+
+TEST(Registry, NewKindsForwardTheirKnobs) {
+  ProtocolSpec cached;
+  cached.kind = "cached";
+  cached.lambda = 0.5;
+  cached.ttl = 3;
+  EXPECT_EQ(make_protocol(cached)->name(), "cached(lambda=0.5,ttl=3)");
+
+  ProtocolSpec par;
+  par.kind = "par-uniform";
+  par.lambda = 0.5;
+  par.threads = 2;
+  const auto protocol = make_protocol(par);
+  EXPECT_NE(protocol->name().find("par-uniform"), std::string::npos);
+}
+
+// ---- substream scheme ----
+
+TEST(ParallelRoundEngine, SubstreamKeysAreStableAndDistinct) {
+  const std::uint64_t base = ParallelRoundEngine::substream_key(42, 0, 0);
+  EXPECT_EQ(ParallelRoundEngine::substream_key(42, 0, 0), base);
+  EXPECT_NE(ParallelRoundEngine::substream_key(42, 0, 1), base);
+  EXPECT_NE(ParallelRoundEngine::substream_key(42, 1, 0), base);
+  EXPECT_NE(ParallelRoundEngine::substream_key(43, 0, 0), base);
+}
+
+TEST(ParallelRoundEngine, MapReduceSumsEveryItemOnce) {
+  for (const std::size_t threads : {1u, 3u}) {
+    ParallelRoundEngine::Options options;
+    options.threads = threads;
+    options.shard_size = 7;
+    ParallelRoundEngine engine(options);
+    const std::uint64_t total =
+        engine.map_reduce(1000, [](std::size_t begin, std::size_t end) {
+          std::uint64_t sum = 0;
+          for (std::size_t i = begin; i < end; ++i) sum += i;
+          return sum;
+        });
+    EXPECT_EQ(total, 999u * 1000u / 2);
+  }
+}
+
+}  // namespace
+}  // namespace qoslb

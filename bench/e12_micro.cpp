@@ -16,6 +16,7 @@
 #include "rng/distributions.hpp"
 #include "rng/philox.hpp"
 #include "rng/xoshiro256.hpp"
+#include "sim/des.hpp"
 
 namespace qoslb {
 namespace {
@@ -110,6 +111,39 @@ void BM_AdmissionRound(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 4096);
 }
 BENCHMARK(BM_AdmissionRound);
+
+void BM_DesScheduleDrain(benchmark::State& state) {
+  // The DES scheduling hot path: enqueue (heap push) + deliver (heap pop)
+  // with a steady resident set of pending messages, jitter on so the heap
+  // actually churns. Arg(1) pre-sizes the event storage via reserve();
+  // Arg(0) grows it organically — the spread between the two is the
+  // reallocation cost the reserve() hint removes.
+  constexpr std::size_t kResident = 64;
+  constexpr std::uint64_t kEvents = 4096;
+  struct Relay : DesAgent {
+    std::uint64_t budget = 0;
+    void on_message(const Message& message, DesEngine& engine) override {
+      (void)message;
+      if (budget > 0) {
+        --budget;
+        engine.schedule_timer(0, 1.0);
+      }
+    }
+  };
+  for (auto _ : state) {
+    Relay relay;
+    relay.budget = kEvents;
+    DesEngine engine(1, /*latency_jitter=*/0.25);
+    if (state.range(0) != 0) engine.reserve(kResident + 1);
+    engine.add_agent(&relay);
+    for (std::size_t i = 0; i < kResident; ++i) engine.schedule_timer(0, 1.0);
+    benchmark::DoNotOptimize(engine.run());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kEvents + kResident));
+}
+BENCHMARK(BM_DesScheduleDrain)->Arg(0)->Arg(1);
 
 void BM_DinicBipartite(benchmark::State& state) {
   // 64 users x 4 resources matching (the E7 inner solve).

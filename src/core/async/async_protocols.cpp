@@ -590,6 +590,10 @@ AsyncRunResult run_async(const Instance& instance, const AsyncConfig& config,
 
   AsyncRunResult result;
   DesEngine engine(config.seed, config.latency_jitter);
+  // Each user keeps O(1) requests in flight and resources answer one-for-one,
+  // so the pending set stays near 2n + m; pre-sizing it keeps the scheduling
+  // path reallocation-free.
+  engine.reserve(2 * n + m);
   std::optional<FaultInjector> injector;
   if (config.faults.any()) {
     // Mix the run seed into the plan seed so the same plan yields

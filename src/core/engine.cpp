@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "core/async/async_protocols.hpp"
 #include "core/weighted/weighted_protocols.hpp"
@@ -13,9 +14,12 @@
 namespace qoslb {
 namespace {
 
-/// Classic sequential driver (the former runner.cpp ProtocolTask): one
-/// step() per round, satisfaction recount after each, the stability check on
-/// the fast path (all satisfied) every round and on the period otherwise.
+/// Classic sequential driver (the former runner.cpp ProtocolTask) for
+/// protocols that only implement step(): one step() per round, the
+/// stability check on the fast path (all satisfied) every round and on the
+/// period otherwise. All satisfaction reads go through the state's O(1)
+/// tracked counter — the engine enables tracking before driving the task,
+/// which also removed the historical duplicate O(n) recount around round 0.
 class SequentialTask : public RoundTask {
  public:
   SequentialTask(Protocol& protocol, State& state, Xoshiro256& rng,
@@ -27,18 +31,17 @@ class SequentialTask : public RoundTask {
     (void)round_index;
     protocol_->step(*state_, *rng_, result_->counters);
     ++result_->counters.rounds;
-    satisfied_ = state_->count_satisfied();
     if (config_->record_trajectory)
       result_->unsatisfied_trajectory.push_back(
-          static_cast<std::uint32_t>(state_->num_users() - satisfied_));
+          static_cast<std::uint32_t>(state_->count_unsatisfied()));
     ++rounds_done_;
   }
 
   bool converged() const override {
-    if (rounds_done_ == 0) satisfied_ = state_->count_satisfied();
     // Fast path: full satisfaction implies stability for the satisfaction
     // protocols and is cheap to confirm for the others.
-    if (satisfied_ == state_->num_users()) return protocol_->is_stable(*state_);
+    if (state_->count_satisfied() == state_->num_users())
+      return protocol_->is_stable(*state_);
     if (rounds_done_ % config_->stability_check_period == 0)
       return protocol_->is_stable(*state_);
     return false;
@@ -50,18 +53,25 @@ class SequentialTask : public RoundTask {
   Xoshiro256* rng_;
   const EngineConfig* config_;
   EngineResult* result_;
-  mutable std::size_t satisfied_ = 0;
   std::uint64_t rounds_done_ = 0;
 };
 
-/// Binds Protocol::step_range/commit_round to the sharded round engine: the
-/// decide fan-out writes into per-shard buffers and per-shard counters, the
-/// commit merges both in shard order — so the outcome is independent of
-/// which worker executed which shard.
-class ShardedProtocolTask : public ShardedRoundTask {
+/// Binds Protocol::step_users/commit_round to the sharded round engine over
+/// an explicit iteration list (all users in dense mode, the sorted
+/// unsatisfied set in active mode): the decide fan-out writes into
+/// per-shard buffers and per-shard counters, the commit merges both in
+/// shard order — so the outcome is independent of which worker executed
+/// which shard. Randomness comes from the round's per-user substreams, so
+/// it is independent of the shard partition too.
+class UserSetRoundTask : public ShardedRoundTask {
  public:
-  ShardedProtocolTask(Protocol& protocol, State& state, Counters& counters)
+  UserSetRoundTask(Protocol& protocol, State& state, Counters& counters)
       : protocol_(&protocol), state_(&state), counters_(&counters) {}
+
+  void set_round(const std::vector<UserId>& users, const RoundRng& streams) {
+    users_ = &users;
+    streams_ = streams;
+  }
 
   void begin_round(std::size_t num_shards) override {
     snapshot_ = state_->loads();
@@ -72,9 +82,9 @@ class ShardedProtocolTask : public ShardedRoundTask {
 
   void decide(std::size_t shard, std::size_t begin, std::size_t end,
               PhiloxEngine& rng) override {
-    AnyRng any(rng);
-    protocol_->step_range(*state_, snapshot_, static_cast<UserId>(begin),
-                          static_cast<UserId>(end), shards_[shard], any,
+    (void)rng;  // superseded by the per-user streams in streams_
+    protocol_->step_users(*state_, snapshot_, users_->data() + begin,
+                          end - begin, shards_[shard], streams_,
                           shard_counters_[shard]);
   }
 
@@ -87,6 +97,8 @@ class ShardedProtocolTask : public ShardedRoundTask {
   Protocol* protocol_;
   State* state_;
   Counters* counters_;
+  const std::vector<UserId>* users_ = nullptr;
+  RoundRng streams_;
   std::vector<int> snapshot_;
   std::vector<MigrationBuffer> shards_;
   std::vector<Counters> shard_counters_;
@@ -117,11 +129,11 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
 EngineResult Engine::run(Protocol& protocol, State& state,
                          Xoshiro256& rng) const {
   protocol.reset();
-  const bool want_sharded =
-      config_.execution == RoundExecution::kSharded ||
-      (config_.execution == RoundExecution::kAuto && config_.threads != 1);
-  if (want_sharded && protocol.supports_step_range())
-    return run_sharded(protocol, state, rng);
+  // O(1) per-round satisfaction reads on every path; the build is O(n log n)
+  // once and idempotent across chained runs on the same state.
+  state.enable_satisfaction_tracking();
+  if (protocol.supports_step_users())
+    return run_step_users(protocol, state, rng);
   return run_sequential(protocol, state, rng);
 }
 
@@ -140,37 +152,35 @@ EngineResult Engine::run_sequential(Protocol& protocol, State& state,
   return result;
 }
 
-EngineResult Engine::run_sharded(Protocol& protocol, State& state,
-                                 Xoshiro256& rng) const {
+EngineResult Engine::run_step_users(Protocol& protocol, State& state,
+                                    Xoshiro256& rng) const {
   EngineResult result;
   const std::size_t n = state.num_users();
 
   ParallelRoundEngine::Options options;
-  options.threads = config_.threads;
+  options.threads =
+      config_.execution == RoundExecution::kSequential ? 1 : config_.threads;
   options.shard_size = config_.shard_size;
   // Fold one draw of the caller's RNG into the master seed so replications
   // that advance that RNG (the established seeding idiom) stay distinct
   // while (config, rng state) still pins the run exactly.
   options.seed = derive_seed(config_.seed, rng());
   ParallelRoundEngine engine(options);
-  ShardedProtocolTask task(protocol, state, result.counters);
+  UserSetRoundTask task(protocol, state, result.counters);
 
-  const auto count_satisfied = [&] {
-    return static_cast<std::size_t>(
-        engine.map_reduce(n, [&](std::size_t begin, std::size_t end) {
-          std::uint64_t satisfied = 0;
-          for (std::size_t u = begin; u < end; ++u)
-            satisfied += state.satisfied(static_cast<UserId>(u)) ? 1 : 0;
-          return satisfied;
-        }));
-  };
+  // Active mode iterates only the unsatisfied set; protocols whose
+  // satisfied users do act (berenbrink) keep the dense scan regardless.
+  const bool active =
+      config_.mode == EngineMode::kActive && protocol.active_set_compatible();
+  std::vector<UserId> iteration;
+  if (!active) {
+    iteration.resize(n);
+    std::iota(iteration.begin(), iteration.end(), UserId{0});
+  }
 
-  // Same convergence schedule as the sequential driver, with the O(n)
-  // recount fanned out over the pool so it does not serialize the round.
   std::uint64_t rounds_done = 0;
-  std::size_t satisfied = count_satisfied();
   const auto converged = [&] {
-    if (satisfied == n) return protocol.is_stable(state);
+    if (state.count_satisfied() == n) return protocol.is_stable(state);
     if (rounds_done % config_.stability_check_period == 0)
       return protocol.is_stable(state);
     return false;
@@ -180,14 +190,23 @@ EngineResult Engine::run_sharded(Protocol& protocol, State& state,
     result.converged = true;
   } else {
     for (std::uint64_t r = 0; r < config_.max_rounds; ++r) {
-      engine.round(task, n, r);
+      if (active) {
+        // Sorted copy of the unsatisfied view: per-user streams make the
+        // draws order-independent, but the ascending order keeps the
+        // applied migration sequence — and hence the trajectory — exactly
+        // the dense scan's.
+        iteration.assign(state.unsatisfied_view().begin(),
+                         state.unsatisfied_view().end());
+        std::sort(iteration.begin(), iteration.end());
+      }
+      task.set_round(iteration, RoundRng(options.seed, r));
+      engine.round(task, iteration.size(), r);
       ++result.counters.rounds;
       ++result.rounds;
       ++rounds_done;
-      satisfied = count_satisfied();
       if (config_.record_trajectory)
         result.unsatisfied_trajectory.push_back(
-            static_cast<std::uint32_t>(n - satisfied));
+            static_cast<std::uint32_t>(n - state.count_satisfied()));
       if (converged()) {
         result.converged = true;
         break;
@@ -197,8 +216,8 @@ EngineResult Engine::run_sharded(Protocol& protocol, State& state,
 
   result.termination =
       result.converged ? Termination::kConverged : Termination::kRoundCap;
-  result.final_satisfied = satisfied;
-  result.all_satisfied = satisfied == n;
+  result.final_satisfied = state.count_satisfied();
+  result.all_satisfied = result.final_satisfied == n;
   result.threads_used = engine.threads();
   return result;
 }
@@ -209,6 +228,7 @@ EngineResult Engine::run_weighted(WeightedProtocol& protocol,
   // historical run_weighted_protocol semantics exactly).
   EngineResult result;
   protocol.reset();
+  state.enable_satisfaction_tracking();
   for (std::uint64_t round = 0; round <= config_.max_rounds; ++round) {
     const std::size_t satisfied = state.count_satisfied();
     const bool check_now = round % config_.stability_check_period == 0;

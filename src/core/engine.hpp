@@ -23,11 +23,26 @@ enum class Termination : std::uint8_t {
   kEventCap,   // async: max_events deliveries happened first (best-effort)
 };
 
-/// How the synchronous round loop executes.
+/// How the synchronous round loop executes. Since the per-user stream
+/// re-keying (docs/performance.md) every policy produces the same
+/// realization for step_users() protocols; the policy only picks the worker
+/// count. Protocols without step_users() always take the classic
+/// caller-RNG-driven step() path.
 enum class RoundExecution : std::uint8_t {
-  kAuto,        // sharded iff threads != 1 and the protocol supports it
-  kSequential,  // classic single-threaded step(), driven by the caller's RNG
-  kSharded,     // sharded snapshot/decide/commit path, any thread count
+  kAuto,        // config().threads workers (1 = inline serial)
+  kSequential,  // force a single inline worker
+  kSharded,     // same as kAuto (kept for source compatibility)
+};
+
+/// Which users a synchronous round iterates (the PR 3 tentpole).
+enum class EngineMode : std::uint8_t {
+  /// Scan all n users every round — the classic engine.
+  kDense,
+  /// Iterate only the incrementally-tracked unsatisfied set, making round
+  /// cost O(|active| + migrations). Bit-identical to kDense for protocols
+  /// with active_set_compatible() (their satisfied users neither act nor
+  /// draw); the others (berenbrink) silently run densely.
+  kActive,
 };
 
 /// The one run configuration (DESIGN.md §6, docs/engine.md). Supersedes the
@@ -42,8 +57,10 @@ struct EngineConfig {
   std::uint32_t stability_check_period = 4;
   bool record_trajectory = false;
 
-  // --- sharded execution (tentpole; see docs/engine.md) ---
+  // --- sharded execution (see docs/engine.md, docs/performance.md) ---
   RoundExecution execution = RoundExecution::kAuto;
+  /// Dense or active-set round iteration (see EngineMode).
+  EngineMode mode = EngineMode::kDense;
   /// Worker threads for the sharded path: 0 = hardware concurrency,
   /// 1 = single worker. With kAuto, threads == 1 keeps the sequential path.
   std::size_t threads = 1;
@@ -103,10 +120,14 @@ class Engine {
   const EngineConfig& config() const { return config_; }
 
   /// Drives `protocol` on `state` until stable or max_rounds, resetting the
-  /// protocol's adaptive state first. Sharded across config().threads
-  /// workers when the execution policy engages it and the protocol
-  /// implements step_range(); the sharded path is deterministic in
-  /// (config().seed, rng state) and bit-identical for every thread count.
+  /// protocol's adaptive state first and enabling the state's incremental
+  /// satisfaction tracking (so per-round satisfaction reads are O(1)).
+  /// Protocols implementing step_users() run on the sharded round engine
+  /// with per-(seed, round, user) Philox substreams: the realization is
+  /// deterministic in (config().seed, rng state) and bit-identical for
+  /// every thread count, execution policy, and engine mode (dense vs.
+  /// active, for active-set-compatible protocols). Other protocols take the
+  /// classic sequential step() path.
   EngineResult run(Protocol& protocol, State& state, Xoshiro256& rng) const;
 
   /// Weighted-model counterpart of run() (always sequential).
@@ -124,8 +145,8 @@ class Engine {
  private:
   EngineResult run_sequential(Protocol& protocol, State& state,
                               Xoshiro256& rng) const;
-  EngineResult run_sharded(Protocol& protocol, State& state,
-                           Xoshiro256& rng) const;
+  EngineResult run_step_users(Protocol& protocol, State& state,
+                              Xoshiro256& rng) const;
 
   EngineConfig config_;
 };

@@ -1,28 +1,34 @@
 #include "core/protocol.hpp"
 
+#include <numeric>
+
 #include "core/protocols/common.hpp"
 #include "util/check.hpp"
 
 namespace qoslb {
 
 void Protocol::step(State& state, Xoshiro256& rng, Counters& counters) {
-  QOSLB_REQUIRE(supports_step_range(),
-                "protocol overrides neither step() nor step_range()");
-  // Single-shard realization of the round: same decide logic, the caller's
-  // sequential RNG, so this is bit-identical however many ranges the decide
-  // loop is split into (the draws are consumed in user order either way).
+  QOSLB_REQUIRE(supports_step_users(),
+                "protocol overrides neither step() nor step_users()");
+  // Single-shard realization of the round: one draw of the caller's RNG
+  // keys the round's per-user Philox substreams, so (protocol, rng state)
+  // pins the realization exactly, and the outcome is bit-identical however
+  // the user list is later split into shards.
   const std::vector<int> snapshot = state.loads();
+  std::vector<UserId> users(state.num_users());
+  std::iota(users.begin(), users.end(), UserId{0});
   std::vector<MigrationBuffer> shards(1);
-  AnyRng any(rng);
-  step_range(state, snapshot, 0, static_cast<UserId>(state.num_users()),
-             shards[0], any, counters);
+  const RoundRng streams(rng(), 0);
+  step_users(state, snapshot, users.data(), users.size(), shards[0], streams,
+             counters);
   commit_round(state, shards, counters);
 }
 
-void Protocol::step_range(const State& state, const std::vector<int>&, UserId,
-                          UserId, MigrationBuffer&, AnyRng&, Counters&) {
+void Protocol::step_users(const State& state, const std::vector<int>&,
+                          const UserId*, std::size_t, MigrationBuffer&,
+                          const RoundRng&, Counters&) {
   (void)state;
-  QOSLB_REQUIRE(false, "step_range() is not implemented by " + name());
+  QOSLB_REQUIRE(false, "step_users() is not implemented by " + name());
 }
 
 void Protocol::commit_round(State& state, std::vector<MigrationBuffer>& shards,

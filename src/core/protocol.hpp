@@ -7,7 +7,7 @@
 #include "core/satisfaction.hpp"
 #include "core/state.hpp"
 #include "core/types.hpp"
-#include "rng/any_rng.hpp"
+#include "rng/round_rng.hpp"
 #include "rng/xoshiro256.hpp"
 #include "sim/accounting.hpp"
 
@@ -37,19 +37,25 @@ struct MigrationBuffer {
 /// at the round boundary, and all migrations are applied together — the
 /// synchronous model of the paper. The round splits into two hooks:
 ///
-///   * step_range() — decide for a contiguous user range against the
+///   * step_users() — decide for an explicit list of users against the
 ///     immutable round-boundary load snapshot, appending wishes to a
-///     MigrationBuffer. Pure with respect to the protocol object (it must
-///     not touch mutable members), so the engine may fan ranges out across
-///     threads; each shard gets its own RNG substream.
+///     MigrationBuffer. Each user draws from its own (seed, round, user)
+///     Philox substream (RoundRng), so the outcome for a user is a pure
+///     function of that key — independent of the iteration set, shard
+///     geometry, and thread count. Pure with respect to the protocol object
+///     (it must not touch mutable members), so the engine may fan user
+///     lists out across threads.
 ///   * commit_round() — apply the round's shard buffers (in shard order)
 ///     and roll any per-round protocol state forward. Always sequential.
 ///
-/// Protocols implementing the pair advertise it via supports_step_range()
-/// and inherit a step() that runs decide+commit over the full user range
-/// with the caller's sequential RNG — the classic single-threaded path.
-/// Sequential baselines (one move per step) override step() directly and
-/// leave the sharded hooks unimplemented.
+/// Protocols implementing the pair advertise it via supports_step_users()
+/// and inherit a step() that runs decide+commit over the full user range —
+/// the classic single-threaded path. Sequential baselines (one move per
+/// step) override step() directly and leave the sharded hooks
+/// unimplemented. Protocols whose satisfied users neither act nor draw
+/// additionally advertise active_set_compatible(): for those the engine may
+/// iterate only the unsatisfied set and still reproduce the dense run
+/// bit-for-bit (docs/performance.md).
 class Protocol {
  public:
   virtual ~Protocol() = default;
@@ -57,23 +63,33 @@ class Protocol {
   virtual std::string name() const = 0;
 
   /// Executes one synchronous round (or one sequential-baseline move). The
-  /// default implementation routes through step_range()/commit_round() over
-  /// the full user range and requires supports_step_range().
+  /// default implementation routes through step_users()/commit_round() over
+  /// the full user range, keying the round's substreams off one draw of
+  /// `rng`, and requires supports_step_users().
   virtual void step(State& state, Xoshiro256& rng, Counters& counters);
 
-  /// True when step_range()/commit_round() are implemented and the engine
+  /// True when step_users()/commit_round() are implemented and the engine
   /// may shard the decision phase across threads.
-  virtual bool supports_step_range() const { return false; }
+  virtual bool supports_step_users() const { return false; }
 
-  /// Decides for users [user_begin, user_end) against `load_snapshot` (the
-  /// loads at the round boundary), appending wishes to `out`. `rng` is the
-  /// range's private stream; `counters` the range's private tally. Must be
-  /// const with respect to protocol and state mutations — it runs
-  /// concurrently with other ranges of the same round.
-  virtual void step_range(const State& state,
+  /// True when a user that is satisfied in the round-boundary snapshot
+  /// neither migrates nor consumes randomness in step_users() — the
+  /// precondition for iterating only the unsatisfied set. Berenbrink's
+  /// QoS-oblivious dynamic (every user probes every round) is the one
+  /// sharded protocol that is *not* compatible; the engine runs it densely
+  /// even in active mode.
+  virtual bool active_set_compatible() const { return false; }
+
+  /// Decides for `users[0..count)` against `load_snapshot` (the loads at
+  /// the round boundary), appending wishes to `out`. Draw randomness for
+  /// user u exclusively from `rng.user_stream(u)`; tally into `counters`
+  /// (the shard's private tally). Must be const with respect to protocol
+  /// and state mutations — it runs concurrently with other shards of the
+  /// same round.
+  virtual void step_users(const State& state,
                           const std::vector<int>& load_snapshot,
-                          UserId user_begin, UserId user_end,
-                          MigrationBuffer& out, AnyRng& rng,
+                          const UserId* users, std::size_t count,
+                          MigrationBuffer& out, const RoundRng& rng,
                           Counters& counters);
 
   /// Applies one round's shard buffers in shard order and rolls per-round

@@ -28,19 +28,21 @@ std::uint32_t intent_at(const std::vector<std::uint32_t>& intents,
 
 }  // namespace
 
-void AdaptiveSampling::step_range(const State& state,
+void AdaptiveSampling::step_users(const State& state,
                                   const std::vector<int>& snapshot,
-                                  UserId user_begin, UserId user_end,
-                                  MigrationBuffer& out, AnyRng& rng,
+                                  const UserId* users, std::size_t count,
+                                  MigrationBuffer& out, const RoundRng& streams,
                                   Counters& counters) {
   const Instance& instance = state.instance();
   if (out.resource_tallies.size() != state.num_resources())
     out.resource_tallies.assign(state.num_resources(), 0);
 
-  for (UserId u = user_begin; u < user_end; ++u) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const UserId u = users[i];
     const ResourceId current = state.resource_of(u);
     if (snapshot[current] <= instance.threshold(u, current)) continue;
 
+    PhiloxEngine rng = streams.user_stream(u);
     ResourceId best = kNoResource;
     double best_quality = 0.0;
     for (int probe = 0; probe < probes_; ++probe) {

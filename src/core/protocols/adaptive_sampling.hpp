@@ -28,14 +28,15 @@ class AdaptiveSampling : public Protocol {
 
   std::string name() const override;
 
-  bool supports_step_range() const override { return true; }
+  bool supports_step_users() const override { return true; }
+  bool active_set_compatible() const override { return true; }
 
-  /// Tallies this range's migration intents into out.resource_tallies (the
+  /// Tallies this shard's migration intents into out.resource_tallies (the
   /// contention estimate the *next* rounds damp against) while reading the
   /// previous rounds' estimates, which are frozen during the decide phase.
-  void step_range(const State& state, const std::vector<int>& load_snapshot,
-                  UserId user_begin, UserId user_end, MigrationBuffer& out,
-                  AnyRng& rng, Counters& counters) override;
+  void step_users(const State& state, const std::vector<int>& load_snapshot,
+                  const UserId* users, std::size_t count, MigrationBuffer& out,
+                  const RoundRng& rng, Counters& counters) override;
 
   /// Sums the shard intent tallies into the two-round contention window,
   /// then applies all requests optimistically.

@@ -14,16 +14,18 @@ std::string AdmissionControl::name() const {
   return probes_ == 1 ? "admission" : "admission(k=" + std::to_string(probes_) + ")";
 }
 
-void AdmissionControl::step_range(const State& state,
+void AdmissionControl::step_users(const State& state,
                                   const std::vector<int>& snapshot,
-                                  UserId user_begin, UserId user_end,
-                                  MigrationBuffer& out, AnyRng& rng,
+                                  const UserId* users, std::size_t count,
+                                  MigrationBuffer& out, const RoundRng& streams,
                                   Counters& counters) {
   const Instance& instance = state.instance();
-  for (UserId u = user_begin; u < user_end; ++u) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const UserId u = users[i];
     const ResourceId current = state.resource_of(u);
     if (snapshot[current] <= instance.threshold(u, current)) continue;
 
+    PhiloxEngine rng = streams.user_stream(u);
     ResourceId best = kNoResource;
     double best_quality = 0.0;
     for (int probe = 0; probe < probes_; ++probe) {

@@ -7,14 +7,17 @@
 
 namespace qoslb {
 
-void BerenbrinkBalancing::step_range(const State& state,
+void BerenbrinkBalancing::step_users(const State& state,
                                      const std::vector<int>& snapshot,
-                                     UserId user_begin, UserId user_end,
-                                     MigrationBuffer& out, AnyRng& rng,
+                                     const UserId* users, std::size_t count,
+                                     MigrationBuffer& out,
+                                     const RoundRng& streams,
                                      Counters& counters) {
   const Instance& instance = state.instance();
-  for (UserId u = user_begin; u < user_end; ++u) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const UserId u = users[i];
     const ResourceId current = state.resource_of(u);
+    PhiloxEngine rng = streams.user_stream(u);
     const auto r = static_cast<ResourceId>(
         uniform_u64_below(rng, state.num_resources()));
     ++counters.probes;

@@ -17,11 +17,13 @@ class BerenbrinkBalancing : public Protocol {
 
   std::string name() const override { return "berenbrink"; }
 
-  bool supports_step_range() const override { return true; }
+  bool supports_step_users() const override { return true; }
+  // Not active_set_compatible(): every user — satisfied or not — probes and
+  // may move each round, so the unsatisfied set is not the acting set.
 
-  void step_range(const State& state, const std::vector<int>& load_snapshot,
-                  UserId user_begin, UserId user_end, MigrationBuffer& out,
-                  AnyRng& rng, Counters& counters) override;
+  void step_users(const State& state, const std::vector<int>& load_snapshot,
+                  const UserId* users, std::size_t count, MigrationBuffer& out,
+                  const RoundRng& rng, Counters& counters) override;
 
   /// Stability = Nash of the balancing game: no user can strictly improve
   /// its quality by a unilateral move. For identical capacities this is

@@ -25,20 +25,23 @@ std::string NeighborhoodSampling::name() const {
              : "nbr-uniform(lambda=" + format_double(migrate_prob_, 3) + ")";
 }
 
-void NeighborhoodSampling::step_range(const State& state,
+void NeighborhoodSampling::step_users(const State& state,
                                       const std::vector<int>& snapshot,
-                                      UserId user_begin, UserId user_end,
-                                      MigrationBuffer& out, AnyRng& rng,
+                                      const UserId* users, std::size_t count,
+                                      MigrationBuffer& out,
+                                      const RoundRng& streams,
                                       Counters& counters) {
   const Instance& instance = state.instance();
   QOSLB_REQUIRE(graph_->num_vertices() == state.num_resources(),
                 "resource graph size mismatch");
-  for (UserId u = user_begin; u < user_end; ++u) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const UserId u = users[i];
     const ResourceId current = state.resource_of(u);
     if (snapshot[current] <= instance.threshold(u, current)) continue;
     const auto neighbors = graph_->neighbors(current);
     if (neighbors.empty()) continue;
 
+    PhiloxEngine rng = streams.user_stream(u);
     ResourceId best = kNoResource;
     double best_quality = 0.0;
     for (int probe = 0; probe < probes_; ++probe) {
@@ -74,11 +77,25 @@ void NeighborhoodSampling::commit_round(State& state,
   for (MigrationBuffer& shard : shards) apply_all(state, shard.requests, counters);
 }
 
+namespace {
+
+bool stable_user(const State& state, const Graph& graph, UserId u) {
+  for (const ResourceId r : graph.neighbors(state.resource_of(u)))
+    if (satisfied_after_move(state, u, r)) return false;
+  return true;
+}
+
+}  // namespace
+
 bool NeighborhoodSampling::is_stable(const State& state) const {
+  if (state.satisfaction_tracking()) {
+    for (const UserId u : state.unsatisfied_view())
+      if (!stable_user(state, *graph_, u)) return false;
+    return true;
+  }
   for (UserId u = 0; u < state.num_users(); ++u) {
     if (state.satisfied(u)) continue;
-    for (const ResourceId r : graph_->neighbors(state.resource_of(u)))
-      if (satisfied_after_move(state, u, r)) return false;
+    if (!stable_user(state, *graph_, u)) return false;
   }
   return true;
 }

@@ -21,11 +21,12 @@ class NeighborhoodSampling : public Protocol {
 
   std::string name() const override;
 
-  bool supports_step_range() const override { return true; }
+  bool supports_step_users() const override { return true; }
+  bool active_set_compatible() const override { return true; }
 
-  void step_range(const State& state, const std::vector<int>& load_snapshot,
-                  UserId user_begin, UserId user_end, MigrationBuffer& out,
-                  AnyRng& rng, Counters& counters) override;
+  void step_users(const State& state, const std::vector<int>& load_snapshot,
+                  const UserId* users, std::size_t count, MigrationBuffer& out,
+                  const RoundRng& rng, Counters& counters) override;
 
   /// Optimistic commit applies every request; admission commit merges the
   /// shards and runs the per-resource grant scan.

@@ -48,25 +48,30 @@ const std::vector<Entry>& entries() {
              SequentialBestResponse::Order::kRoundRobin);
        }},
       {{"uniform",
-        "uniform sampling with lambda-damped optimistic migration (P2)"},
+        "uniform sampling with lambda-damped optimistic migration (P2)",
+        /*active_set=*/true},
        [](const ProtocolSpec& spec) {
          return std::make_unique<UniformSampling>(spec.lambda, spec.probes);
        }},
       {{"adaptive",
-        "contention-adaptive migration probability slack/intents (P3)"},
+        "contention-adaptive migration probability slack/intents (P3)",
+        /*active_set=*/true},
        [](const ProtocolSpec& spec) {
          return std::make_unique<AdaptiveSampling>(spec.probes);
        }},
       {{"admission",
-        "resource-gated admission: REQUEST/GRANT commit, monotone (P4)"},
+        "resource-gated admission: REQUEST/GRANT commit, monotone (P4)",
+        /*active_set=*/true},
        [](const ProtocolSpec& spec) {
          return std::make_unique<AdmissionControl>(spec.probes);
        }},
       {{"nbr-uniform",
-        "neighborhood-restricted optimistic sampling on a resource graph (P5)"},
+        "neighborhood-restricted optimistic sampling on a resource graph (P5)",
+        /*active_set=*/true},
        make_neighborhood},
       {{"nbr-admission",
-        "neighborhood-restricted sampling with admission commit (P5)"},
+        "neighborhood-restricted sampling with admission commit (P5)",
+        /*active_set=*/true},
        make_neighborhood},
       {{"berenbrink",
         "classic selfish load balancing, QoS-oblivious baseline (P6)"},

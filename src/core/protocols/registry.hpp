@@ -26,6 +26,11 @@ struct ProtocolSpec {
 struct ProtocolInfo {
   std::string name;
   std::string description;
+  /// True when the built protocol is active_set_compatible(): the engine's
+  /// active mode (EngineMode::kActive) iterates only the unsatisfied set
+  /// and still reproduces the dense run bit-for-bit. Kept consistent with
+  /// the protocol classes by a registry test.
+  bool active_set = false;
 };
 
 /// Every registered kind, in presentation order. This is the single source

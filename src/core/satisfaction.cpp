@@ -1,5 +1,6 @@
 #include "core/satisfaction.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "util/check.hpp"
@@ -40,8 +41,11 @@ namespace {
 
 /// Identical-capacity fast path: a user has a satisfying deviation iff
 /// min-load-excluding-own + 1 <= its threshold, so only the two smallest
-/// loads (with an argmin) are needed.
-bool equilibrium_identical(const State& state) {
+/// loads (with an argmin) are needed. `unsatisfied` iterates the candidate
+/// users — all of them for an untracked state, just the tracked unsatisfied
+/// view otherwise (every satisfied user is skipped anyway).
+template <typename Unsatisfied>
+bool equilibrium_identical(const State& state, const Unsatisfied& unsatisfied) {
   const Instance& instance = state.instance();
   const auto& loads = state.loads();
   ResourceId argmin = 0;
@@ -56,7 +60,7 @@ bool equilibrium_identical(const State& state) {
       min2 = loads[r];
     }
   }
-  for (UserId u = 0; u < state.num_users(); ++u) {
+  for (const UserId u : unsatisfied) {
     if (state.satisfied(u)) continue;
     const int candidate = state.resource_of(u) == argmin ? min2 : min1;
     // Thresholds are identical across resources for identical capacities.
@@ -65,17 +69,50 @@ bool equilibrium_identical(const State& state) {
   return true;
 }
 
-}  // namespace
+/// Counting iterable over [0, n) so both equilibrium paths share one body.
+struct AllUsers {
+  struct Iterator {
+    UserId u;
+    UserId operator*() const { return u; }
+    Iterator& operator++() { ++u; return *this; }
+    bool operator!=(const Iterator& other) const { return u != other.u; }
+  };
+  std::size_t n;
+  Iterator begin() const { return {0}; }
+  Iterator end() const { return {static_cast<UserId>(n)}; }
+};
 
-bool is_satisfaction_equilibrium(const State& state) {
-  if (state.instance().identical_capacities() && state.num_resources() > 1)
-    return equilibrium_identical(state);
-  for (UserId u = 0; u < state.num_users(); ++u)
+template <typename Unsatisfied>
+bool equilibrium_general(const State& state, const Unsatisfied& unsatisfied) {
+  for (const UserId u : unsatisfied)
     if (!state.satisfied(u) && has_satisfying_deviation(state, u)) return false;
   return true;
 }
 
+}  // namespace
+
+bool is_satisfaction_equilibrium(const State& state) {
+  const bool identical =
+      state.instance().identical_capacities() && state.num_resources() > 1;
+  // With satisfaction tracking on, only the unsatisfied view needs checking
+  // — the equilibrium condition quantifies over unsatisfied users — which
+  // makes the convergence-tail check O(|unsatisfied|), not O(n).
+  if (state.satisfaction_tracking()) {
+    const auto& unsatisfied = state.unsatisfied_view();
+    return identical ? equilibrium_identical(state, unsatisfied)
+                     : equilibrium_general(state, unsatisfied);
+  }
+  const AllUsers all{state.num_users()};
+  return identical ? equilibrium_identical(state, all)
+                   : equilibrium_general(state, all);
+}
+
 std::vector<UserId> unsatisfied_users(const State& state) {
+  if (state.satisfaction_tracking()) {
+    std::vector<UserId> out = state.unsatisfied_view();
+    std::sort(out.begin(), out.end());  // the view's order is unspecified
+    return out;
+  }
   std::vector<UserId> out;
   for (UserId u = 0; u < state.num_users(); ++u)
     if (!state.satisfied(u)) out.push_back(u);

@@ -69,6 +69,25 @@ void State::move(UserId u, ResourceId r) {
   --loads_[old];
   ++loads_[r];
   assignment_[u] = r;
+  if (index_)
+    index_->on_move(u, old, instance_->threshold(u, old), r,
+                    instance_->threshold(u, r), loads_[old], loads_[r],
+                    /*delta=*/1);
+}
+
+void State::enable_satisfaction_tracking() {
+  if (index_) return;
+  index_.emplace();
+  index_->rebuild(
+      num_users(), num_resources(), [&](UserId u) { return assignment_[u]; },
+      [&](UserId u) { return instance_->threshold(u, assignment_[u]); },
+      [&](ResourceId r) { return loads_[r]; });
+}
+
+const std::vector<UserId>& State::unsatisfied_view() const {
+  QOSLB_REQUIRE(index_.has_value(),
+                "unsatisfied_view() needs enable_satisfaction_tracking()");
+  return index_->unsatisfied();
 }
 
 double State::quality_of(UserId u) const {
@@ -82,6 +101,7 @@ bool State::satisfied(UserId u) const {
 }
 
 std::size_t State::count_satisfied() const {
+  if (index_) return index_->satisfied_count();
   std::size_t count = 0;
   for (UserId u = 0; u < assignment_.size(); ++u)
     if (satisfied(u)) ++count;
@@ -103,6 +123,18 @@ void State::check_invariants() const {
     ++expected[r];
   }
   QOSLB_CHECK(expected == loads_, "cached loads diverged from assignment");
+  if (!index_) return;
+  std::size_t unsatisfied = 0;
+  for (UserId u = 0; u < assignment_.size(); ++u) {
+    const bool tracked = index_->is_unsatisfied(u);
+    QOSLB_CHECK(tracked == !satisfied(u),
+                "satisfaction index diverged from recompute");
+    if (tracked) ++unsatisfied;
+  }
+  QOSLB_CHECK(unsatisfied == index_->unsatisfied().size(),
+              "satisfaction index set size diverged");
+  QOSLB_CHECK(index_->satisfied_count() == assignment_.size() - unsatisfied,
+              "satisfied counter diverged");
 }
 
 }  // namespace qoslb

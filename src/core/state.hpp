@@ -1,8 +1,10 @@
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "core/instance.hpp"
+#include "core/satisfaction_index.hpp"
 #include "core/types.hpp"
 #include "rng/xoshiro256.hpp"
 
@@ -46,6 +48,18 @@ class State {
   /// True iff user u's requirement is met in the current state.
   bool satisfied(UserId u) const;
 
+  /// Turns on the incremental satisfaction index (idempotent; O(n log n)
+  /// build). Afterwards count_satisfied() is O(1), unsatisfied_view() is
+  /// available, and every move() additionally maintains the index in
+  /// O(log + #satisfaction flips). The engine enables this on every state
+  /// it drives; states used as plain containers can stay untracked.
+  void enable_satisfaction_tracking();
+  bool satisfaction_tracking() const { return index_.has_value(); }
+
+  /// The currently unsatisfied users in unspecified order (valid until the
+  /// next move). Requires satisfaction tracking.
+  const std::vector<UserId>& unsatisfied_view() const;
+
   std::size_t count_satisfied() const;
   std::size_t count_unsatisfied() const { return num_users() - count_satisfied(); }
 
@@ -59,6 +73,7 @@ class State {
   const Instance* instance_;
   std::vector<ResourceId> assignment_;
   std::vector<int> loads_;
+  std::optional<SatisfactionIndex<int>> index_;
 };
 
 }  // namespace qoslb

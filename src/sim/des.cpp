@@ -1,5 +1,8 @@
 #include "sim/des.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "rng/distributions.hpp"
 #include "sim/faults.hpp"
 #include "util/check.hpp"
@@ -24,7 +27,8 @@ void DesEngine::set_fault_injector(FaultInjector* injector) {
 }
 
 void DesEngine::enqueue(Message message, double latency) {
-  queue_.push(Scheduled{now_ + latency, seq_++, message});
+  queue_.push_back(Scheduled{now_ + latency, seq_++, std::move(message)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
 }
 
 void DesEngine::send(Message message, double delay) {
@@ -35,17 +39,19 @@ void DesEngine::send(Message message, double delay) {
     if (fate.drop) return;
     double latency = delay + fate.extra_delay;
     if (jitter_ > 0.0) latency += uniform_real(rng_, 0.0, jitter_);
-    enqueue(message, latency);
     if (fate.duplicate) {
       double dup_latency = delay + fate.dup_extra_delay;
       if (jitter_ > 0.0) dup_latency += uniform_real(rng_, 0.0, jitter_);
-      enqueue(message, dup_latency);
+      enqueue(message, latency);
+      enqueue(std::move(message), dup_latency);
+    } else {
+      enqueue(std::move(message), latency);
     }
     return;
   }
   double latency = delay;
   if (jitter_ > 0.0) latency += uniform_real(rng_, 0.0, jitter_);
-  enqueue(message, latency);
+  enqueue(std::move(message), latency);
 }
 
 void DesEngine::schedule_timer(AgentId agent, double delay, std::int64_t payload) {
@@ -76,8 +82,9 @@ std::uint64_t DesEngine::run(std::uint64_t max_events) {
   }
   std::uint64_t count = 0;
   while (!queue_.empty() && count < max_events) {
-    const Scheduled next = queue_.top();
-    queue_.pop();
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    const Scheduled next = std::move(queue_.back());
+    queue_.pop_back();
     QOSLB_CHECK(next.time + 1e-12 >= now_, "time went backwards");
     now_ = next.time;
     ++delivered_;

@@ -40,11 +40,15 @@ class ShardedRoundTask {
 ///
 /// Items (users) are partitioned into fixed-size shards — the partition
 /// depends only on `shard_size` and the item count, never on the worker
-/// count — and each shard decides against the immutable round snapshot with
-/// its own deterministic Philox substream keyed by (seed, round, shard).
-/// Workers merely execute shards; since no shard reads another shard's
-/// output and commit() consumes the buffers in shard order, the results are
-/// bit-identical for every thread count, including the inline serial path.
+/// count — and each shard decides against the immutable round snapshot.
+/// Each shard still receives a deterministic Philox substream keyed by
+/// (seed, round, shard) for tasks that want per-shard draws; the engine's
+/// protocol task ignores it in favor of per-(seed, round, user) streams
+/// (rng/round_rng.hpp), which additionally make results independent of the
+/// shard geometry and of which users are iterated at all. Workers merely
+/// execute shards; since no shard reads another shard's output and commit()
+/// consumes the buffers in shard order, the results are bit-identical for
+/// every thread count, including the inline serial path.
 class ParallelRoundEngine {
  public:
   struct Options {

@@ -13,9 +13,12 @@
 //   open   open-system run; prints violation metrics.
 //   gen    generate an instance + start state to --out (io format).
 //
-// Shared options: --seed, --reps (run mode), --csv, --threads (run mode).
+// Shared options: --seed, --reps (run mode), --csv, --threads (run mode),
+// --engine-mode=dense|active (run mode; active iterates only the unsatisfied
+// set, bit-identical for protocols marked [active-set]).
 // `qoslb --list-protocols` prints every registered protocol kind with a
-// one-line description and exits.
+// one-line description ([active-set] marks active-set-capable kinds) and
+// exits.
 
 #include <algorithm>
 #include <fstream>
@@ -76,8 +79,16 @@ int mode_run(ArgParser& args) {
   const auto max_rounds = static_cast<std::uint64_t>(
       args.get_int("max-rounds", 1 << 20));
   const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
+  const std::string engine_mode = args.get_string("engine-mode", "dense");
   const bool csv = args.get_flag("csv");
   args.finish();
+
+  EngineMode mode = EngineMode::kDense;
+  if (engine_mode == "active")
+    mode = EngineMode::kActive;
+  else if (engine_mode != "dense")
+    throw std::invalid_argument("unknown --engine-mode '" + engine_mode +
+                                "' (dense|active)");
 
   const Graph graph = make_complete(static_cast<Vertex>(m));
   const AggregatedRuns agg =
@@ -94,6 +105,7 @@ int mode_run(ArgParser& args) {
         EngineConfig config;
         config.max_rounds = max_rounds;
         config.threads = threads;
+        config.mode = mode;
         ReplicatedRun run;
         run.result = Engine(config).run(*protocol, state, rng);
         run.num_users = instance.num_users();
@@ -295,7 +307,8 @@ int main(int argc, char** argv) {
         width = std::max(width, info.name.size());
       for (const ProtocolInfo& info : protocol_registry())
         std::cout << info.name << std::string(width - info.name.size() + 2, ' ')
-                  << info.description << '\n';
+                  << info.description
+                  << (info.active_set ? "  [active-set]" : "") << '\n';
       return 0;
     }
     const std::string mode = args.get_string("mode", "run");

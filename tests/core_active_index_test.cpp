@@ -1,0 +1,137 @@
+// Property tests for the incremental satisfaction index (PR 3 tentpole):
+// after long random move sequences the incrementally maintained unsatisfied
+// set and satisfied counter must equal a from-scratch recompute — on the
+// unit model (core/state) and the weighted model (core/weighted), where one
+// move can flip a whole window of users on both endpoint resources.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/generators.hpp"
+#include "core/state.hpp"
+#include "core/weighted/weighted_generators.hpp"
+#include "core/weighted/weighted_state.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace qoslb {
+namespace {
+
+constexpr std::size_t kMoves = 10000;
+// A full unsatisfied-set comparison is O(n log n); doing it on a stride (plus
+// once at the end) keeps the test fast while the O(1) counter is checked
+// after every single move.
+constexpr std::size_t kSetCheckStride = 250;
+
+template <typename StateT>
+std::vector<UserId> brute_force_unsatisfied(const StateT& state) {
+  std::vector<UserId> unsat;
+  for (UserId u = 0; u < state.num_users(); ++u)
+    if (!state.satisfied(u)) unsat.push_back(u);
+  return unsat;
+}
+
+template <typename StateT>
+std::size_t brute_force_satisfied(const StateT& state) {
+  std::size_t count = 0;
+  for (UserId u = 0; u < state.num_users(); ++u)
+    if (state.satisfied(u)) ++count;
+  return count;
+}
+
+template <typename StateT>
+void expect_index_matches_recompute(const StateT& state) {
+  std::vector<UserId> tracked(state.unsatisfied_view().begin(),
+                              state.unsatisfied_view().end());
+  std::sort(tracked.begin(), tracked.end());
+  EXPECT_EQ(tracked, brute_force_unsatisfied(state));
+  state.check_invariants();
+}
+
+template <typename StateT>
+void random_walk(StateT& state, Xoshiro256& rng) {
+  const std::size_t n = state.num_users();
+  const std::size_t m = state.num_resources();
+  state.enable_satisfaction_tracking();
+  expect_index_matches_recompute(state);
+  for (std::size_t i = 0; i < kMoves; ++i) {
+    const auto u = static_cast<UserId>(uniform_u64_below(rng, n));
+    // Includes self-moves (r == current resource), which must be no-ops.
+    const auto r = static_cast<ResourceId>(uniform_u64_below(rng, m));
+    state.move(u, r);
+    ASSERT_EQ(state.count_satisfied(), brute_force_satisfied(state))
+        << "after move " << i << " of user " << u << " to " << r;
+    if ((i + 1) % kSetCheckStride == 0) expect_index_matches_recompute(state);
+  }
+  expect_index_matches_recompute(state);
+}
+
+TEST(SatisfactionIndexProperty, UnitModelMatchesRecomputeOverRandomMoves) {
+  for (const std::uint64_t seed : {1u, 7u, 99u}) {
+    Xoshiro256 rng(seed);
+    const Instance instance = make_uniform_feasible(512, 32, 0.3, 1.5, rng);
+    State state = State::random(instance, rng);
+    random_walk(state, rng);
+  }
+}
+
+TEST(SatisfactionIndexProperty, UnitModelFromCongestedStart) {
+  // all_on(0) makes resource 0 massively over threshold: the first moves
+  // flip long runs of users at once, stressing the bucket-range updates.
+  Xoshiro256 rng(5);
+  const Instance instance = make_uniform_feasible(512, 16, 0.2, 1.5, rng);
+  State state = State::all_on(instance, 0);
+  random_walk(state, rng);
+}
+
+TEST(SatisfactionIndexProperty, WeightedModelMatchesRecomputeOverRandomMoves) {
+  for (const std::uint64_t seed : {2u, 13u}) {
+    Xoshiro256 rng(seed);
+    const WeightedInstance instance =
+        make_weighted_feasible(384, 16, 0.3, /*weight_classes=*/4,
+                               /*skew=*/0.8, rng);
+    WeightedState state = WeightedState::random(instance, rng);
+    random_walk(state, rng);
+  }
+}
+
+TEST(SatisfactionIndexProperty, WeightedModelFromCongestedStart) {
+  Xoshiro256 rng(11);
+  const WeightedInstance instance =
+      make_weighted_feasible(384, 12, 0.25, /*weight_classes=*/5,
+                             /*skew=*/0.5, rng);
+  WeightedState state = WeightedState::all_on(instance, 0);
+  random_walk(state, rng);
+}
+
+TEST(SatisfactionIndexProperty, TrackingEnabledMidSequenceAgrees) {
+  // Enabling the index after untracked moves must rebuild to the same set a
+  // tracked-from-the-start walk reaches: the index is a pure function of the
+  // current assignment.
+  Xoshiro256 rng(21);
+  const Instance instance = make_uniform_feasible(256, 16, 0.3, 1.5, rng);
+  State tracked = State::round_robin(instance);
+  State late = State::round_robin(instance);
+  tracked.enable_satisfaction_tracking();
+  for (std::size_t i = 0; i < 2000; ++i) {
+    const auto u = static_cast<UserId>(uniform_u64_below(rng, 256));
+    const auto r = static_cast<ResourceId>(uniform_u64_below(rng, 16));
+    tracked.move(u, r);
+    late.move(u, r);
+  }
+  late.enable_satisfaction_tracking();
+  std::vector<UserId> a(tracked.unsatisfied_view().begin(),
+                        tracked.unsatisfied_view().end());
+  std::vector<UserId> b(late.unsatisfied_view().begin(),
+                        late.unsatisfied_view().end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(tracked.count_satisfied(), late.count_satisfied());
+}
+
+}  // namespace
+}  // namespace qoslb

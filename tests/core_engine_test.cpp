@@ -1,19 +1,23 @@
-// qoslb::Engine — the unified run facade (PR 2).
+// qoslb::Engine — the unified run facade (PR 2) and the active-set round
+// engine (PR 3).
 //
-// Covers the three contracts the sharded round engine stands on:
-//   1. thread-count invariance: kSharded produces bit-identical results for
-//      any worker count, because randomness is keyed by (seed, round, shard)
-//      and shard geometry never depends on the thread count;
-//   2. step_range/commit_round equivalence: splitting a round's user range
-//      into shards that share one sequential RNG is exactly the default
-//      step() — the decide phase is range-local by construction;
+// Covers the contracts the engine stands on:
+//   1. mode/thread invariance: dense and active-set modes, every tested
+//      thread count, and the kSequential policy all produce bit-identical
+//      assignments, trajectories, and counters, because randomness is keyed
+//      by (seed, round, user) and commits merge in shard order;
+//   2. step_users splitting equivalence: slicing a round's user list into
+//      shards that share one RoundRng is exactly the default step() — each
+//      user's draws come from its own substream;
 //   3. facade regressions: Engine::run_async_admission matches the PR 1
 //      fault-tolerant DES results, sharded execution falls back to the
-//      sequential driver for protocols without step_range, and the
-//      deprecated run_protocol shim routes through the same engine.
+//      sequential driver for protocols without step_users, and the
+//      deprecated run_protocol shim routes through the same engine;
+//   4. the (seed, round, user) substream golden values are frozen.
 
 #include <gtest/gtest.h>
 
+#include <numeric>
 #include <vector>
 
 #include "core/runner.hpp"  // deprecated shim — deliberately not in qoslb.hpp
@@ -45,23 +49,51 @@ void expect_counters_eq(const Counters& a, const Counters& b) {
   EXPECT_EQ(a.rounds, b.rounds);
 }
 
-// ---- 1. thread-count invariance ----
+// ---- 1. mode and thread-count invariance ----
 
 struct ShardedCase {
   std::string kind;
   double lambda;
 };
 
-class ShardedDeterminism : public ::testing::TestWithParam<ShardedCase> {};
+const std::vector<ShardedCase>& sharded_cases() {
+  static const std::vector<ShardedCase> kCases = {
+      {"uniform", 0.5},      {"adaptive", 1.0},      {"admission", 1.0},
+      {"nbr-uniform", 0.5},  {"nbr-admission", 1.0}, {"berenbrink", 1.0}};
+  return kCases;
+}
 
-TEST_P(ShardedDeterminism, IdenticalForEveryThreadCount) {
+std::string case_name(const ::testing::TestParamInfo<ShardedCase>& info) {
+  std::string name = info.param.kind;
+  for (char& c : name)
+    if (c == '-') c = '_';
+  return name;
+}
+
+class ModeThreadInvariance : public ::testing::TestWithParam<ShardedCase> {};
+
+TEST_P(ModeThreadInvariance, DenseActiveAndEveryThreadCountMatch) {
   const ShardedCase& param = GetParam();
   const Instance instance = test_instance(2000, 32);
   const Graph ring = make_ring(32);
 
+  struct RunCase {
+    EngineMode mode;
+    RoundExecution execution;
+    std::size_t threads;
+  };
+  std::vector<RunCase> cases;
+  cases.push_back({EngineMode::kDense, RoundExecution::kAuto, 1});  // reference
+  for (const std::size_t threads : {2u, 4u, 8u})
+    cases.push_back({EngineMode::kDense, RoundExecution::kAuto, threads});
+  for (const std::size_t threads : {1u, 2u, 4u, 8u})
+    cases.push_back({EngineMode::kActive, RoundExecution::kAuto, threads});
+  cases.push_back({EngineMode::kDense, RoundExecution::kSequential, 8});
+
   std::vector<ResourceId> reference;
   EngineResult reference_result;
-  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+  bool have_reference = false;
+  for (const RunCase& run : cases) {
     State state = State::all_on(instance, 0);
     ProtocolSpec spec;
     spec.kind = param.kind;
@@ -69,45 +101,45 @@ TEST_P(ShardedDeterminism, IdenticalForEveryThreadCount) {
     spec.graph = &ring;
     const auto protocol = make_protocol(spec);
     EngineConfig config;
-    config.execution = RoundExecution::kSharded;
-    config.threads = threads;
-    config.shard_size = 128;  // 16 shards — every worker count shares them
+    config.mode = run.mode;
+    config.execution = run.execution;
+    config.threads = run.threads;
+    config.shard_size = 128;
     config.max_rounds = 400;
+    config.record_trajectory = true;
     Xoshiro256 rng(77);
     const EngineResult result = Engine(config).run(*protocol, state, rng);
+    state.check_invariants();  // incremental index == recompute
 
-    if (threads == 1) {
+    if (!have_reference) {
       reference = assignment_of(state);
       reference_result = result;
+      have_reference = true;
       continue;
     }
-    EXPECT_EQ(assignment_of(state), reference) << "threads=" << threads;
-    EXPECT_EQ(result.rounds, reference_result.rounds) << "threads=" << threads;
-    EXPECT_EQ(result.final_satisfied, reference_result.final_satisfied);
-    EXPECT_EQ(result.converged, reference_result.converged);
+    const std::string label =
+        (run.mode == EngineMode::kActive ? "active" : "dense") +
+        std::string(" threads=") + std::to_string(run.threads);
+    EXPECT_EQ(assignment_of(state), reference) << label;
+    EXPECT_EQ(result.rounds, reference_result.rounds) << label;
+    EXPECT_EQ(result.final_satisfied, reference_result.final_satisfied)
+        << label;
+    EXPECT_EQ(result.converged, reference_result.converged) << label;
+    EXPECT_EQ(result.unsatisfied_trajectory,
+              reference_result.unsatisfied_trajectory)
+        << label;
     expect_counters_eq(result.counters, reference_result.counters);
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    AllShardedProtocols, ShardedDeterminism,
-    ::testing::Values(ShardedCase{"uniform", 0.5}, ShardedCase{"adaptive", 1.0},
-                      ShardedCase{"admission", 1.0},
-                      ShardedCase{"nbr-uniform", 0.5},
-                      ShardedCase{"nbr-admission", 1.0},
-                      ShardedCase{"berenbrink", 1.0}),
-    [](const auto& info) {
-      std::string name = info.param.kind;
-      for (char& c : name)
-        if (c == '-') c = '_';
-      return name;
-    });
+INSTANTIATE_TEST_SUITE_P(AllShardedProtocols, ModeThreadInvariance,
+                         ::testing::ValuesIn(sharded_cases()), case_name);
 
-// ---- 2. step_range splitting is exactly step() ----
+// ---- 2. step_users splitting is exactly step() ----
 
-class StepRangeEquivalence : public ::testing::TestWithParam<ShardedCase> {};
+class StepUsersEquivalence : public ::testing::TestWithParam<ShardedCase> {};
 
-TEST_P(StepRangeEquivalence, SplitRangesMatchFullStep) {
+TEST_P(StepUsersEquivalence, SplitUserListsMatchFullStep) {
   const ShardedCase& param = GetParam();
   const Instance instance = test_instance(600, 16, 3);
   const Graph ring = make_ring(16);
@@ -117,7 +149,7 @@ TEST_P(StepRangeEquivalence, SplitRangesMatchFullStep) {
   spec.graph = &ring;
   const auto whole = make_protocol(spec);
   const auto split = make_protocol(spec);
-  ASSERT_TRUE(whole->supports_step_range());
+  ASSERT_TRUE(whole->supports_step_users());
 
   State state_whole = State::all_on(instance, 0);
   State state_split = State::all_on(instance, 0);
@@ -126,18 +158,21 @@ TEST_P(StepRangeEquivalence, SplitRangesMatchFullStep) {
   const UserId n = static_cast<UserId>(instance.num_users());
   const UserId cut = n / 3;
 
+  std::vector<UserId> users(n);
+  std::iota(users.begin(), users.end(), UserId{0});
+
   for (int round = 0; round < 12; ++round) {
     whole->step(state_whole, rng_whole, counters_whole);
 
-    // Two shards sharing one sequential RNG consume the exact same draws in
-    // the exact same order as the full-range default step().
+    // Two shards of the user list under the same round key draw the exact
+    // same per-user substreams as the full-range default step().
     const std::vector<int> snapshot = state_split.loads();
     std::vector<MigrationBuffer> shards(2);
-    AnyRng any(rng_split);
-    split->step_range(state_split, snapshot, 0, cut, shards[0], any,
-                      counters_split);
-    split->step_range(state_split, snapshot, cut, n, shards[1], any,
-                      counters_split);
+    const RoundRng streams(rng_split(), 0);
+    split->step_users(state_split, snapshot, users.data(), cut, shards[0],
+                      streams, counters_split);
+    split->step_users(state_split, snapshot, users.data() + cut, n - cut,
+                      shards[1], streams, counters_split);
     split->commit_round(state_split, shards, counters_split);
 
     ASSERT_EQ(assignment_of(state_split), assignment_of(state_whole))
@@ -146,19 +181,8 @@ TEST_P(StepRangeEquivalence, SplitRangesMatchFullStep) {
   expect_counters_eq(counters_split, counters_whole);
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    AllShardedProtocols, StepRangeEquivalence,
-    ::testing::Values(ShardedCase{"uniform", 0.5}, ShardedCase{"adaptive", 1.0},
-                      ShardedCase{"admission", 1.0},
-                      ShardedCase{"nbr-uniform", 0.5},
-                      ShardedCase{"nbr-admission", 1.0},
-                      ShardedCase{"berenbrink", 1.0}),
-    [](const auto& info) {
-      std::string name = info.param.kind;
-      for (char& c : name)
-        if (c == '-') c = '_';
-      return name;
-    });
+INSTANTIATE_TEST_SUITE_P(AllShardedProtocols, StepUsersEquivalence,
+                         ::testing::ValuesIn(sharded_cases()), case_name);
 
 // ---- 3. facade regressions ----
 
@@ -195,10 +219,10 @@ TEST(EngineAsync, MatchesFaultTolerantGoldenRun) {
   EXPECT_EQ(engine_result.faults.dropped, direct.faults.dropped);
 }
 
-TEST(EngineSharded, FallsBackToSequentialWithoutStepRange) {
+TEST(EngineSharded, FallsBackToSequentialWithoutStepUsers) {
   const Instance instance = test_instance(400, 16, 5);
   ProtocolSpec spec;
-  spec.kind = "seq-br";  // no step_range implementation
+  spec.kind = "seq-br";  // no step_users implementation
 
   EngineConfig sharded;
   sharded.execution = RoundExecution::kSharded;
@@ -284,6 +308,19 @@ TEST(Registry, EveryKindHasInfoAndBuilds) {
   }
 }
 
+TEST(Registry, ActiveSetFlagsMatchTheProtocols) {
+  const Graph ring = make_ring(8);
+  for (const ProtocolInfo& info : protocol_registry()) {
+    ProtocolSpec spec;
+    spec.kind = info.name;
+    spec.graph = &ring;
+    const auto protocol = make_protocol(spec);
+    EXPECT_EQ(info.active_set, protocol->active_set_compatible()) << info.name;
+    // active_set implies the sharded hooks exist at all.
+    if (info.active_set) EXPECT_TRUE(protocol->supports_step_users());
+  }
+}
+
 TEST(Registry, NewKindsForwardTheirKnobs) {
   ProtocolSpec cached;
   cached.kind = "cached";
@@ -300,6 +337,34 @@ TEST(Registry, NewKindsForwardTheirKnobs) {
 }
 
 // ---- substream scheme ----
+
+// Frozen golden values of the (seed, round, user) keying (PR 3 re-keying).
+// If these change, every sharded/active trajectory in the repo changes:
+// that is a breaking re-keying and needs a deliberate golden regeneration.
+TEST(RoundRng, PerUserStreamGoldenValues) {
+  const RoundRng streams(/*master_seed=*/42, /*round=*/0);
+  EXPECT_EQ(streams.round_key(), UINT64_C(0xBDD732262FEB6E95));
+  PhiloxEngine user7 = streams.user_stream(7);
+  EXPECT_EQ(user7(), UINT64_C(0x4C925A257DB22086));
+  EXPECT_EQ(user7(), UINT64_C(0x1B9A5AB6CF16A8C3));
+  EXPECT_EQ(RoundRng(42, 1).user_stream(7)(), UINT64_C(0x44DBAEE9715E047F));
+  EXPECT_EQ(RoundRng(42, 0).user_stream(8)(), UINT64_C(0x8D2E921EAA7768CF));
+  EXPECT_EQ(RoundRng(43, 0).user_stream(7)(), UINT64_C(0x672524B1553B9689));
+}
+
+TEST(RoundRng, StreamsAreSeekableAndPrivate) {
+  const RoundRng streams(7, 3);
+  // Re-materializing a user's stream restarts it at position 0: the draw
+  // sequence is a pure function of (seed, round, user).
+  PhiloxEngine a = streams.user_stream(123);
+  const std::uint64_t first = a();
+  const std::uint64_t second = a();
+  PhiloxEngine b = streams.user_stream(123);
+  EXPECT_EQ(b(), first);
+  EXPECT_EQ(b(), second);
+  // Distinct users draw from decorrelated streams.
+  EXPECT_NE(streams.user_stream(124)(), first);
+}
 
 TEST(ParallelRoundEngine, SubstreamKeysAreStableAndDistinct) {
   const std::uint64_t base = ParallelRoundEngine::substream_key(42, 0, 0);

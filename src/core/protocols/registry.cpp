@@ -73,8 +73,13 @@ const std::vector<Entry>& entries() {
         "neighborhood-restricted sampling with admission commit (P5)",
         /*active_set=*/true},
        make_neighborhood},
+      // Deliberately dense-only (qoslb-lint QL004 checks the pairing):
+      // every user — satisfied or not — probes and may move each round, so
+      // the active-set precondition (satisfied users draw no randomness)
+      // does not hold; see berenbrink.hpp.
       {{"berenbrink",
-        "classic selfish load balancing, QoS-oblivious baseline (P6)"},
+        "classic selfish load balancing, QoS-oblivious baseline (P6)",
+        /*active_set=*/false},
        [](const ProtocolSpec&) {
          return std::make_unique<BerenbrinkBalancing>();
        }},

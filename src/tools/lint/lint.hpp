@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+// qoslb-lint: the repo's determinism-contract static-analysis pass.
+//
+// The engine's headline guarantee — bit-identical trajectories across
+// dense/active execution modes and any thread count — rests on source-level
+// conventions (all randomness through per-(seed, round, user) Philox
+// substreams, no order-dependent container walks in hot paths, no wall-clock
+// reads in the simulation core). This pass encodes those conventions as
+// machine-checked rules over the source tree: a token-level scan (comments
+// and string literals stripped) plus lightweight cross-file contract checks.
+// No libclang: the rules are deliberately simple enough to run anywhere the
+// repo builds. See docs/static-analysis.md for the full contract.
+namespace qoslb::lint {
+
+/// One registered rule: stable ID (QLxxx) plus a one-line summary.
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// Every rule, in ID order.
+const std::vector<RuleInfo>& rules();
+
+/// One violation. `file` is relative to the scanned root with '/' separators;
+/// `line` is 1-based (0 for tree-level findings with no anchor line).
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+struct Options {
+  /// Root of the tree to scan. Scans *.cpp/*.hpp/*.h/*.cc under it,
+  /// skipping build trees (build*, bench-build, CMakeFiles, _deps, .git)
+  /// and the checked-in violation fixtures (tests/lint_fixtures).
+  std::string root;
+};
+
+/// Scans the tree and returns all unsuppressed findings sorted by
+/// (file, line, rule). A finding on line L is suppressed by a
+/// `// qoslb-lint: allow(QLxxx)` comment on line L or on a directly
+/// preceding comment-only line; `// qoslb-lint: allow-file(QLxxx)` anywhere
+/// in a file suppresses the rule for the whole file.
+std::vector<Finding> run(const Options& options);
+
+/// Renders findings in the human `file:line: [QLxxx] message` form, or the
+/// machine-consumable `rule<TAB>file<TAB>line` form when `fix_list` is set.
+std::string format(const std::vector<Finding>& findings, bool fix_list);
+
+}  // namespace qoslb::lint

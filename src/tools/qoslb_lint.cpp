@@ -1,0 +1,77 @@
+// qoslb-lint — the determinism-contract static-analysis pass.
+//
+// Scans a source tree for violations of the conventions the engine's
+// bit-identical-replay guarantee rests on (see docs/static-analysis.md) and
+// exits non-zero when any are found, so it can gate CI alongside the build
+// and sanitizer jobs. Deliberately standalone: std library only, no libclang,
+// no dependency on the simulation targets.
+//
+// Usage:
+//   qoslb_lint [--root DIR] [--fix-list] [--list-rules]
+//
+//   --root DIR    tree to scan (default: current directory)
+//   --fix-list    machine-consumable output: rule<TAB>file<TAB>line
+//   --list-rules  print the rule table and exit
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.hpp"
+
+namespace {
+
+int usage(std::ostream& out, int code) {
+  out << "usage: qoslb_lint [--root DIR] [--fix-list] [--list-rules]\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool fix_list = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (arg == "--list-rules") {
+      for (const qoslb::lint::RuleInfo& rule : qoslb::lint::rules())
+        std::cout << rule.id << "  " << rule.summary << "\n";
+      return 0;
+    } else if (arg == "--fix-list") {
+      fix_list = true;
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else {
+      std::cerr << "qoslb_lint: unknown argument '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    }
+  }
+  if (!std::filesystem::is_directory(root)) {
+    std::cerr << "qoslb_lint: '" << root << "' is not a directory\n";
+    return 2;
+  }
+
+  std::vector<qoslb::lint::Finding> findings;
+  try {
+    findings = qoslb::lint::run({root});
+  } catch (const std::exception& e) {
+    std::cerr << "qoslb_lint: " << e.what() << "\n";
+    return 2;
+  }
+  std::cout << qoslb::lint::format(findings, fix_list);
+  if (findings.empty()) {
+    std::cerr << "qoslb-lint: clean\n";
+    return 0;
+  }
+  std::cerr << "qoslb-lint: " << findings.size()
+            << " finding(s); suppress a deliberate exception with "
+               "'// qoslb-lint: allow(QLxxx)'\n";
+  return 1;
+}

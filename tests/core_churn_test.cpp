@@ -82,10 +82,11 @@ TEST(Churn, FailResourceRelocatesAndRenumbers) {
   for (const ResourceId r : next.assignment) EXPECT_LT(r, 3u);
   // Users previously on resources 2,3 are now on 1,2 respectively.
   for (UserId u = 0; u < 40; ++u) {
-    if (world.assignment[u] >= 2)
+    if (world.assignment[u] >= 2) {
       EXPECT_EQ(next.assignment[u], world.assignment[u] - 1);
-    else if (world.assignment[u] == 0)
+    } else if (world.assignment[u] == 0) {
       EXPECT_EQ(next.assignment[u], 0u);
+    }
   }
   State state(next.instance, next.assignment);
   state.check_invariants();

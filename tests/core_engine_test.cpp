@@ -317,7 +317,9 @@ TEST(Registry, ActiveSetFlagsMatchTheProtocols) {
     const auto protocol = make_protocol(spec);
     EXPECT_EQ(info.active_set, protocol->active_set_compatible()) << info.name;
     // active_set implies the sharded hooks exist at all.
-    if (info.active_set) EXPECT_TRUE(protocol->supports_step_users());
+    if (info.active_set) {
+      EXPECT_TRUE(protocol->supports_step_users());
+    }
   }
 }
 

@@ -229,7 +229,9 @@ TEST(AdmissionControl, NeverOvershootsAdmittedThresholds) {
       was_satisfied[u] = s.state.satisfied(u);
     protocol.step(s.state, s.rng, counters);
     for (UserId u = 0; u < s.state.num_users(); ++u)
-      if (was_satisfied[u]) ASSERT_TRUE(s.state.satisfied(u)) << "u=" << u;
+      if (was_satisfied[u]) {
+        ASSERT_TRUE(s.state.satisfied(u)) << "u=" << u;
+      }
   }
 }
 
@@ -303,7 +305,9 @@ TEST(NeighborhoodSampling, OnlyMovesAlongEdges) {
   protocol.step(state, rng, counters);
   for (UserId u = 0; u < 40; ++u) {
     const ResourceId now = state.resource_of(u);
-    if (now != before[u]) EXPECT_TRUE(ring.has_edge(before[u], now));
+    if (now != before[u]) {
+      EXPECT_TRUE(ring.has_edge(before[u], now));
+    }
   }
 }
 

@@ -47,8 +47,9 @@ TEST(Runner, TrajectoryRecordsEveryRound) {
   const RunResult result = run_protocol(protocol, state, rng, config);
   EXPECT_TRUE(result.converged);
   EXPECT_EQ(result.unsatisfied_trajectory.size(), result.rounds);
-  if (!result.unsatisfied_trajectory.empty())
+  if (!result.unsatisfied_trajectory.empty()) {
     EXPECT_EQ(result.unsatisfied_trajectory.back(), 0u);
+  }
 }
 
 TEST(Runner, StuckEquilibriumReportedConvergedNotSatisfied) {

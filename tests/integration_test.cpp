@@ -39,8 +39,9 @@ TEST(Integration, ProtocolsNeverBeatTheCentralizedOptimum) {
       const RunResult result = run_protocol(*protocol, state, run_rng, config);
       EXPECT_LE(static_cast<int>(result.final_satisfied), opt)
           << kind << " seed=" << seed;
-      if (result.converged)
+      if (result.converged) {
         EXPECT_TRUE(protocol->is_stable(state)) << kind << " seed=" << seed;
+      }
     }
   }
 }

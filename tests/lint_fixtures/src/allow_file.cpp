@@ -1,0 +1,13 @@
+// qoslb-lint: allow-file(QL001) fixture: file-wide suppression
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace fx {
+
+void scramble(std::vector<int>& v) {
+  std::mt19937 gen(1);
+  std::shuffle(v.begin(), v.end(), gen);
+}
+
+}  // namespace fx

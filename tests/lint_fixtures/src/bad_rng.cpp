@@ -1,0 +1,10 @@
+#include <random>
+
+namespace fx {
+
+int draw() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}
+
+}  // namespace fx

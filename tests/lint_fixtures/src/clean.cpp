@@ -1,0 +1,5 @@
+namespace fx {
+
+int add(int a, int b) { return a + b; }
+
+}  // namespace fx

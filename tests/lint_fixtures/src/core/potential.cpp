@@ -1,0 +1,9 @@
+namespace fx {
+
+float potential_of(const float* costs, int n) {
+  float total = 0.0F;
+  for (int i = 0; i < n; ++i) total += costs[i];
+  return total;
+}
+
+}  // namespace fx

@@ -1,0 +1,14 @@
+#pragma once
+
+namespace fx {
+
+class Protocol;
+
+// Claims active-set compatibility but never declares step_users(): the
+// QL004 fixture violation.
+class BadProtocol : public Protocol {
+ public:
+  bool active_set_compatible() const { return true; }
+};
+
+}  // namespace fx

@@ -1,0 +1,14 @@
+#pragma once
+
+namespace fx {
+
+class Protocol;
+
+// Consistent active-set protocol: declares both halves of the contract.
+class GoodProtocol : public Protocol {
+ public:
+  bool active_set_compatible() const { return true; }
+  void step_users(const int* users, int count);
+};
+
+}  // namespace fx

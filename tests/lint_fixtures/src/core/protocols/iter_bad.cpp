@@ -1,0 +1,14 @@
+#include <unordered_map>
+
+namespace fx {
+
+int sum_loads(const std::unordered_map<int, int>& by_resource) {
+  std::unordered_map<int, int> local = by_resource;
+  int total = 0;
+  for (const auto& kv : local) total += kv.second;
+  const auto first = local.begin();
+  if (first != local.cend()) total += first->second;
+  return total;
+}
+
+}  // namespace fx

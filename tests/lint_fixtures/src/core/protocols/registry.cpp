@@ -1,0 +1,55 @@
+// Miniature protocol registry mirroring the real table idiom, for the QL004
+// cross-file contract check. Entries: two consistent ones (one through a
+// delegating builder), one declaring active_set over a class without
+// step_users(), and one understating a class that is active-set capable.
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/protocols/bad_protocol.hpp"
+#include "core/protocols/good_protocol.hpp"
+
+namespace fx {
+
+struct ProtocolSpec {
+  std::string kind;
+};
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+};
+
+struct Info {
+  std::string name;
+  std::string description;
+  bool active_set = false;
+};
+
+struct Entry {
+  Info info;
+  std::function<std::unique_ptr<Protocol>(const ProtocolSpec&)> build;
+};
+
+std::unique_ptr<Protocol> make_good(const ProtocolSpec& spec) {
+  (void)spec;
+  return std::make_unique<GoodProtocol>();
+}
+
+const std::vector<Entry>& entries() {
+  static const std::vector<Entry> kEntries = {
+      {{"good", "consistent active-set entry", /*active_set=*/true},
+       [](const ProtocolSpec&) { return std::make_unique<GoodProtocol>(); }},
+      {{"good-delegated", "resolves through a helper", /*active_set=*/true},
+       make_good},
+      {{"bad", "declares active set, class lacks the hook",
+        /*active_set=*/true},
+       [](const ProtocolSpec&) { return std::make_unique<BadProtocol>(); }},
+      {{"understated", "class is active-set capable, entry says false"},
+       [](const ProtocolSpec&) { return std::make_unique<GoodProtocol>(); }},
+  };
+  return kEntries;
+}
+
+}  // namespace fx

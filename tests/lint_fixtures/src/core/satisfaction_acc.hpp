@@ -1,0 +1,14 @@
+#pragma once
+
+namespace fx {
+
+// qoslb-lint: allow(QL005) fixture: suppression on the preceding line
+inline float suppressed_ratio() { return 0.5F; }
+
+inline double accumulate(const double* xs, int n) {
+  float drifty = 0.0F;
+  for (int i = 0; i < n; ++i) drifty += static_cast<float>(xs[i]);
+  return drifty;
+}
+
+}  // namespace fx

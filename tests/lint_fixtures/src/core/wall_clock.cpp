@@ -1,0 +1,14 @@
+#include <chrono>
+#include <cstdlib>
+
+#include "util/timer.hpp"
+
+namespace fx {
+
+long wall_seed() {
+  const auto now = std::chrono::system_clock::now();
+  const char* env = std::getenv("FX_SEED");
+  return env != nullptr ? 0L : now.time_since_epoch().count();
+}
+
+}  // namespace fx

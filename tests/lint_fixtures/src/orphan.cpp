@@ -1,0 +1,6 @@
+// Deliberately absent from the fixture CMakeLists.txt: QL004 reachability.
+namespace fx {
+
+int orphan() { return 1; }
+
+}  // namespace fx

@@ -1,0 +1,12 @@
+#include <random>
+
+namespace fx {
+
+// Standard engines are legal inside src/rng/ — this models the one place
+// keyed wrappers over raw engines get built.
+unsigned keyed_draw(unsigned seed) {
+  std::mt19937 gen(seed);
+  return gen();
+}
+
+}  // namespace fx

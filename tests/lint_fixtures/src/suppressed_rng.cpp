@@ -1,0 +1,10 @@
+#include <random>
+
+namespace fx {
+
+int draw_seeded() {
+  std::mt19937 gen(7);  // qoslb-lint: allow(QL001) fixture: same-line allow
+  return static_cast<int>(gen());
+}
+
+}  // namespace fx

@@ -26,7 +26,9 @@ TEST(Complete, AllPairsAdjacent) {
   EXPECT_EQ(diameter(g), 1u);
   for (Vertex a = 0; a < 6; ++a)
     for (Vertex b = 0; b < 6; ++b)
-      if (a != b) EXPECT_TRUE(g.has_edge(a, b));
+      if (a != b) {
+        EXPECT_TRUE(g.has_edge(a, b));
+      }
 }
 
 TEST(Complete, SingleVertex) {
@@ -143,8 +145,9 @@ TEST(SmallWorld, RewiringShrinksDiameter) {
   const Graph lattice = make_small_world(64, 2, 0.0, rng);
   const Graph rewired = make_small_world(64, 2, 0.3, rng);
   ASSERT_TRUE(is_connected(lattice));
-  if (is_connected(rewired))
+  if (is_connected(rewired)) {
     EXPECT_LE(diameter(rewired), diameter(lattice));
+  }
 }
 
 TEST(SmallWorld, EdgeCountPreserved) {

@@ -85,15 +85,18 @@ TEST_P(ProtocolGrid, InvariantsHoldEndToEnd) {
     // I2 — counter sanity.
     const Counters& c = result.counters;
     EXPECT_EQ(c.grants + c.rejects, c.migrate_requests);
-    if (std::string(grid.protocol).find("admission") != std::string::npos)
+    if (std::string(grid.protocol).find("admission") != std::string::npos) {
       EXPECT_EQ(c.grants, c.migrations);
+    }
     EXPECT_EQ(c.messages(),
               2 * c.probes + c.migrate_requests + c.grants + c.rejects +
                   c.migrations);
     EXPECT_EQ(c.rounds, result.rounds);
 
     // I3 — converged means stable under the protocol's own notion.
-    if (result.converged) EXPECT_TRUE(protocol->is_stable(state));
+    if (result.converged) {
+      EXPECT_TRUE(protocol->is_stable(state));
+    }
 
     // I4 — never above the exact optimum (identical-capacity families only;
     // the exact optimizer needs one threshold per user).
@@ -155,9 +158,10 @@ TEST_P(SatisfiedStayPut, AcrossRounds) {
     }
     protocol->step(state, rng, counters);
     for (UserId u = 0; u < state.num_users(); ++u)
-      if (was_satisfied[u])
+      if (was_satisfied[u]) {
         ASSERT_EQ(state.resource_of(u), before[u])
             << "round " << round << " user " << u;
+      }
   }
 }
 

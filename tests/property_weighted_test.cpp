@@ -61,8 +61,12 @@ TEST_P(WeightedGrid, InvariantsHoldEndToEnd) {
 
     const Counters& c = result.counters;
     EXPECT_EQ(c.grants + c.rejects, c.migrate_requests);
-    if (grid.protocol == 1) EXPECT_EQ(c.grants, c.migrations);
-    if (result.converged) EXPECT_TRUE(protocol->is_stable(state));
+    if (grid.protocol == 1) {
+      EXPECT_EQ(c.grants, c.migrations);
+    }
+    if (result.converged) {
+      EXPECT_TRUE(protocol->is_stable(state));
+    }
     EXPECT_LE(result.final_satisfied_weight, instance.total_weight());
 
     return std::make_tuple(result.rounds, result.final_satisfied,

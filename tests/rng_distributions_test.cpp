@@ -36,7 +36,9 @@ TEST_P(UniformBelowBound, StaysInRangeAndHitsAllValues) {
     ASSERT_LT(v, bound);
     seen.insert(v);
   }
-  if (bound <= 16) EXPECT_EQ(seen.size(), bound);
+  if (bound <= 16) {
+    EXPECT_EQ(seen.size(), bound);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Bounds, UniformBelowBound,

@@ -1,0 +1,151 @@
+// Self-tests for qoslb-lint (src/tools/lint): runs the rule engine against
+// the known-violation fixture tree under tests/lint_fixtures/ and asserts
+// exact rule hits, that the suppression syntax works, and — the gate the CI
+// lint job relies on — that the repository tree itself is clean.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.hpp"
+
+namespace {
+
+using qoslb::lint::Finding;
+
+std::vector<Finding> fixture_findings() {
+  static const std::vector<Finding> kFindings =
+      qoslb::lint::run({QOSLB_LINT_FIXTURES_DIR});
+  return kFindings;
+}
+
+std::vector<Finding> findings_for(const std::string& file) {
+  std::vector<Finding> out;
+  for (const Finding& f : fixture_findings())
+    if (f.file == file) out.push_back(f);
+  return out;
+}
+
+std::vector<int> lines_of(const std::vector<Finding>& fs) {
+  std::vector<int> lines;
+  for (const Finding& f : fs) lines.push_back(f.line);
+  return lines;
+}
+
+TEST(LintRules, RuleTableIsStable) {
+  std::vector<std::string> ids;
+  for (const qoslb::lint::RuleInfo& r : qoslb::lint::rules())
+    ids.push_back(r.id);
+  EXPECT_EQ(ids, (std::vector<std::string>{"QL001", "QL002", "QL003", "QL004",
+                                           "QL005", "QL006"}));
+}
+
+TEST(LintRules, ExactFixtureHitCounts) {
+  std::map<std::pair<std::string, std::string>, int> counts;
+  for (const Finding& f : fixture_findings()) ++counts[{f.file, f.rule}];
+  const std::map<std::pair<std::string, std::string>, int> expected = {
+      {{".clang-format-allowlist", "QL006"}, 1},
+      {{"src/bad_rng.cpp", "QL001"}, 1},
+      {{"src/core/potential.cpp", "QL005"}, 2},
+      {{"src/core/protocols/iter_bad.cpp", "QL002"}, 3},
+      {{"src/core/protocols/registry.cpp", "QL004"}, 2},
+      {{"src/core/satisfaction_acc.hpp", "QL005"}, 2},
+      {{"src/core/wall_clock.cpp", "QL003"}, 3},
+      {{"src/orphan.cpp", "QL004"}, 1},
+  };
+  EXPECT_EQ(counts, expected);
+}
+
+TEST(LintRules, Ql001AnchorsTheBannedLine) {
+  const std::vector<Finding> fs = findings_for("src/bad_rng.cpp");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "QL001");
+  EXPECT_EQ(fs[0].line, 6);
+  EXPECT_NE(fs[0].message.find("std::mt19937"), std::string::npos);
+}
+
+TEST(LintRules, Ql002FlagsRangeForAndIteratorWalks) {
+  const std::vector<Finding> fs =
+      findings_for("src/core/protocols/iter_bad.cpp");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{8, 9, 10}));
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "QL002");
+}
+
+TEST(LintRules, Ql003FlagsClockEnvAndTimerInclude) {
+  const std::vector<Finding> fs = findings_for("src/core/wall_clock.cpp");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{4, 9, 10}));
+  EXPECT_NE(fs[0].message.find("util/timer.hpp"), std::string::npos);
+  EXPECT_NE(fs[1].message.find("system_clock"), std::string::npos);
+  EXPECT_NE(fs[2].message.find("getenv"), std::string::npos);
+}
+
+TEST(LintRules, Ql004CatchesBothRegistryMismatchDirections) {
+  const std::vector<Finding> fs =
+      findings_for("src/core/protocols/registry.cpp");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_NE(fs[0].message.find("'bad'"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("does not define step_users"),
+            std::string::npos);
+  EXPECT_NE(fs[1].message.find("'understated'"), std::string::npos);
+  EXPECT_NE(fs[1].message.find("returns true"), std::string::npos);
+}
+
+TEST(LintRules, Ql004FlagsCMakeOrphans) {
+  const std::vector<Finding> fs = findings_for("src/orphan.cpp");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "QL004");
+  EXPECT_NE(fs[0].message.find("CMakeLists.txt"), std::string::npos);
+}
+
+TEST(LintRules, Ql006FlagsStaleAllowlistEntries) {
+  const std::vector<Finding> fs = findings_for(".clang-format-allowlist");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].line, 3);
+  EXPECT_NE(fs[0].message.find("src/not_there.cpp"), std::string::npos);
+}
+
+TEST(LintSuppressions, SameLineAllowSilencesTheFinding) {
+  EXPECT_TRUE(findings_for("src/suppressed_rng.cpp").empty());
+}
+
+TEST(LintSuppressions, PrecedingCommentLineAllowWorks) {
+  // satisfaction_acc.hpp has one float suppressed by a comment line directly
+  // above it and two unsuppressed ones; only the latter may surface.
+  const std::vector<Finding> fs =
+      findings_for("src/core/satisfaction_acc.hpp");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{9, 10}));
+}
+
+TEST(LintSuppressions, AllowFileSilencesTheWholeFile) {
+  EXPECT_TRUE(findings_for("src/allow_file.cpp").empty());
+}
+
+TEST(LintScope, RngDirectoryMayUseStandardEngines) {
+  EXPECT_TRUE(findings_for("src/rng/keyed_ok.cpp").empty());
+}
+
+TEST(LintScope, CleanFileHasNoFindings) {
+  EXPECT_TRUE(findings_for("src/clean.cpp").empty());
+}
+
+TEST(LintFormat, HumanAndFixListRenderings) {
+  const std::vector<Finding> one = {{"QL001", "src/x.cpp", 7, "boom"}};
+  EXPECT_EQ(qoslb::lint::format(one, /*fix_list=*/false),
+            "src/x.cpp:7: [QL001] boom\n");
+  EXPECT_EQ(qoslb::lint::format(one, /*fix_list=*/true),
+            "QL001\tsrc/x.cpp\t7\n");
+}
+
+// The acceptance gate: the repository tree itself must be clean. Any
+// violation reintroduced anywhere in src/, bench/, tests/, or examples/
+// fails this test with the offending file:line in the message.
+TEST(LintTree, RepositoryIsClean) {
+  const std::vector<Finding> fs = qoslb::lint::run({QOSLB_REPO_ROOT_DIR});
+  EXPECT_TRUE(fs.empty()) << qoslb::lint::format(fs, /*fix_list=*/false);
+}
+
+}  // namespace

@@ -64,6 +64,19 @@ class JsonRow {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
+/// Telemetry-aware timing triple. `wall` is what the stopwatch saw around
+/// the run; `sink` is the time the run spent inside trace/metrics sinks
+/// (obs::RunTelemetry::sink_seconds(), zero when no sink was attached);
+/// `sim` = wall - sink is the simulation cost alone. Benches that can attach
+/// sinks must emit the triple instead of a bare seconds field so BENCH_*.json
+/// rows stay comparable whether telemetry was on or off.
+inline JsonRow& timing_fields(JsonRow& row, const std::string& prefix,
+                              double wall_seconds, double sink_seconds) {
+  return row.field(prefix + "wall_seconds", wall_seconds)
+      .field(prefix + "sink_seconds", sink_seconds)
+      .field(prefix + "sim_seconds", wall_seconds - sink_seconds);
+}
+
 /// Collects rows and writes `{"bench": ..., "rows": [...]}` to a file.
 class BenchJson {
  public:

@@ -19,16 +19,24 @@
 //
 // Knobs: --n, --m, --protocol (an [active-set] kind), --lambda, --threads,
 // --rounds (safety cap), --tail-frac, --slack, --het (threshold spread),
-// --graph (nbr-* kinds), plus the common --reps/--seed/--csv.
+// --graph (nbr-* kinds), plus the common --reps/--seed/--csv. Telemetry:
+// --trace-out=FILE attaches a JSONL trace sink and --metrics-out=FILE a
+// metrics registry to the timed runs; sink time is measured separately and
+// subtracted, so the reported sim seconds stay comparable either way.
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "bench_common.hpp"
 #include "bench_json.hpp"
 #include "net/generators.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "util/timer.hpp"
 
 using namespace qoslb;
@@ -50,7 +58,9 @@ std::uint64_t fnv1a_assignment(const State& state) {
 
 struct ModeResult {
   double head_seconds = 0.0;
-  double tail_seconds = 1e100;  // best over reps
+  double tail_wall_seconds = 0.0;
+  double tail_sink_seconds = 0.0;
+  double tail_sim_seconds = 1e100;  // best over reps (wall minus sink time)
   std::uint64_t tail_rounds = 0;
   std::uint64_t total_rounds = 0;
   bool converged = false;
@@ -76,7 +86,24 @@ int main(int argc, char** argv) {
   const double slack = args.get_double("slack", 0.05);
   const double het = args.get_double("het", 1.0);
   const std::string graph_kind = args.get_string("graph", "torus");
+  const std::string trace_path = args.get_string("trace-out", "");
+  const std::string metrics_path = args.get_string("metrics-out", "");
   args.finish();
+
+  // Optional telemetry on the timed tail runs. Sinks are shared across reps
+  // and modes (one JSONL stream with a begin/end block per run, one metrics
+  // registry accumulating over all runs); the determinism contract keeps the
+  // realizations bit-identical with or without them.
+  obs::MetricsRegistry metrics;
+  obs::SteadyClock telemetry_clock;
+  std::ofstream trace_file;
+  std::optional<obs::JsonlTraceSink> trace_sink;
+  if (!trace_path.empty()) {
+    trace_file.open(trace_path);
+    if (!trace_file) throw std::runtime_error("cannot write " + trace_path);
+    trace_sink.emplace(trace_file);
+  }
+  const bool telemetry_on = !trace_path.empty() || !metrics_path.empty();
 
   Xoshiro256 gen_rng(common.seed);
   const Instance instance = make_uniform_feasible(n, m, slack, het, gen_rng);
@@ -161,12 +188,20 @@ int main(int argc, char** argv) {
       const EngineResult head = Engine(config).run(*protocol, state, rng);
       const double head_seconds = head_watch.seconds();
       config.max_rounds = rounds_cap;
+      if (telemetry_on) {  // telemetry on the timed tail only
+        config.telemetry.metrics = metrics_path.empty() ? nullptr : &metrics;
+        config.telemetry.sink = trace_sink ? &*trace_sink : nullptr;
+        config.telemetry.clock = &telemetry_clock;
+      }
       Stopwatch tail_watch;
       const EngineResult tail = Engine(config).run(*protocol, state, rng);
-      const double tail_seconds = tail_watch.seconds();
-      if (tail_seconds < out.tail_seconds) {
+      const double tail_wall = tail_watch.seconds();
+      const double tail_sink = tail.telemetry.sink_seconds();
+      if (tail_wall - tail_sink < out.tail_sim_seconds) {
         out.head_seconds = head_seconds;
-        out.tail_seconds = tail_seconds;
+        out.tail_wall_seconds = tail_wall;
+        out.tail_sink_seconds = tail_sink;
+        out.tail_sim_seconds = tail_wall - tail_sink;
       }
       out.tail_rounds = tail.rounds;
       out.total_rounds = head.rounds + tail.rounds;
@@ -179,11 +214,13 @@ int main(int argc, char** argv) {
   const ModeResult dense = run_mode(EngineMode::kDense);
   const ModeResult active = run_mode(EngineMode::kActive);
   const bool identical = dense.hash == active.hash;
-  const double tail_speedup = dense.tail_seconds / active.tail_seconds;
+  // Speedup compares simulation cost alone — with a sink attached, the wall
+  // ratio would be dominated by sink I/O, not by the round-cost claim.
+  const double tail_speedup = dense.tail_sim_seconds / active.tail_sim_seconds;
 
   TablePrinter table({"mode", "threads", "rounds", "tail_rounds",
-                      "head_seconds", "tail_seconds", "tail_speedup",
-                      "converged", "hash"});
+                      "head_seconds", "tail_sim_s", "tail_sink_s",
+                      "tail_speedup", "converged", "hash"});
   BenchJson json("e22_active_set");
   const auto emit_row = [&](const std::string& mode, const ModeResult& r,
                             double speedup) {
@@ -192,23 +229,24 @@ int main(int argc, char** argv) {
         .cell(static_cast<unsigned long long>(r.total_rounds))
         .cell(static_cast<unsigned long long>(r.tail_rounds))
         .cell(r.head_seconds, 5)
-        .cell(r.tail_seconds, 5)
+        .cell(r.tail_sim_seconds, 5)
+        .cell(r.tail_sink_seconds, 5)
         .cell(speedup)
         .cell(r.converged ? "yes" : "no")
         .cell(static_cast<unsigned long long>(r.hash))
         .end_row();
-    json.add_row()
-        .field("mode", mode)
+    JsonRow& row = json.add_row();
+    row.field("mode", mode)
         .field("n", static_cast<unsigned long long>(n))
         .field("m", static_cast<unsigned long long>(m))
         .field("protocol", kind)
         .field("threads", static_cast<long long>(threads))
         .field("rounds", static_cast<unsigned long long>(r.total_rounds))
         .field("tail_start", static_cast<unsigned long long>(tail_start))
-        .field("tail_rounds", static_cast<unsigned long long>(r.tail_rounds))
-        .field("head_seconds", r.head_seconds)
-        .field("tail_seconds", r.tail_seconds)
-        .field("tail_speedup_vs_dense", speedup)
+        .field("tail_rounds", static_cast<unsigned long long>(r.tail_rounds));
+    timing_fields(row, "head_", r.head_seconds, 0.0);  // head is never traced
+    timing_fields(row, "tail_", r.tail_wall_seconds, r.tail_sink_seconds);
+    row.field("tail_speedup_vs_dense", speedup)
         .field("converged", r.converged)
         .field("assignment_hash", static_cast<unsigned long long>(r.hash));
   };
@@ -222,5 +260,13 @@ int main(int argc, char** argv) {
                           : "equivalence: FAILED — dense and active final "
                             "assignments differ\n");
   json.write("BENCH_active.json");
+  if (!metrics_path.empty()) {
+    std::ofstream metrics_out(metrics_path);
+    if (!metrics_out) {
+      std::cerr << "warning: cannot write " << metrics_path << '\n';
+    } else {
+      metrics.write_jsonl(metrics_out);
+    }
+  }
   return identical ? 0 : 1;
 }

@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/trace.hpp"
+#include "obs/trace_sink.hpp"
 
 using namespace qoslb;
 using namespace qoslb::bench;
@@ -38,8 +38,15 @@ int main(int argc, char** argv) {
     spec.kind = kind;
     spec.lambda = lambda;
     const auto protocol = make_protocol(spec);
-    TraceRecorder recorder;
-    const auto records = recorder.run(*protocol, state, rng, 10000);
+    // Per-round rows come from the engine's trace sink (the TraceRecorder
+    // successor); period 1 keeps the recorder's check-every-round semantics.
+    obs::MemoryTraceSink sink;
+    EngineConfig config;
+    config.max_rounds = 10000;
+    config.stability_check_period = 1;
+    config.telemetry.sink = &sink;
+    Engine(config).run(*protocol, state, rng);
+    const auto& records = sink.rows();
     for (std::size_t i = 0; i < records.size(); ++i) {
       const double ratio =
           i == 0 || records[i - 1].unsatisfied == 0

@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/phase_timer.hpp"
 #include "rng/distributions.hpp"
 #include "sim/des.hpp"
 #include "util/check.hpp"
@@ -590,6 +591,13 @@ AsyncRunResult run_async(const Instance& instance, const AsyncConfig& config,
 
   AsyncRunResult result;
   DesEngine engine(config.seed, config.latency_jitter);
+  // The DES keeps this clock at its virtual time, so the kEventDispatch
+  // phase below measures virtual (deterministic) seconds — the async
+  // instantiation of the Clock-injection pattern (docs/observability.md).
+  // Attaching it is observational: the engine never reads it back.
+  obs::VirtualClock virtual_clock;
+  const bool telemetry_on = config.telemetry.any();
+  if (telemetry_on) engine.set_clock(&virtual_clock);
   // Each user keeps O(1) requests in flight and resources answer one-for-one,
   // so the pending set stays near 2n + m; pre-sizing it keeps the scheduling
   // path reallocation-free.
@@ -635,7 +643,18 @@ AsyncRunResult run_async(const Instance& instance, const AsyncConfig& config,
     resources[start]->seed_resident(id, instance.threshold(u, start));
   }
 
-  result.events = engine.run(config.max_events);
+  {
+    obs::ScopedPhase dispatch(telemetry_on ? &virtual_clock : nullptr,
+                              &result.telemetry.phases,
+                              obs::Phase::kEventDispatch);
+    result.events = engine.run(config.max_events);
+  }
+  if (telemetry_on) {
+    result.telemetry.enabled = true;
+    // One ScopedPhase interval, but the natural "count" for the dispatch
+    // bucket is deliveries, not run() calls.
+    result.telemetry.phases[obs::Phase::kEventDispatch].count = result.events;
+  }
   result.virtual_time = engine.now();
   result.counters.events = result.events;
   result.hit_event_cap = engine.pending() > 0;

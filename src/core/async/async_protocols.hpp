@@ -47,6 +47,9 @@ struct AsyncRunResult {
   bool hit_event_cap = false;  // convenience: termination == kEventCap
   Counters counters;
   FaultStats faults;           // what the injector actually did (zero if off)
+  /// kEventDispatch phase seconds are *virtual* seconds (the DES drives an
+  /// obs::VirtualClock); count is the number of deliveries.
+  obs::RunTelemetry telemetry;
 };
 
 /// Runs the asynchronous admission protocol — the message-passing

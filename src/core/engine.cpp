@@ -4,8 +4,11 @@
 #include <numeric>
 
 #include "core/async/async_protocols.hpp"
+#include "core/potential.hpp"
 #include "core/weighted/weighted_protocols.hpp"
 #include "core/weighted/weighted_state.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "rng/splitmix64.hpp"
 #include "sim/parallel_round_engine.hpp"
 #include "sim/round_engine.hpp"
@@ -13,6 +16,143 @@
 
 namespace qoslb {
 namespace {
+
+/// Exports the run's final counters, fault stats, state gauges, and phase
+/// timers into the attached MetricsRegistry (catalog in
+/// docs/observability.md). Called once per run, after the loop — never from
+/// the hot path.
+void export_metrics(const obs::Telemetry& options, EngineResult& result,
+                    const State* state) {
+  if (options.metrics == nullptr) return;
+  obs::MetricsRegistry& m = *options.metrics;
+  const Counters& c = result.counters;
+  m.add(m.counter("engine/rounds"), c.rounds);
+  m.add(m.counter("engine/migrations"), c.migrations);
+  m.add(m.counter("engine/messages"), c.messages());
+  m.add(m.counter("engine/probes"), c.probes);
+  m.add(m.counter("engine/migrate_requests"), c.migrate_requests);
+  m.add(m.counter("engine/grants"), c.grants);
+  m.add(m.counter("engine/rejects"), c.rejects);
+  m.add(m.counter("engine/timeouts"), c.timeouts);
+  m.add(m.counter("engine/retries"), c.retries);
+  m.add(m.counter("engine/stale_drops"), c.stale_drops);
+  m.add(m.counter("trace/rows"), result.telemetry.trace_rows);
+  m.set(m.gauge("engine/threads"), static_cast<double>(result.threads_used));
+  if (result.events > 0 || result.virtual_time > 0.0) {
+    m.add(m.counter("des/events"), result.events);
+    m.set(m.gauge("des/virtual_time"), result.virtual_time);
+  }
+  if (result.faults.total() > 0) {
+    m.add(m.counter("faults/dropped"), result.faults.dropped);
+    m.add(m.counter("faults/duplicated"), result.faults.duplicated);
+    m.add(m.counter("faults/delayed"), result.faults.delayed);
+    m.add(m.counter("faults/crash_dropped"), result.faults.crash_dropped);
+  }
+  if (state != nullptr) {
+    m.set(m.gauge("state/unsatisfied"),
+          static_cast<double>(state->count_unsatisfied()));
+    m.set(m.gauge("state/max_load"), static_cast<double>(state->max_load()));
+    m.set(m.gauge("state/potential"), rosenthal_potential(*state));
+  }
+  for (std::size_t i = 0; i < obs::kNumPhases; ++i) {
+    const obs::PhaseStat& stat = result.telemetry.phases.stats[i];
+    if (stat.count == 0) continue;
+    const auto phase = static_cast<obs::Phase>(i);
+    m.set(m.gauge(std::string("phase/") + obs::phase_name(phase) +
+                  "_seconds"),
+          stat.seconds);
+  }
+}
+
+/// Per-run driver for config.telemetry. Every hook reads simulation state
+/// from the driving thread, strictly between rounds, and feeds nothing back
+/// — which is why sinks on/off cannot change the realization
+/// (tests/core_telemetry_test.cpp pins the assignment hashes).
+class TelemetryDriver {
+ public:
+  TelemetryDriver(const obs::Telemetry& options, EngineResult& result,
+                  const Protocol& protocol, const State& state,
+                  std::uint64_t seed, std::size_t threads, const char* mode)
+      : options_(options), result_(&result) {
+    if (!options_.any()) return;
+    result_->telemetry.enabled = true;
+    if (options_.sink != nullptr) {
+      obs::TraceRunInfo info;
+      info.protocol = protocol.name();
+      info.users = state.num_users();
+      info.resources = state.num_resources();
+      info.seed = seed;
+      info.threads = threads;
+      info.mode = mode;
+      options_.sink->begin_run(info);
+    }
+    if (options_.metrics != nullptr) {
+      const auto hi =
+          static_cast<double>(std::max<std::size_t>(state.num_users(), 1));
+      active_hist_ =
+          options_.metrics->histogram("engine/active_set_size", 0.0, hi, 32);
+    }
+  }
+
+  const obs::Clock* clock() const { return options_.clock; }
+  obs::PhaseTimers* timers() { return &result_->telemetry.phases; }
+
+  /// Round-boundary hook (round 0 = the pre-run snapshot): samples the
+  /// active-set-size histogram for executed rounds and emits the trace row,
+  /// thinned by trace_every (round 0 and — via finish() — the final round
+  /// are always kept).
+  void round_row(std::uint64_t round, const State& state,
+                 std::uint64_t active_size) {
+    if (round != 0 && active_hist_.valid())
+      options_.metrics->observe(active_hist_,
+                                static_cast<double>(active_size));
+    if (options_.sink == nullptr) return;
+    if (round != 0 && options_.trace_every > 1 &&
+        round % options_.trace_every != 0) {
+      // Held back; finish() flushes it if this stays the run's last round
+      // (the state it would describe is then still the current state).
+      pending_ = true;
+      pending_round_ = round;
+      pending_active_ = active_size;
+      return;
+    }
+    emit(round, state, active_size);
+  }
+
+  /// Flushes a held-back final row, closes the sink, exports the metrics.
+  void finish(const State& state) {
+    if (!options_.any()) return;
+    if (options_.sink != nullptr) {
+      if (pending_) emit(pending_round_, state, pending_active_);
+      options_.sink->end_run();
+    }
+    export_metrics(options_, *result_, &state);
+  }
+
+ private:
+  void emit(std::uint64_t round, const State& state,
+            std::uint64_t active_size) {
+    pending_ = false;
+    obs::ScopedPhase phase(options_.clock, timers(), obs::Phase::kTrace);
+    obs::TraceRow row;
+    row.round = round;
+    row.unsatisfied = state.count_unsatisfied();
+    row.migrations = result_->counters.migrations;
+    row.messages = result_->counters.messages();
+    row.max_load = state.max_load();
+    row.potential = rosenthal_potential(state);
+    row.active_size = active_size;
+    options_.sink->row(row);
+    ++result_->telemetry.trace_rows;
+  }
+
+  obs::Telemetry options_;
+  EngineResult* result_;
+  obs::HistogramHandle active_hist_;
+  bool pending_ = false;
+  std::uint64_t pending_round_ = 0;
+  std::uint64_t pending_active_ = 0;
+};
 
 /// Classic sequential driver (the former runner.cpp ProtocolTask) for
 /// protocols that only implement step(): one step() per round, the
@@ -23,21 +163,30 @@ namespace {
 class SequentialTask : public RoundTask {
  public:
   SequentialTask(Protocol& protocol, State& state, Xoshiro256& rng,
-                 const EngineConfig& config, EngineResult& result)
+                 const EngineConfig& config, EngineResult& result,
+                 TelemetryDriver& telemetry)
       : protocol_(&protocol), state_(&state), rng_(&rng), config_(&config),
-        result_(&result) {}
+        result_(&result), telemetry_(&telemetry) {}
 
   void round(std::uint64_t round_index) override {
     (void)round_index;
-    protocol_->step(*state_, *rng_, result_->counters);
+    {
+      obs::ScopedPhase phase(telemetry_->clock(), telemetry_->timers(),
+                             obs::Phase::kStep);
+      protocol_->step(*state_, *rng_, result_->counters);
+    }
     ++result_->counters.rounds;
     if (config_->record_trajectory)
       result_->unsatisfied_trajectory.push_back(
           static_cast<std::uint32_t>(state_->count_unsatisfied()));
     ++rounds_done_;
+    // step() scans every user, so the round's active size is n.
+    telemetry_->round_row(rounds_done_, *state_, state_->num_users());
   }
 
   bool converged() const override {
+    obs::ScopedPhase phase(telemetry_->clock(), telemetry_->timers(),
+                           obs::Phase::kSatisfactionCheck);
     // Fast path: full satisfaction implies stability for the satisfaction
     // protocols and is cheap to confirm for the others.
     if (state_->count_satisfied() == state_->num_users())
@@ -53,6 +202,7 @@ class SequentialTask : public RoundTask {
   Xoshiro256* rng_;
   const EngineConfig* config_;
   EngineResult* result_;
+  TelemetryDriver* telemetry_;
   std::uint64_t rounds_done_ = 0;
 };
 
@@ -88,7 +238,16 @@ class UserSetRoundTask : public ShardedRoundTask {
                           shard_counters_[shard]);
   }
 
+  /// Phase-timer hookup (driving thread only; null clock = no reads).
+  void set_telemetry(const obs::Clock* clock, obs::PhaseTimers* timers) {
+    clock_ = clock;
+    timers_ = timers;
+  }
+
   void commit() override {
+    // commit() runs on the caller thread after the decide fan-out joined,
+    // so timing it here races with nothing.
+    obs::ScopedPhase phase(clock_, timers_, obs::Phase::kCommit);
     for (const Counters& shard : shard_counters_) *counters_ += shard;
     protocol_->commit_round(*state_, shards_, *counters_);
   }
@@ -97,6 +256,8 @@ class UserSetRoundTask : public ShardedRoundTask {
   Protocol* protocol_;
   State* state_;
   Counters* counters_;
+  const obs::Clock* clock_ = nullptr;
+  obs::PhaseTimers* timers_ = nullptr;
   const std::vector<UserId>* users_ = nullptr;
   RoundRng streams_;
   std::vector<int> snapshot_;
@@ -115,6 +276,7 @@ EngineResult from_async(const AsyncRunResult& async) {
   result.counters = async.counters;
   result.faults = async.faults;
   result.rounds = async.counters.rounds;
+  result.telemetry = async.telemetry;
   return result;
 }
 
@@ -140,7 +302,10 @@ EngineResult Engine::run(Protocol& protocol, State& state,
 EngineResult Engine::run_sequential(Protocol& protocol, State& state,
                                     Xoshiro256& rng) const {
   EngineResult result;
-  SequentialTask task(protocol, state, rng, config_, result);
+  TelemetryDriver telemetry(config_.telemetry, result, protocol, state,
+                            config_.seed, /*threads=*/1, "sequential");
+  telemetry.round_row(0, state, 0);
+  SequentialTask task(protocol, state, rng, config_, result, telemetry);
   const RoundRunResult rounds = run_rounds(task, config_.max_rounds);
   result.rounds = rounds.rounds;
   result.converged = rounds.converged;
@@ -149,6 +314,7 @@ EngineResult Engine::run_sequential(Protocol& protocol, State& state,
   result.final_satisfied = state.count_satisfied();
   result.all_satisfied = result.final_satisfied == state.num_users();
   result.threads_used = 1;
+  telemetry.finish(state);
   return result;
 }
 
@@ -178,8 +344,17 @@ EngineResult Engine::run_step_users(Protocol& protocol, State& state,
     std::iota(iteration.begin(), iteration.end(), UserId{0});
   }
 
+  TelemetryDriver telemetry(config_.telemetry, result, protocol, state,
+                            options.seed, engine.threads(),
+                            active ? "active" : "dense");
+  const obs::Clock* clock = config_.telemetry.clock;
+  obs::PhaseTimers* timers = &result.telemetry.phases;
+  task.set_telemetry(clock, timers);
+  telemetry.round_row(0, state, 0);
+
   std::uint64_t rounds_done = 0;
   const auto converged = [&] {
+    obs::ScopedPhase phase(clock, timers, obs::Phase::kSatisfactionCheck);
     if (state.count_satisfied() == n) return protocol.is_stable(state);
     if (rounds_done % config_.stability_check_period == 0)
       return protocol.is_stable(state);
@@ -200,13 +375,28 @@ EngineResult Engine::run_step_users(Protocol& protocol, State& state,
         std::sort(iteration.begin(), iteration.end());
       }
       task.set_round(iteration, RoundRng(options.seed, r));
-      engine.round(task, iteration.size(), r);
+      if (clock != nullptr) {
+        // The decide fan-out joins inside round() and commit() runs on this
+        // thread, so round-wall minus the commit's own bucket delta is the
+        // decide (step) time — no per-worker clock reads needed.
+        const double commit_before =
+            (*timers)[obs::Phase::kCommit].seconds;
+        const double start = clock->now();
+        engine.round(task, iteration.size(), r);
+        const double elapsed = clock->now() - start;
+        timers->add(obs::Phase::kStep,
+                    elapsed - ((*timers)[obs::Phase::kCommit].seconds -
+                               commit_before));
+      } else {
+        engine.round(task, iteration.size(), r);
+      }
       ++result.counters.rounds;
       ++result.rounds;
       ++rounds_done;
       if (config_.record_trajectory)
         result.unsatisfied_trajectory.push_back(
             static_cast<std::uint32_t>(n - state.count_satisfied()));
+      telemetry.round_row(rounds_done, state, iteration.size());
       if (converged()) {
         result.converged = true;
         break;
@@ -219,6 +409,7 @@ EngineResult Engine::run_step_users(Protocol& protocol, State& state,
   result.final_satisfied = state.count_satisfied();
   result.all_satisfied = result.final_satisfied == n;
   result.threads_used = engine.threads();
+  telemetry.finish(state);
   return result;
 }
 
@@ -229,16 +420,26 @@ EngineResult Engine::run_weighted(WeightedProtocol& protocol,
   EngineResult result;
   protocol.reset();
   state.enable_satisfaction_tracking();
+  // Weighted runs fill metrics and phase timers; trace rows are a State
+  // concept and stay empty (docs/observability.md).
+  result.telemetry.enabled = config_.telemetry.any();
+  const obs::Clock* clock = config_.telemetry.clock;
+  obs::PhaseTimers* timers = &result.telemetry.phases;
   for (std::uint64_t round = 0; round <= config_.max_rounds; ++round) {
     const std::size_t satisfied = state.count_satisfied();
     const bool check_now = round % config_.stability_check_period == 0;
-    if ((satisfied == state.num_users() || check_now) &&
-        protocol.is_stable(state)) {
-      result.converged = true;
-      break;
+    if (satisfied == state.num_users() || check_now) {
+      obs::ScopedPhase phase(clock, timers, obs::Phase::kSatisfactionCheck);
+      if (protocol.is_stable(state)) {
+        result.converged = true;
+        break;
+      }
     }
     if (round == config_.max_rounds) break;
-    protocol.step(state, rng, result.counters);
+    {
+      obs::ScopedPhase phase(clock, timers, obs::Phase::kStep);
+      protocol.step(state, rng, result.counters);
+    }
     ++result.counters.rounds;
     ++result.rounds;
   }
@@ -247,16 +448,22 @@ EngineResult Engine::run_weighted(WeightedProtocol& protocol,
   result.final_satisfied = state.count_satisfied();
   result.final_satisfied_weight = state.satisfied_weight();
   result.all_satisfied = result.final_satisfied == state.num_users();
+  export_metrics(config_.telemetry, result, nullptr);
   return result;
 }
 
 EngineResult Engine::run_async_admission(const Instance& instance) const {
-  return from_async(::qoslb::run_async_admission(instance, config_));
+  EngineResult result = from_async(::qoslb::run_async_admission(instance, config_));
+  export_metrics(config_.telemetry, result, nullptr);
+  return result;
 }
 
 EngineResult Engine::run_async_optimistic(const Instance& instance,
                                           double lambda) const {
-  return from_async(::qoslb::run_async_optimistic(instance, lambda, config_));
+  EngineResult result =
+      from_async(::qoslb::run_async_optimistic(instance, lambda, config_));
+  export_metrics(config_.telemetry, result, nullptr);
+  return result;
 }
 
 }  // namespace qoslb

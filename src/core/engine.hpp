@@ -5,6 +5,7 @@
 
 #include "core/protocol.hpp"
 #include "core/state.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/accounting.hpp"
 #include "sim/faults.hpp"
 #include "util/backoff.hpp"
@@ -86,6 +87,14 @@ struct EngineConfig {
   ExponentialBackoff backoff;
   /// Arm timeouts/sequence numbers even with an inert fault plan (testing).
   bool force_timeouts = false;
+
+  // --- observability (see docs/observability.md) ---
+  /// Optional metrics registry / trace sink / phase clock. All borrowed, all
+  /// null by default. Telemetry is read-only with respect to the run: with
+  /// any combination attached, the realization (assignments, counters,
+  /// round counts) is bit-identical to the all-null configuration — a
+  /// contract tested across thread counts and engine modes.
+  obs::Telemetry telemetry;
 };
 
 /// The one run result. Supersedes RunResult / AsyncRunResult /
@@ -105,6 +114,9 @@ struct EngineResult {
   FaultStats faults;  // what the injector actually did (zero if off)
   /// Unsatisfied count after each round (only if record_trajectory).
   std::vector<std::uint32_t> unsatisfied_trajectory;
+  /// Phase timers and trace-row accounting (enabled iff config.telemetry
+  /// attached anything; zero otherwise).
+  obs::RunTelemetry telemetry;
 };
 
 /// The unified run facade: one configuration, one result, every execution

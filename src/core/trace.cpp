@@ -1,37 +1,38 @@
 #include "core/trace.hpp"
 
-#include "core/potential.hpp"
-#include "sim/accounting.hpp"
+#include "core/engine.hpp"
+#include "obs/trace_sink.hpp"
 #include "util/csv.hpp"
 
 namespace qoslb {
-namespace {
-
-RoundRecord snapshot(std::uint64_t round, const State& state,
-                     const Counters& counters) {
-  RoundRecord rec;
-  rec.round = round;
-  rec.unsatisfied = static_cast<std::uint32_t>(state.count_unsatisfied());
-  rec.migrations = counters.migrations;
-  rec.messages = counters.messages();
-  rec.max_load = state.max_load();
-  rec.potential = rosenthal_potential(state);
-  return rec;
-}
-
-}  // namespace
 
 std::vector<RoundRecord> TraceRecorder::run(Protocol& protocol, State& state,
                                             Xoshiro256& rng,
                                             std::uint64_t max_rounds) {
-  protocol.reset();
-  Counters counters;
+  // The recorder's historical round loop is gone: a trace is now an Engine
+  // run with an in-memory sink and a per-round stability check (the
+  // recorder always checked every round). Note the engine realization for
+  // step_users protocols derives one master seed per run instead of
+  // re-drawing the caller's RNG per step — deterministic in (config, rng
+  // state) as before, but a different stream than the pre-PR 5 recorder.
+  obs::MemoryTraceSink sink;
+  EngineConfig config;
+  config.max_rounds = max_rounds;
+  config.stability_check_period = 1;
+  config.telemetry.sink = &sink;
+  Engine(config).run(protocol, state, rng);
+
   std::vector<RoundRecord> records;
-  records.push_back(snapshot(0, state, counters));
-  for (std::uint64_t round = 1; round <= max_rounds; ++round) {
-    if (protocol.is_stable(state)) break;
-    protocol.step(state, rng, counters);
-    records.push_back(snapshot(round, state, counters));
+  records.reserve(sink.rows().size());
+  for (const obs::TraceRow& row : sink.rows()) {
+    RoundRecord rec;
+    rec.round = row.round;
+    rec.unsatisfied = static_cast<std::uint32_t>(row.unsatisfied);
+    rec.migrations = row.migrations;
+    rec.messages = row.messages;
+    rec.max_load = static_cast<std::int32_t>(row.max_load);
+    rec.potential = row.potential;
+    records.push_back(rec);
   }
   return records;
 }

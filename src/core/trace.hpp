@@ -9,8 +9,9 @@
 
 namespace qoslb {
 
-/// One row of a per-round execution trace (E3's decay trajectories and the
-/// examples' progress output).
+/// Deprecated (kept one release): superseded by obs::TraceRow — attach an
+/// obs::TraceSink through EngineConfig::telemetry instead
+/// (docs/observability.md).
 struct RoundRecord {
   std::uint64_t round = 0;
   std::uint32_t unsatisfied = 0;
@@ -20,9 +21,12 @@ struct RoundRecord {
   double potential = 0.0;          // Rosenthal potential
 };
 
+/// Deprecated shim (kept one release): now a thin adapter over Engine + an
+/// in-memory obs::TraceSink — the former duplicated round loop is deleted.
 /// Runs `protocol` for at most `max_rounds`, recording a RoundRecord after
 /// every round (including a round-0 snapshot of the initial state). Stops
-/// early when the protocol is stable.
+/// early when the protocol is stable. New code: Engine with
+/// config.telemetry.sink (obs/trace_sink.hpp).
 class TraceRecorder {
  public:
   std::vector<RoundRecord> run(Protocol& protocol, State& state, Xoshiro256& rng,

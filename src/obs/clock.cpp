@@ -1,0 +1,11 @@
+#include "obs/clock.hpp"
+
+namespace qoslb::obs {
+
+double SteadyClock::now() const {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace qoslb::obs

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <chrono>
+
+namespace qoslb::obs {
+
+/// Opaque monotonic time source, injected into the engine by the caller.
+///
+/// This is the Clock-injection pattern that keeps QL003/QL007 clean without
+/// suppressions (docs/observability.md): the simulation core never names a
+/// wall clock — it times phases through a `const Clock*` it was handed (and
+/// does nothing when the pointer is null). Tools inject a SteadyClock;
+/// async runs inject the DES's VirtualClock, so "phase seconds" there are
+/// virtual seconds.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Seconds since an arbitrary epoch; monotone within one run.
+  virtual double now() const = 0;
+};
+
+/// The process-wide monotonic wall clock — the only sanctioned steady-clock
+/// read inside src/ (enforced by qoslb-lint QL007).
+class SteadyClock final : public Clock {
+ public:
+  double now() const override;
+};
+
+/// Manually-advanced deterministic clock. The DES drives one of these with
+/// its virtual time (DesEngine::set_clock), so phase timers attached to an
+/// async run measure virtual seconds and stay bit-reproducible.
+/// Fully inline on purpose: sim code can advance it without linking obs.
+class VirtualClock final : public Clock {
+ public:
+  double now() const override { return time_; }
+  void set(double time) { time_ = time; }
+
+ private:
+  double time_ = 0.0;
+};
+
+/// Monotonic stopwatch for experiment timing (moved here from
+/// util/timer.hpp, which remains as a deprecated shim).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace qoslb::obs

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/clock.hpp"
+
+namespace qoslb::obs {
+
+/// The engine's timed phase buckets. Sync rounds fill kStep/kCommit/
+/// kSatisfactionCheck; async runs fill kEventDispatch; sink writes (trace
+/// rows, progress lines) are accounted to kTrace so "sim seconds" can be
+/// reported net of telemetry I/O (bench/bench_json.hpp timing_fields).
+enum class Phase : std::uint8_t {
+  kStep = 0,           // decide fan-out (sharded) or protocol step()
+  kCommit,             // shard-ordered merge + commit_round
+  kSatisfactionCheck,  // convergence / stability checks
+  kTrace,              // trace-sink row emission (telemetry overhead)
+  kEventDispatch,      // DES event loop (virtual seconds)
+};
+
+inline constexpr std::size_t kNumPhases = 5;
+
+inline const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kStep: return "step";
+    case Phase::kCommit: return "commit";
+    case Phase::kSatisfactionCheck: return "satisfaction_check";
+    case Phase::kTrace: return "trace";
+    case Phase::kEventDispatch: return "event_dispatch";
+  }
+  return "?";
+}
+
+struct PhaseStat {
+  double seconds = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Per-run phase accumulator. Written only from the driving thread (the
+/// sharded decide fan-out is timed as a whole, not per worker), so there is
+/// nothing atomic here and nothing on the simulation path.
+struct PhaseTimers {
+  std::array<PhaseStat, kNumPhases> stats{};
+
+  PhaseStat& operator[](Phase phase) {
+    return stats[static_cast<std::size_t>(phase)];
+  }
+  const PhaseStat& operator[](Phase phase) const {
+    return stats[static_cast<std::size_t>(phase)];
+  }
+
+  void add(Phase phase, double seconds) {
+    PhaseStat& stat = (*this)[phase];
+    stat.seconds += seconds;
+    ++stat.count;
+  }
+
+  void merge(const PhaseTimers& other) {
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+      stats[i].seconds += other.stats[i].seconds;
+      stats[i].count += other.stats[i].count;
+    }
+  }
+};
+
+/// RAII phase timer. A null clock (telemetry off) makes construction and
+/// destruction free of clock reads — the call site needs no branch.
+class ScopedPhase {
+ public:
+  ScopedPhase(const Clock* clock, PhaseTimers* timers, Phase phase)
+      : clock_(timers != nullptr ? clock : nullptr), timers_(timers),
+        phase_(phase), start_(clock_ != nullptr ? clock_->now() : 0.0) {}
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  ~ScopedPhase() {
+    if (clock_ != nullptr) timers_->add(phase_, clock_->now() - start_);
+  }
+
+ private:
+  const Clock* clock_;
+  PhaseTimers* timers_;
+  Phase phase_;
+  double start_;
+};
+
+}  // namespace qoslb::obs

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+#include "obs/phase_timer.hpp"
+
+namespace qoslb::obs {
+
+class Clock;
+class MetricsRegistry;
+class TraceSink;
+
+/// Telemetry options on EngineConfig. Everything is borrowed and optional;
+/// all-null (the default) is the guaranteed-zero-overhead configuration.
+/// Whatever is attached, the realization is unchanged: telemetry reads the
+/// simulation, never feeds it (tests/core_telemetry_test.cpp pins the
+/// assignment hashes on vs. off across threads and modes).
+struct Telemetry {
+  /// Counters/gauges/histograms filled over the run and finalized with the
+  /// result (metrics catalog: docs/observability.md).
+  MetricsRegistry* metrics = nullptr;
+  /// Per-round trace rows (round-0 snapshot included). Only the synchronous
+  /// round paths produce rows; weighted and async runs fill metrics and
+  /// phase timers only.
+  TraceSink* sink = nullptr;
+  /// Phase-timer time source. Null disables timing; tools inject a
+  /// SteadyClock, async runs override with the DES virtual clock.
+  const Clock* clock = nullptr;
+  /// Emit every k-th round's row (the round-0 snapshot and the final round
+  /// are always emitted). 1 = every round.
+  std::uint64_t trace_every = 1;
+
+  bool any() const {
+    return metrics != nullptr || sink != nullptr || clock != nullptr;
+  }
+};
+
+/// Per-run telemetry snapshot on EngineResult.
+struct RunTelemetry {
+  bool enabled = false;  // any telemetry option was attached
+  PhaseTimers phases;
+  std::uint64_t trace_rows = 0;  // rows emitted to the sink
+
+  /// Wall time spent emitting trace rows — subtract from a measured wall
+  /// time to get sink-free "sim seconds" (bench_json timing_fields).
+  double sink_seconds() const { return phases[Phase::kTrace].seconds; }
+};
+
+}  // namespace qoslb::obs

@@ -12,6 +12,7 @@
 ///   - Protocol + the registry (make_protocol / protocol_registry)
 ///   - Instance / State and the generator families
 ///   - the weighted-user model and the async (DES) fault model
+///   - the observability layer (MetricsRegistry, TraceSink, Clock/Stopwatch)
 ///   - RNG (Xoshiro256, Philox substreams) and small table/CSV helpers
 
 #include "core/engine.hpp"
@@ -27,6 +28,10 @@
 #include "core/weighted/weighted_state.hpp"
 #include "net/generators.hpp"
 #include "net/graph.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace_sink.hpp"
 #include "rng/distributions.hpp"
 #include "rng/philox.hpp"
 #include "rng/xoshiro256.hpp"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/clock.hpp"
 #include "rng/distributions.hpp"
 #include "sim/faults.hpp"
 #include "util/check.hpp"
@@ -87,6 +88,7 @@ std::uint64_t DesEngine::run(std::uint64_t max_events) {
     queue_.pop_back();
     QOSLB_CHECK(next.time + 1e-12 >= now_, "time went backwards");
     now_ = next.time;
+    if (clock_ != nullptr) clock_->set(now_);
     ++delivered_;
     ++count;
     if (injector_ != nullptr && !injector_->deliverable(next.message, now_))

@@ -9,6 +9,10 @@
 
 namespace qoslb {
 
+namespace obs {
+class VirtualClock;
+}
+
 class DesEngine;
 class FaultInjector;
 
@@ -43,6 +47,12 @@ class DesEngine {
   /// Must be set before run(); with no injector the engine's behavior (and
   /// RNG stream) is bit-identical to an engine built without the hook.
   void set_fault_injector(FaultInjector* injector);
+
+  /// Attaches an observability clock (not owned; null detaches) that the
+  /// run loop keeps in sync with virtual time, so obs phase timers around
+  /// an async run measure virtual seconds. Purely observational: the clock
+  /// is written, never read, by the engine.
+  void set_clock(obs::VirtualClock* clock) { clock_ = clock; }
 
   /// Schedules delivery of `message` after `delay` (plus jitter) from now.
   void send(Message message, double delay = 1.0);
@@ -87,6 +97,7 @@ class DesEngine {
   /// of copying top() before the sift-down.
   std::vector<Scheduled> queue_;
   FaultInjector* injector_ = nullptr;
+  obs::VirtualClock* clock_ = nullptr;
   Xoshiro256 rng_;
   double jitter_;
   double now_ = 0.0;

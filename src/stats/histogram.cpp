@@ -46,6 +46,16 @@ double Histogram::bucket_hi(std::size_t bucket) const {
   return bucket_lo(bucket) + width_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  QOSLB_REQUIRE(lo_ == other.lo_ && hi_ == other.hi_ &&
+                    counts_.size() == other.counts_.size(),
+                "Histogram::merge requires identical binning");
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
 std::string Histogram::render(std::size_t max_width) const {
   std::size_t peak = 1;
   for (const std::size_t c : counts_) peak = std::max(peak, c);

@@ -22,6 +22,11 @@ class Histogram {
   double bucket_lo(std::size_t bucket) const;
   double bucket_hi(std::size_t bucket) const;
 
+  /// Adds another histogram's samples bucket-wise. Both histograms must
+  /// share [lo, hi) and the bucket count (QOSLB_REQUIRE otherwise) — used by
+  /// obs::MetricsRegistry::merge to fold per-shard histograms together.
+  void merge(const Histogram& other);
+
   /// Simple ASCII rendering ("[0.0,0.5)  ####### 14").
   std::string render(std::size_t max_width = 50) const;
 

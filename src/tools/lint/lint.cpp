@@ -616,6 +616,39 @@ void rule_ql006(const fs::path& root, std::vector<Finding>& out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// QL007 — steady-clock reads outside src/obs/
+// ---------------------------------------------------------------------------
+
+void rule_ql007(const SourceFile& f, std::vector<Finding>& out) {
+  if (!starts_with(f.rel, "src/")) return;
+  if (starts_with(f.rel, "src/obs/")) return;
+  // obs::SteadyClock::now() is the single sanctioned steady-clock read in
+  // src/; every other layer takes an injected obs::Clock* so telemetry can
+  // be timed without the simulation path ever touching a real clock.
+  static const std::vector<Pattern> kBanned = {
+      {std::regex(R"(\bsteady_clock\b)"), "std::chrono::steady_clock"},
+  };
+  scan_patterns(f, kBanned, "QL007",
+                " outside src/obs/ — read time through an injected "
+                "obs::Clock (obs/clock.hpp) so telemetry stays off the "
+                "simulation path",
+                out);
+  // Stricter inside the deterministic core: even the obs wrapper may not be
+  // *constructed* there — the core receives its Clock via
+  // EngineConfig::telemetry, injected by a tool or bench.
+  if (!starts_with(f.rel, "src/core/") && !starts_with(f.rel, "src/sim/"))
+    return;
+  static const std::vector<Pattern> kBannedCore = {
+      {std::regex(R"(\bSteadyClock\b)"), "obs::SteadyClock"},
+  };
+  scan_patterns(f, kBannedCore, "QL007",
+                " named in the simulation core — the core must receive its "
+                "Clock through EngineConfig::telemetry, never instantiate a "
+                "wall clock itself",
+                out);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -640,6 +673,9 @@ const std::vector<RuleInfo>& rules() {
       {"QL005",
        "float arithmetic in potential.* / satisfaction* accounting"},
       {"QL006", "stale paths in .clang-format-allowlist"},
+      {"QL007",
+       "steady-clock reads outside src/obs/ (and obs::SteadyClock "
+       "instantiation anywhere in src/core/ or src/sim/)"},
   };
   return kRules;
 }
@@ -656,6 +692,7 @@ std::vector<Finding> run(const Options& options) {
     rule_ql002(f, findings);
     rule_ql003(f, findings);
     rule_ql005(f, findings);
+    rule_ql007(f, findings);
   }
   rule_ql004_registry(files, findings);
   rule_ql004_cmake(root, files, cmake_lists, findings);

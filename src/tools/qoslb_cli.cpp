@@ -19,6 +19,15 @@
 // `qoslb --list-protocols` prints every registered protocol kind with a
 // one-line description ([active-set] marks active-set-capable kinds) and
 // exits.
+//
+// Telemetry (run/trace/async modes, docs/observability.md):
+//   --metrics-out=FILE   write the run's metrics registry as JSONL
+//   --trace-out=FILE     write per-round trace rows as JSONL
+//   --progress[=...]     log progress through QOSLB_INFO every
+//                        --progress-every rounds (default 100)
+//   --log-level=LEVEL    debug|info|warn|error|off (global; default warn)
+// Telemetry never changes the run: assignments and counters are
+// bit-identical with the flags on or off.
 
 #include <algorithm>
 #include <fstream>
@@ -33,15 +42,78 @@
 #include "core/generators.hpp"
 #include "core/open/open_system.hpp"
 #include "core/protocols/registry.hpp"
-#include "core/trace.hpp"
 #include "net/generators.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "util/args.hpp"
+#include "util/log.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 using namespace qoslb;
 
 namespace {
+
+/// CLI-side telemetry wiring: owns the registry, file streams, sinks, and
+/// the injected wall clock. Filled in place (the tee keeps pointers into
+/// this object, so it must not move).
+struct TelemetryOptions {
+  std::string metrics_path;
+  bool enabled = false;
+
+  obs::MetricsRegistry metrics;
+  obs::SteadyClock clock;
+  std::ofstream trace_file;
+  std::optional<obs::JsonlTraceSink> trace_sink;
+  std::optional<obs::ProgressTraceSink> progress_sink;
+  obs::TeeTraceSink tee;
+  bool has_rows = false;  // any row-consuming sink attached
+};
+
+void read_telemetry(ArgParser& args, TelemetryOptions& io) {
+  io.metrics_path = args.get_string("metrics-out", "");
+  const std::string trace_path = args.get_string("trace-out", "");
+  const bool progress = args.get_flag("progress");
+  const auto progress_every =
+      static_cast<std::uint64_t>(args.get_int("progress-every", 100));
+  if (!trace_path.empty()) {
+    io.trace_file.open(trace_path);
+    if (!io.trace_file)
+      throw std::runtime_error("cannot open --trace-out '" + trace_path + "'");
+    io.trace_sink.emplace(io.trace_file);
+    io.tee.add(&*io.trace_sink);
+    io.has_rows = true;
+  }
+  if (progress) {
+    // --progress implies info verbosity (the reports go through QOSLB_INFO).
+    if (Log::level() > LogLevel::kInfo) Log::set_level(LogLevel::kInfo);
+    io.progress_sink.emplace(progress_every);
+    io.tee.add(&*io.progress_sink);
+    io.has_rows = true;
+  }
+  io.enabled = io.has_rows || !io.metrics_path.empty();
+}
+
+/// Points config.telemetry at the wired-up sinks. The clock rides along
+/// whenever telemetry is on so phase gauges come for free.
+void apply_telemetry(TelemetryOptions& io, EngineConfig& config) {
+  if (!io.enabled) return;
+  if (!io.metrics_path.empty()) config.telemetry.metrics = &io.metrics;
+  if (io.has_rows) config.telemetry.sink = &io.tee;
+  config.telemetry.clock = &io.clock;
+}
+
+void finish_telemetry(const TelemetryOptions& io) {
+  if (io.metrics_path.empty()) return;
+  std::ofstream out(io.metrics_path);
+  if (!out)
+    throw std::runtime_error("cannot open --metrics-out '" + io.metrics_path +
+                             "'");
+  io.metrics.write_jsonl(out);
+  QOSLB_INFO << "wrote " << io.metrics.size() << " metrics to "
+             << io.metrics_path;
+}
 
 Instance build_family(const std::string& family, std::size_t n, std::size_t m,
                       double slack, Xoshiro256& rng) {
@@ -81,6 +153,8 @@ int mode_run(ArgParser& args) {
   const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
   const std::string engine_mode = args.get_string("engine-mode", "dense");
   const bool csv = args.get_flag("csv");
+  TelemetryOptions telemetry;
+  read_telemetry(args, telemetry);
   args.finish();
 
   EngineMode mode = EngineMode::kDense;
@@ -106,11 +180,15 @@ int mode_run(ArgParser& args) {
         config.max_rounds = max_rounds;
         config.threads = threads;
         config.mode = mode;
+        // Replications share the registry (counters accumulate) and the
+        // sinks (one begin/end block per rep).
+        apply_telemetry(telemetry, config);
         ReplicatedRun run;
         run.result = Engine(config).run(*protocol, state, rng);
         run.num_users = instance.num_users();
         return run;
       });
+  finish_telemetry(telemetry);
 
   TablePrinter table({"family", "protocol", "n", "m", "rounds_mean",
                       "rounds_p95", "migrations_mean", "messages_mean",
@@ -157,10 +235,10 @@ int mode_gen(ArgParser& args) {
   std::ostream& out = out_path.empty() ? std::cout : file;
   write_instance(out, instance);
   write_state(out, state);
-  if (!out_path.empty())
-    std::cerr << "wrote " << instance.num_users() << " users / "
-              << instance.num_resources() << " resources to " << out_path
-              << '\n';
+  if (!out_path.empty()) {
+    QOSLB_INFO << "wrote " << instance.num_users() << " users / "
+               << instance.num_resources() << " resources to " << out_path;
+  }
   return 0;
 }
 
@@ -176,35 +254,42 @@ int mode_trace(ArgParser& args) {
   const auto max_rounds =
       static_cast<std::uint64_t>(args.get_int("max-rounds", 100000));
   const std::string load_path = args.get_string("load", "");
+  TelemetryOptions telemetry;
+  read_telemetry(args, telemetry);
   args.finish();
 
   Xoshiro256 rng(seed);
   // Either replay a saved world (--load) or generate one.
-  std::optional<Instance> loaded;
+  std::optional<Instance> instance;
+  std::optional<State> state;
   if (!load_path.empty()) {
     std::ifstream file(load_path);
     if (!file) throw std::runtime_error("cannot open --load '" + load_path + "'");
-    loaded = read_instance(file);
-    State state = read_state(file, *loaded);
-    ProtocolSpec spec;
-    spec.kind = kind;
-    spec.lambda = lambda;
-    const auto protocol = make_protocol(spec);
-    TraceRecorder recorder;
-    const auto records = recorder.run(*protocol, state, rng, max_rounds);
-    TraceRecorder::write_csv(records, std::cout);
-    return 0;
+    instance = read_instance(file);
+    state.emplace(read_state(file, *instance));
+  } else {
+    instance = build_family(family, n, m, slack, rng);
+    state.emplace(build_start(start, *instance, rng));
   }
-
-  const Instance instance = build_family(family, n, m, slack, rng);
-  State state = build_start(start, instance, rng);
   ProtocolSpec spec;
   spec.kind = kind;
   spec.lambda = lambda;
   const auto protocol = make_protocol(spec);
-  TraceRecorder recorder;
-  const auto records = recorder.run(*protocol, state, rng, max_rounds);
-  TraceRecorder::write_csv(records, std::cout);
+
+  // The trace is an Engine run feeding the CSV sink on stdout (plus any
+  // --trace-out/--progress sinks); period 1 keeps the legacy recorder's
+  // check-every-round semantics.
+  obs::CsvTraceSink csv(std::cout);
+  telemetry.tee.add(&csv);
+  telemetry.has_rows = true;
+  telemetry.enabled = true;
+  EngineConfig config;
+  config.max_rounds = max_rounds;
+  config.stability_check_period = 1;
+  config.seed = seed;
+  apply_telemetry(telemetry, config);
+  Engine(config).run(*protocol, *state, rng);
+  finish_telemetry(telemetry);
   return 0;
 }
 
@@ -223,6 +308,8 @@ int mode_async(ArgParser& args) {
   const double dup = args.get_double("dup", 0.0);
   const double heavy_tail = args.get_double("heavy-tail", 0.0);
   const std::string crash_spec = args.get_string("crash", "");
+  TelemetryOptions telemetry;
+  read_telemetry(args, telemetry);
   args.finish();
 
   Xoshiro256 rng(seed);
@@ -243,7 +330,11 @@ int mode_async(ArgParser& args) {
     config.faults.crash(static_cast<AgentId>(std::stoul(parts[0])),
                         std::stod(parts[1]), std::stod(parts[2]));
   }
+  // Async runs produce no trace rows; metrics and (virtual-time) phase
+  // timers still apply.
+  apply_telemetry(telemetry, config);
   const EngineResult result = Engine(config).run_async_admission(instance);
+  finish_telemetry(telemetry);
 
   TablePrinter table({"n", "m", "virtual_time", "events", "messages",
                       "migrations", "satisfied", "all_satisfied", "quiesced",
@@ -301,6 +392,8 @@ int mode_open(ArgParser& args) {
 int main(int argc, char** argv) {
   try {
     ArgParser args(argc, argv);
+    const std::string log_level = args.get_string("log-level", "");
+    if (!log_level.empty()) Log::set_level(parse_log_level(log_level));
     if (args.get_flag("list-protocols")) {
       std::size_t width = 0;
       for (const ProtocolInfo& info : protocol_registry())

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <iostream>
 #include <mutex>
+#include <stdexcept>
 
 namespace qoslb {
 namespace {
@@ -22,6 +23,16 @@ const char* level_name(LogLevel level) {
 }
 
 }  // namespace
+
+LogLevel parse_log_level(const std::string& text) {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off") return LogLevel::kOff;
+  throw std::invalid_argument("unknown log level '" + text +
+                              "' (debug|info|warn|error|off)");
+}
 
 void Log::set_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 

@@ -7,6 +7,10 @@ namespace qoslb {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+/// Parses "debug" | "info" | "warn" | "error" | "off" (the tools'
+/// --log-level values); throws std::invalid_argument on anything else.
+LogLevel parse_log_level(const std::string& text);
+
 /// Minimal leveled logger writing to stderr. Thread-safe (one mutex around the
 /// write). Global level defaults to kWarn so library code stays quiet in
 /// benchmarks unless a tool raises the verbosity.

@@ -1,25 +1,14 @@
 #pragma once
 
-#include <chrono>
+// Deprecated shim, kept for one release: the monotonic stopwatch moved to
+// src/obs/clock.hpp so every steady-clock read in src/ lives in the
+// observability layer (qoslb-lint QL007, docs/observability.md). Include
+// "obs/clock.hpp" and use qoslb::obs::Stopwatch in new code.
+
+#include "obs/clock.hpp"
 
 namespace qoslb {
 
-/// Monotonic stopwatch for experiment timing.
-class Stopwatch {
- public:
-  Stopwatch() : start_(clock::now()) {}
-
-  void reset() { start_ = clock::now(); }
-
-  double seconds() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
-  }
-
-  double millis() const { return seconds() * 1e3; }
-
- private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
-};
+using Stopwatch = obs::Stopwatch;
 
 }  // namespace qoslb

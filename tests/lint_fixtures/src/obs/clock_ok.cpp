@@ -1,0 +1,14 @@
+// QL007 fixture (clean): steady-clock reads are legal inside src/obs/ —
+// this mirrors the sanctioned read in the real obs::SteadyClock::now().
+// Never compiled.
+#include <chrono>
+
+namespace fx {
+
+double obs_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace fx

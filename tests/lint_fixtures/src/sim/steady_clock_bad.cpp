@@ -1,0 +1,15 @@
+// QL007 fixture: steady-clock use inside src/sim/ — both a direct
+// std::chrono::steady_clock read and a SteadyClock instantiation must be
+// flagged. Never compiled.
+#include <chrono>
+
+namespace fx {
+
+double sim_elapsed() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<double>(t0.time_since_epoch().count());
+}
+
+void* make_core_clock() { return new qoslb::obs::SteadyClock(); }
+
+}  // namespace fx

@@ -1,0 +1,188 @@
+// obs::MetricsRegistry and the phase timers — handle semantics, deterministic
+// merge order (the metrics analogue of the engine's shard-ordered Counters
+// merge), histogram binning, the JSONL golden, and ScopedPhase accounting
+// against a virtual clock.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "qoslb.hpp"
+
+namespace qoslb::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterGaugeHistogramRoundTrip) {
+  MetricsRegistry m;
+  const CounterHandle c = m.counter("engine/rounds");
+  const GaugeHandle g = m.gauge("state/potential");
+  const HistogramHandle h = m.histogram("engine/active_set_size", 0.0, 10.0, 5);
+
+  m.add(c);
+  m.add(c, 41);
+  m.set(g, 2.5);
+  m.observe(h, 3.0);
+  m.observe(h, 3.5);
+  m.observe(h, 9.0);
+
+  EXPECT_EQ(m.counter_value(c), 42u);
+  EXPECT_EQ(m.gauge_value(g), 2.5);
+  EXPECT_EQ(m.histogram_data(h).total(), 3u);
+  EXPECT_EQ(m.histogram_data(h).count(1), 2u);  // [2, 4)
+  EXPECT_EQ(m.histogram_data(h).count(4), 1u);  // [8, 10)
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(MetricsRegistry, RegisteringTwiceReturnsTheSameSlot) {
+  MetricsRegistry m;
+  const CounterHandle first = m.counter("x");
+  m.add(first, 7);
+  const CounterHandle again = m.counter("x");
+  EXPECT_EQ(first.index, again.index);
+  m.add(again, 5);
+  EXPECT_EQ(m.counter_value(first), 12u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(MetricsRegistry, InvalidHandlesAreNoOps) {
+  MetricsRegistry m;
+  CounterHandle c;  // default-constructed == invalid
+  GaugeHandle g;
+  HistogramHandle h;
+  EXPECT_FALSE(c.valid());
+  m.add(c, 100);
+  m.set(g, 1.0);
+  m.observe(h, 1.0);
+  EXPECT_TRUE(m.empty());
+  EXPECT_FALSE(m.find_counter("anything").valid());
+}
+
+TEST(MetricsRegistry, WriteJsonlFollowsRegistrationOrder) {
+  MetricsRegistry m;
+  m.add(m.counter("b/counter"), 3);
+  m.set(m.gauge("a/gauge"), 0.25);
+  const HistogramHandle h = m.histogram("c/hist", 0.0, 4.0, 4);
+  m.observe(h, 0.5);
+  m.observe(h, 0.5);
+  m.observe(h, 3.5);
+  m.observe(h, -1.0);  // underflow, lands in the first bucket
+  m.observe(h, 9.0);   // overflow, lands in the last bucket
+
+  std::ostringstream out;
+  m.write_jsonl(out);
+  // Registration order, not name order; zero-count buckets omitted.
+  EXPECT_EQ(out.str(),
+            "{\"metric\":\"b/counter\",\"type\":\"counter\",\"value\":3}\n"
+            "{\"metric\":\"a/gauge\",\"type\":\"gauge\",\"value\":0.25}\n"
+            "{\"metric\":\"c/hist\",\"type\":\"histogram\",\"total\":5,"
+            "\"underflow\":1,\"overflow\":1,\"buckets\":["
+            "{\"lo\":0,\"hi\":1,\"count\":3},"
+            "{\"lo\":3,\"hi\":4,\"count\":2}]}\n");
+}
+
+TEST(MetricsRegistry, MergeAddsCountersAndOverwritesWrittenGauges) {
+  MetricsRegistry base;
+  base.add(base.counter("shared"), 10);
+  base.set(base.gauge("g_written"), 1.0);
+  base.set(base.gauge("g_kept"), 5.0);
+
+  MetricsRegistry other;
+  other.add(other.counter("shared"), 32);
+  other.set(other.gauge("g_written"), 2.0);
+  other.gauge("g_kept");  // registered but never set: must not clobber
+  other.add(other.counter("only_other"), 1);
+
+  base.merge(other);
+  EXPECT_EQ(base.counter_value(base.find_counter("shared")), 42u);
+  EXPECT_EQ(base.gauge_value(base.find_gauge("g_written")), 2.0);
+  EXPECT_EQ(base.gauge_value(base.find_gauge("g_kept")), 5.0);
+  EXPECT_EQ(base.counter_value(base.find_counter("only_other")), 1u);
+}
+
+TEST(MetricsRegistry, MergeFoldsHistogramsBucketWise) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  const HistogramHandle ha = a.histogram("h", 0.0, 10.0, 5);
+  const HistogramHandle hb = b.histogram("h", 0.0, 10.0, 5);
+  a.observe(ha, 1.0);
+  b.observe(hb, 1.5);
+  b.observe(hb, 9.0);
+  a.merge(b);
+  const Histogram& merged = a.histogram_data(ha);
+  EXPECT_EQ(merged.total(), 3u);
+  EXPECT_EQ(merged.count(0), 2u);
+  EXPECT_EQ(merged.count(4), 1u);
+}
+
+// Shard registries merged in shard order must yield one deterministic
+// output: existing metrics keep the target's order, new ones append in the
+// source's registration order.
+TEST(MetricsRegistry, MergeOrderIsDeterministic) {
+  MetricsRegistry shard0;
+  shard0.add(shard0.counter("alpha"), 1);
+  shard0.add(shard0.counter("beta"), 1);
+
+  MetricsRegistry shard1;
+  shard1.add(shard1.counter("gamma"), 1);  // new — appends after beta
+  shard1.add(shard1.counter("alpha"), 1);  // existing — stays first
+
+  MetricsRegistry merged;
+  merged.merge(shard0);
+  merged.merge(shard1);
+
+  std::ostringstream out;
+  merged.write_jsonl(out);
+  EXPECT_EQ(out.str(),
+            "{\"metric\":\"alpha\",\"type\":\"counter\",\"value\":2}\n"
+            "{\"metric\":\"beta\",\"type\":\"counter\",\"value\":1}\n"
+            "{\"metric\":\"gamma\",\"type\":\"counter\",\"value\":1}\n");
+}
+
+TEST(PhaseTimers, AddAndMergeAccumulate) {
+  PhaseTimers a;
+  a.add(Phase::kStep, 1.5);
+  a.add(Phase::kStep, 0.5);
+  PhaseTimers b;
+  b.add(Phase::kStep, 2.0);
+  b.add(Phase::kCommit, 0.25);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a[Phase::kStep].seconds, 4.0);
+  EXPECT_EQ(a[Phase::kStep].count, 3u);
+  EXPECT_DOUBLE_EQ(a[Phase::kCommit].seconds, 0.25);
+  EXPECT_EQ(a[Phase::kCommit].count, 1u);
+  EXPECT_EQ(a[Phase::kSatisfactionCheck].count, 0u);
+}
+
+TEST(PhaseTimers, ScopedPhaseMeasuresVirtualElapsed) {
+  VirtualClock clock;
+  PhaseTimers timers;
+  clock.set(1.0);
+  {
+    ScopedPhase phase(&clock, &timers, Phase::kEventDispatch);
+    clock.set(3.5);
+  }
+  EXPECT_DOUBLE_EQ(timers[Phase::kEventDispatch].seconds, 2.5);
+  EXPECT_EQ(timers[Phase::kEventDispatch].count, 1u);
+}
+
+TEST(PhaseTimers, NullClockMeansNoAccounting) {
+  PhaseTimers timers;
+  { ScopedPhase phase(nullptr, &timers, Phase::kStep); }
+  EXPECT_EQ(timers[Phase::kStep].count, 0u);
+  // Null timers must also be safe regardless of the clock.
+  VirtualClock clock;
+  { ScopedPhase phase(&clock, nullptr, Phase::kStep); }
+}
+
+TEST(PhaseTimers, PhaseNamesAreStable) {
+  // docs/observability.md and the phase/<name>_seconds gauges key off these.
+  EXPECT_STREQ(phase_name(Phase::kStep), "step");
+  EXPECT_STREQ(phase_name(Phase::kCommit), "commit");
+  EXPECT_STREQ(phase_name(Phase::kSatisfactionCheck), "satisfaction_check");
+  EXPECT_STREQ(phase_name(Phase::kTrace), "trace");
+  EXPECT_STREQ(phase_name(Phase::kEventDispatch), "event_dispatch");
+}
+
+}  // namespace
+}  // namespace qoslb::obs

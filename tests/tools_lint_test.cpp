@@ -41,7 +41,7 @@ TEST(LintRules, RuleTableIsStable) {
   for (const qoslb::lint::RuleInfo& r : qoslb::lint::rules())
     ids.push_back(r.id);
   EXPECT_EQ(ids, (std::vector<std::string>{"QL001", "QL002", "QL003", "QL004",
-                                           "QL005", "QL006"}));
+                                           "QL005", "QL006", "QL007"}));
 }
 
 TEST(LintRules, ExactFixtureHitCounts) {
@@ -56,6 +56,7 @@ TEST(LintRules, ExactFixtureHitCounts) {
       {{"src/core/satisfaction_acc.hpp", "QL005"}, 2},
       {{"src/core/wall_clock.cpp", "QL003"}, 3},
       {{"src/orphan.cpp", "QL004"}, 1},
+      {{"src/sim/steady_clock_bad.cpp", "QL007"}, 2},
   };
   EXPECT_EQ(counts, expected);
 }
@@ -101,6 +102,14 @@ TEST(LintRules, Ql004FlagsCMakeOrphans) {
   EXPECT_NE(fs[0].message.find("CMakeLists.txt"), std::string::npos);
 }
 
+TEST(LintRules, Ql007FlagsSteadyClockReadAndWrapperInSimCore) {
+  const std::vector<Finding> fs = findings_for("src/sim/steady_clock_bad.cpp");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{9, 13}));
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "QL007");
+  EXPECT_NE(fs[0].message.find("steady_clock"), std::string::npos);
+  EXPECT_NE(fs[1].message.find("SteadyClock"), std::string::npos);
+}
+
 TEST(LintRules, Ql006FlagsStaleAllowlistEntries) {
   const std::vector<Finding> fs = findings_for(".clang-format-allowlist");
   ASSERT_EQ(fs.size(), 1u);
@@ -126,6 +135,10 @@ TEST(LintSuppressions, AllowFileSilencesTheWholeFile) {
 
 TEST(LintScope, RngDirectoryMayUseStandardEngines) {
   EXPECT_TRUE(findings_for("src/rng/keyed_ok.cpp").empty());
+}
+
+TEST(LintScope, ObsDirectoryMayReadSteadyClock) {
+  EXPECT_TRUE(findings_for("src/obs/clock_ok.cpp").empty());
 }
 
 TEST(LintScope, CleanFileHasNoFindings) {

@@ -10,8 +10,14 @@
 // x crash count and reports the satisfied fraction, virtual convergence
 // time, and the retry/timeout work the faults induced.
 //
-// Knobs: --n, --m, --slack, --dup, --crash-len, plus the common
-// --reps/--seed/--csv.
+// A second sweep covers the synchronous sharded engine's deterministic
+// resource churn (docs/faults.md): one resource fails mid-run and later
+// recovers, and the rows report the graceful-degradation metrics — evicted
+// users, the satisfied-fraction dip depth, and rounds back to the
+// pre-failure baseline — per protocol.
+//
+// Knobs: --n, --m, --slack, --dup, --crash-len, --fail-round,
+// --recover-round, plus the common --reps/--seed/--csv.
 
 #include <iostream>
 #include <vector>
@@ -19,6 +25,8 @@
 #include "bench_common.hpp"
 #include "bench_json.hpp"
 #include "core/async/async_protocols.hpp"
+#include "core/engine.hpp"
+#include "core/protocols/registry.hpp"
 #include "rng/splitmix64.hpp"
 #include "util/timer.hpp"
 
@@ -33,6 +41,10 @@ int main(int argc, char** argv) {
   const double slack = args.get_double("slack", 0.4);
   const double dup = args.get_double("dup", 0.05);
   const double crash_len = args.get_double("crash-len", 100.0);
+  const auto fail_round =
+      static_cast<std::uint64_t>(args.get_int("fail-round", 20));
+  const auto recover_round =
+      static_cast<std::uint64_t>(args.get_int("recover-round", 60));
   args.finish();
 
   const std::vector<double> drop_rates = {0.0, 0.05, 0.10, 0.20};
@@ -106,6 +118,66 @@ int main(int argc, char** argv) {
   }
 
   emit(table, common);
+
+  // ---- synchronous sharded churn: graceful degradation per protocol ----
+  // A tight world (5% slack) so losing one of m resources genuinely dents
+  // the satisfied fraction until the recovery event lands.
+  const double churn_slack = 0.05;
+  const std::vector<std::pair<std::string, double>> churn_protocols = {
+      {"uniform", 0.5}, {"adaptive", 1.0}, {"admission", 1.0}};
+  TablePrinter churn_table({"protocol", "fail_round", "recover_round",
+                            "evicted_mean", "max_dip_depth_mean",
+                            "recovery_rounds_mean", "rounds_mean",
+                            "converged_frac"});
+  std::cout << "E20b: sharded engine under deterministic resource churn "
+               "(slack=" << churn_slack << ", fail@" << fail_round
+            << ", recover@" << recover_round << ")\n";
+  for (const auto& [kind, lambda] : churn_protocols) {
+    RunningStat evicted, dip_depth, recovery_rounds, rounds, converged;
+    Stopwatch cell_watch;
+    for (std::size_t rep = 0; rep < common.reps; ++rep) {
+      Xoshiro256 rng(derive_seed(common.seed, 2000 + rep));
+      const Instance instance =
+          make_uniform_feasible(n, m, churn_slack, 1.5, rng);
+      State state = State::all_on(instance, 0);
+      ProtocolSpec spec;
+      spec.kind = kind;
+      spec.lambda = lambda;
+      const auto protocol = make_protocol(spec);
+      EngineConfig config;
+      config.max_rounds = 4000;
+      config.churn.fail(fail_round, 1).recover(recover_round, 1);
+      const EngineResult result = Engine(config).run(*protocol, state, rng);
+      evicted.add(static_cast<double>(result.churn.evicted));
+      dip_depth.add(result.churn.max_dip_depth);
+      recovery_rounds.add(static_cast<double>(result.churn.max_recovery_rounds));
+      rounds.add(static_cast<double>(result.rounds));
+      converged.add(result.converged ? 1.0 : 0.0);
+    }
+    const double cell_wall = cell_watch.seconds();
+    JsonRow& row = json.add_row();
+    row.field("protocol", kind)
+        .field("fail_round", static_cast<unsigned long long>(fail_round))
+        .field("recover_round", static_cast<unsigned long long>(recover_round))
+        .field("reps", static_cast<unsigned long long>(common.reps))
+        .field("evicted_mean", evicted.mean())
+        .field("max_dip_depth_mean", dip_depth.mean())
+        .field("recovery_rounds_mean", recovery_rounds.mean())
+        .field("rounds_mean", rounds.mean())
+        .field("converged_frac", converged.mean());
+    timing_fields(row, "", cell_wall, 0.0);
+    churn_table.cell(kind)
+        .cell(static_cast<unsigned long long>(fail_round))
+        .cell(static_cast<unsigned long long>(recover_round))
+        .cell(evicted.mean())
+        .cell(dip_depth.mean())
+        .cell(recovery_rounds.mean())
+        .cell(rounds.mean())
+        .cell(converged.mean())
+        .end_row();
+  }
+  emit(churn_table, common);
+
   json.write("BENCH_faults.json");
   return 0;
 }

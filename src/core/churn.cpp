@@ -84,8 +84,14 @@ World remove_users(const World& world, std::size_t count, Xoshiro256& rng) {
 
 World fail_resource(const World& world, ResourceId r, Xoshiro256& rng) {
   const Instance& instance = world.instance;
-  QOSLB_REQUIRE(instance.num_resources() >= 2, "need a surviving resource");
-  QOSLB_REQUIRE(r < instance.num_resources(), "resource out of range");
+  if (r >= instance.num_resources())
+    throw ChurnError("fail_resource: resource " + std::to_string(r) +
+                     " out of range (world has " +
+                     std::to_string(instance.num_resources()) + ")");
+  if (instance.num_resources() < 2)
+    throw ChurnError(
+        "fail_resource: cannot fail the only resource — displaced users "
+        "would have no surviving resource to land on");
 
   std::vector<double> capacities;
   for (ResourceId s = 0; s < instance.num_resources(); ++s)

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/instance.hpp"
@@ -8,6 +10,16 @@
 #include "rng/xoshiro256.hpp"
 
 namespace qoslb {
+
+/// Precondition violation of a world-churn transform (e.g. failing the last
+/// resource, or a resource id out of range). A distinct type so callers
+/// orchestrating churn schedules can catch transform misuse specifically
+/// while letting genuine logic errors propagate.
+class ChurnError : public std::invalid_argument {
+ public:
+  explicit ChurnError(const std::string& message)
+      : std::invalid_argument("qoslb churn: " + message) {}
+};
 
 /// Dynamic-world transforms (experiment E11, robustness tests): Instance and
 /// State are immutable-shaped, so churn is expressed as building the
@@ -37,7 +49,11 @@ World add_users(const World& world, std::size_t count, double q_lo, double q_hi,
 World remove_users(const World& world, std::size_t count, Xoshiro256& rng);
 
 /// Fails resource `r`: the resource disappears and its users are scattered
-/// uniformly over the survivors. Requires at least two resources.
+/// uniformly over the survivors. Ids above `r` shift down by one in the
+/// successor world. Preconditions (throws ChurnError): `r` must exist, and
+/// the world must keep at least one survivor — a world with a single
+/// resource cannot lose it, because the displaced users would have nowhere
+/// to go.
 World fail_resource(const World& world, ResourceId r, Xoshiro256& rng);
 
 }  // namespace qoslb

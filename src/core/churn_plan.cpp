@@ -1,0 +1,79 @@
+#include "core/churn_plan.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace qoslb {
+
+ChurnPlan& ChurnPlan::fail(std::uint64_t round, ResourceId resource) {
+  events.push_back(ChurnEvent{round, resource, ChurnKind::kFail});
+  return *this;
+}
+
+ChurnPlan& ChurnPlan::recover(std::uint64_t round, ResourceId resource) {
+  events.push_back(ChurnEvent{round, resource, ChurnKind::kRecover});
+  return *this;
+}
+
+void ChurnPlan::validate(std::size_t num_resources) const {
+  QOSLB_REQUIRE(num_resources >= 1, "churn plan needs a non-empty world");
+  std::vector<char> live(num_resources, 1);
+  std::size_t live_count = num_resources;
+  bool first = true;
+  std::uint64_t prev_round = 0;
+  for (const ChurnEvent& event : events) {
+    QOSLB_REQUIRE(event.resource < num_resources,
+                  "churn event resource out of range");
+    QOSLB_REQUIRE(first || event.round >= prev_round,
+                  "churn events must be sorted by round");
+    prev_round = event.round;
+    first = false;
+    if (event.kind == ChurnKind::kFail) {
+      QOSLB_REQUIRE(live[event.resource] != 0,
+                    "churn plan fails a resource that is already dead");
+      QOSLB_REQUIRE(live_count >= 2,
+                    "churn plan would fail the last live resource");
+      live[event.resource] = 0;
+      --live_count;
+    } else {
+      QOSLB_REQUIRE(live[event.resource] == 0,
+                    "churn plan recovers a resource that is already live");
+      live[event.resource] = 1;
+      ++live_count;
+    }
+  }
+}
+
+void ChurnTracker::on_failure(std::uint64_t round,
+                              std::size_t satisfied_before) {
+  ++stats.failures;
+  if (in_dip) return;  // an overlapping failure deepens the open dip
+  in_dip = true;
+  stats.dip_open = true;
+  dip_start_round = round;
+  baseline_satisfied = satisfied_before;
+  min_satisfied = satisfied_before;
+}
+
+void ChurnTracker::on_recovery() { ++stats.recoveries; }
+
+void ChurnTracker::on_eviction(std::size_t count) { stats.evicted += count; }
+
+void ChurnTracker::on_round_end(std::uint64_t round, std::size_t satisfied,
+                                std::size_t num_users) {
+  if (!in_dip || num_users == 0) return;
+  min_satisfied = std::min<std::uint64_t>(min_satisfied, satisfied);
+  const double depth =
+      static_cast<double>(baseline_satisfied - min_satisfied) /
+      static_cast<double>(num_users);
+  stats.max_dip_depth = std::max(stats.max_dip_depth, depth);
+  if (satisfied >= baseline_satisfied) {
+    in_dip = false;
+    stats.dip_open = false;
+    stats.max_recovery_rounds =
+        std::max(stats.max_recovery_rounds, round - dip_start_round);
+  }
+}
+
+}  // namespace qoslb

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
+#include <sstream>
 
 #include "core/async/async_protocols.hpp"
 #include "core/potential.hpp"
@@ -47,6 +49,14 @@ void export_metrics(const obs::Telemetry& options, EngineResult& result,
     m.add(m.counter("faults/duplicated"), result.faults.duplicated);
     m.add(m.counter("faults/delayed"), result.faults.delayed);
     m.add(m.counter("faults/crash_dropped"), result.faults.crash_dropped);
+  }
+  if (result.churn.failures > 0) {
+    m.add(m.counter("churn/failures"), result.churn.failures);
+    m.add(m.counter("churn/recoveries"), result.churn.recoveries);
+    m.add(m.counter("churn/evicted"), result.churn.evicted);
+    m.set(m.gauge("churn/max_dip_depth"), result.churn.max_dip_depth);
+    m.set(m.gauge("churn/max_recovery_rounds"),
+          static_cast<double>(result.churn.max_recovery_rounds));
   }
   if (state != nullptr) {
     m.set(m.gauge("state/unsatisfied"),
@@ -180,6 +190,9 @@ class SequentialTask : public RoundTask {
       result_->unsatisfied_trajectory.push_back(
           static_cast<std::uint32_t>(state_->count_unsatisfied()));
     ++rounds_done_;
+    if (config_->invariant_check_period != 0 &&
+        rounds_done_ % config_->invariant_check_period == 0)
+      state_->check_invariants();
     // step() scans every user, so the round's active size is n.
     telemetry_->round_row(rounds_done_, *state_, state_->num_users());
   }
@@ -286,10 +299,23 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   QOSLB_REQUIRE(config_.stability_check_period >= 1,
                 "stability_check_period must be positive");
   QOSLB_REQUIRE(config_.shard_size >= 1, "shard_size must be positive");
+  for (std::size_t i = 1; i < config_.snapshot_rounds.size(); ++i)
+    QOSLB_REQUIRE(config_.snapshot_rounds[i - 1] < config_.snapshot_rounds[i],
+                  "snapshot_rounds must be strictly increasing");
+  QOSLB_REQUIRE(config_.snapshot_rounds.empty() ||
+                    config_.snapshot_sink != nullptr,
+                "snapshot_rounds without a snapshot_sink");
 }
 
 EngineResult Engine::run(Protocol& protocol, State& state,
                          Xoshiro256& rng) const {
+  // Churn and checkpointing live in the sharded round loop only; the
+  // sequential step() path has no round-boundary hook to apply them at.
+  QOSLB_REQUIRE(!config_.churn.any() || protocol.supports_step_users(),
+                "churn plans need a sharded (step_users) protocol");
+  QOSLB_REQUIRE(config_.snapshot_rounds.empty() ||
+                    protocol.supports_step_users(),
+                "checkpointing needs a sharded (step_users) protocol");
   protocol.reset();
   // O(1) per-round satisfaction reads on every path; the build is O(n log n)
   // once and idempotent across chained runs on the same state.
@@ -320,17 +346,62 @@ EngineResult Engine::run_sequential(Protocol& protocol, State& state,
 
 EngineResult Engine::run_step_users(Protocol& protocol, State& state,
                                     Xoshiro256& rng) const {
+  // Fold one draw of the caller's RNG into the master seed so replications
+  // that advance that RNG (the established seeding idiom) stay distinct
+  // while (config, rng state) still pins the run exactly. The folded value
+  // is what a checkpoint stores — resume() reuses it without re-folding.
+  return drive_step_users(protocol, state, derive_seed(config_.seed, rng()),
+                          /*start_round=*/0, Counters{}, ChurnTracker{});
+}
+
+namespace {
+
+/// The churn-eviction substream salt: victims of a failed resource draw
+/// their relocation target from RoundRng(derive_seed(master, kChurnSalt),
+/// round).user_stream(user) — keyed like the decision streams but on a
+/// disjoint branch, so evictions are thread/mode-invariant and never
+/// perturb protocol draws.
+constexpr std::uint64_t kChurnSalt = 0xC0DEFA11ULL;
+
+void apply_churn_event(const ChurnEvent& event, State& state,
+                       std::uint64_t master_seed, ChurnTracker& tracker) {
+  if (event.kind == ChurnKind::kRecover) {
+    state.set_resource_live(event.resource, true);
+    tracker.on_recovery();
+    return;
+  }
+  tracker.on_failure(event.round, state.count_satisfied());
+  std::vector<UserId> victims;
+  for (UserId u = 0; u < state.num_users(); ++u)
+    if (state.resource_of(u) == event.resource) victims.push_back(u);
+  state.set_resource_live(event.resource, false);
+  const auto& live = state.live_resources();
+  const RoundRng streams(derive_seed(master_seed, kChurnSalt), event.round);
+  for (const UserId u : victims) {
+    PhiloxEngine rng = streams.user_stream(u);
+    state.move(u, live[uniform_u64_below(rng, live.size())]);
+  }
+  tracker.on_eviction(victims.size());
+}
+
+}  // namespace
+
+EngineResult Engine::drive_step_users(Protocol& protocol, State& state,
+                                      std::uint64_t master_seed,
+                                      std::uint64_t start_round,
+                                      Counters start_counters,
+                                      ChurnTracker tracker) const {
+  config_.churn.validate(state.num_resources());
   EngineResult result;
+  result.counters = start_counters;
+  result.rounds = start_round;
   const std::size_t n = state.num_users();
 
   ParallelRoundEngine::Options options;
   options.threads =
       config_.execution == RoundExecution::kSequential ? 1 : config_.threads;
   options.shard_size = config_.shard_size;
-  // Fold one draw of the caller's RNG into the master seed so replications
-  // that advance that RNG (the established seeding idiom) stay distinct
-  // while (config, rng state) still pins the run exactly.
-  options.seed = derive_seed(config_.seed, rng());
+  options.seed = master_seed;
   ParallelRoundEngine engine(options);
   UserSetRoundTask task(protocol, state, result.counters);
 
@@ -352,8 +423,23 @@ EngineResult Engine::run_step_users(Protocol& protocol, State& state,
   task.set_telemetry(clock, timers);
   telemetry.round_row(0, state, 0);
 
-  std::uint64_t rounds_done = 0;
+  // Already-applied schedule entries (rounds before start_round) are part of
+  // the checkpointed liveness; only the tail replays.
+  const std::vector<ChurnEvent>& events = config_.churn.events;
+  std::size_t churn_idx = 0;
+  while (churn_idx < events.size() && events[churn_idx].round < start_round)
+    ++churn_idx;
+  std::size_t snap_idx = 0;
+  while (snap_idx < config_.snapshot_rounds.size() &&
+         config_.snapshot_rounds[snap_idx] < start_round)
+    ++snap_idx;
+  const auto pending_churn = [&] { return churn_idx < events.size(); };
+
+  std::uint64_t rounds_done = start_round;
   const auto converged = [&] {
+    // A run with unapplied churn events is never done — the schedule must
+    // play out (and the system re-converge) first.
+    if (pending_churn()) return false;
     obs::ScopedPhase phase(clock, timers, obs::Phase::kSatisfactionCheck);
     if (state.count_satisfied() == n) return protocol.is_stable(state);
     if (rounds_done % config_.stability_check_period == 0)
@@ -364,7 +450,19 @@ EngineResult Engine::run_step_users(Protocol& protocol, State& state,
   if (converged()) {
     result.converged = true;
   } else {
-    for (std::uint64_t r = 0; r < config_.max_rounds; ++r) {
+    for (std::uint64_t r = start_round; r < config_.max_rounds; ++r) {
+      // Checkpoint at the boundary, before this round's churn and decisions
+      // — exactly the cut resume() restarts from.
+      if (snap_idx < config_.snapshot_rounds.size() &&
+          config_.snapshot_rounds[snap_idx] == r) {
+        ++snap_idx;
+        config_.snapshot_sink(capture_snapshot(protocol, state, master_seed,
+                                               r, result.counters, tracker));
+      }
+      while (churn_idx < events.size() && events[churn_idx].round == r) {
+        apply_churn_event(events[churn_idx], state, master_seed, tracker);
+        ++churn_idx;
+      }
       if (active) {
         // Sorted copy of the unsatisfied view: per-user streams make the
         // draws order-independent, but the ascending order keeps the
@@ -393,9 +491,13 @@ EngineResult Engine::run_step_users(Protocol& protocol, State& state,
       ++result.counters.rounds;
       ++result.rounds;
       ++rounds_done;
+      tracker.on_round_end(rounds_done, state.count_satisfied(), n);
       if (config_.record_trajectory)
         result.unsatisfied_trajectory.push_back(
             static_cast<std::uint32_t>(n - state.count_satisfied()));
+      if (config_.invariant_check_period != 0 &&
+          rounds_done % config_.invariant_check_period == 0)
+        state.check_invariants();
       telemetry.round_row(rounds_done, state, iteration.size());
       if (converged()) {
         result.converged = true;
@@ -409,8 +511,52 @@ EngineResult Engine::run_step_users(Protocol& protocol, State& state,
   result.final_satisfied = state.count_satisfied();
   result.all_satisfied = result.final_satisfied == n;
   result.threads_used = engine.threads();
+  result.churn = tracker.stats;
   telemetry.finish(state);
   return result;
+}
+
+SnapshotV1 Engine::save_snapshot(Protocol& protocol, State& state,
+                                 Xoshiro256& rng,
+                                 std::uint64_t at_round) const {
+  QOSLB_REQUIRE(protocol.supports_step_users(),
+                "checkpointing needs a sharded (step_users) protocol");
+  EngineConfig config = config_;
+  config.snapshot_rounds = {at_round};
+  std::optional<SnapshotV1> captured;
+  config.snapshot_sink = [&captured](const SnapshotV1& snapshot) {
+    captured = snapshot;
+  };
+  Engine(std::move(config)).run(protocol, state, rng);
+  QOSLB_REQUIRE(captured.has_value(),
+                "the run ended before the requested snapshot round");
+  return *std::move(captured);
+}
+
+EngineResult Engine::resume(Protocol& protocol, const SnapshotV1& snapshot,
+                            State& state) const {
+  QOSLB_REQUIRE(protocol.supports_step_users(),
+                "resume needs a sharded (step_users) protocol");
+  protocol.reset();
+  QOSLB_REQUIRE(protocol.name() == snapshot.protocol,
+                "protocol '" + protocol.name() +
+                    "' does not match the checkpoint's '" + snapshot.protocol +
+                    "'");
+  QOSLB_REQUIRE(state.num_users() == snapshot.assignment.size() &&
+                    state.num_resources() == snapshot.live.size(),
+                "state dimensions do not match the checkpoint");
+  for (UserId u = 0; u < state.num_users(); ++u)
+    QOSLB_REQUIRE(state.resource_of(u) == snapshot.assignment[u],
+                  "state assignment does not match the checkpoint");
+  for (ResourceId r = 0; r < state.num_resources(); ++r)
+    QOSLB_REQUIRE(state.resource_live(r) == (snapshot.live[r] != 0),
+                  "state liveness does not match the checkpoint");
+  std::istringstream protocol_state(snapshot.protocol_state);
+  protocol.snapshot_read(protocol_state);
+  state.enable_satisfaction_tracking();
+  return drive_step_users(protocol, state, snapshot.master_seed,
+                          snapshot.next_round, snapshot.counters,
+                          snapshot.churn);
 }
 
 EngineResult Engine::run_weighted(WeightedProtocol& protocol,

@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "core/churn_plan.hpp"
 #include "core/protocol.hpp"
+#include "core/snapshot.hpp"
 #include "core/state.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/accounting.hpp"
@@ -88,6 +91,23 @@ struct EngineConfig {
   /// Arm timeouts/sequence numbers even with an inert fault plan (testing).
   bool force_timeouts = false;
 
+  // --- robustness (docs/faults.md) ---
+  /// Scheduled mid-run resource churn, applied at round boundaries by the
+  /// sharded path. Empty by default; sequential-only protocols reject a
+  /// non-empty plan.
+  ChurnPlan churn;
+  /// Every this many rounds the sharded and sequential paths run the full
+  /// O(n + m) State::check_invariants() audit (assignment/load/index/
+  /// liveness cross-checks). 0 = off (the default; audits are for the chaos
+  /// harness and CI, not the hot path).
+  std::uint32_t invariant_check_period = 0;
+  /// Round boundaries at which the sharded path hands a checkpoint to
+  /// snapshot_sink (strictly increasing; each fires before that round's
+  /// churn events and decisions). Requires snapshot_sink.
+  std::vector<std::uint64_t> snapshot_rounds;
+  /// Receives each captured checkpoint. Borrowed for the run's duration.
+  std::function<void(const SnapshotV1&)> snapshot_sink;
+
   // --- observability (see docs/observability.md) ---
   /// Optional metrics registry / trace sink / phase clock. All borrowed, all
   /// null by default. Telemetry is read-only with respect to the run: with
@@ -112,6 +132,8 @@ struct EngineResult {
   std::size_t threads_used = 1;              // sharded runs: worker count
   Counters counters;
   FaultStats faults;  // what the injector actually did (zero if off)
+  /// Graceful-degradation metrics of the run's churn plan (zero if none).
+  ChurnStats churn;
   /// Unsatisfied count after each round (only if record_trajectory).
   std::vector<std::uint32_t> unsatisfied_trajectory;
   /// Phase timers and trace-row accounting (enabled iff config.telemetry
@@ -154,11 +176,34 @@ class Engine {
   EngineResult run_async_optimistic(const Instance& instance,
                                     double lambda) const;
 
+  /// Runs `protocol` on `state` like run() and captures the checkpoint at
+  /// the boundary of round `at_round` (before that round's churn events and
+  /// decisions). The run continues to completion — `state` ends final, the
+  /// returned snapshot is the mid-run cut. Requires a step_users() protocol
+  /// and that the run actually reaches `at_round`.
+  SnapshotV1 save_snapshot(Protocol& protocol, State& state, Xoshiro256& rng,
+                           std::uint64_t at_round) const;
+
+  /// Continues a checkpointed run to completion. `state` must match the
+  /// snapshot (same assignment and liveness — build it with
+  /// SnapshotV1::make_state) and this config must carry the original run's
+  /// churn plan; remaining events replay on schedule. The continuation is
+  /// bit-identical to the uninterrupted run for every thread count and
+  /// engine mode: per-round randomness re-derives from the checkpointed
+  /// master seed, which is reused verbatim (never re-folded).
+  EngineResult resume(Protocol& protocol, const SnapshotV1& snapshot,
+                      State& state) const;
+
  private:
   EngineResult run_sequential(Protocol& protocol, State& state,
                               Xoshiro256& rng) const;
   EngineResult run_step_users(Protocol& protocol, State& state,
                               Xoshiro256& rng) const;
+  EngineResult drive_step_users(Protocol& protocol, State& state,
+                                std::uint64_t master_seed,
+                                std::uint64_t start_round,
+                                Counters start_counters,
+                                ChurnTracker tracker) const;
 
   EngineConfig config_;
 };

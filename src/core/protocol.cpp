@@ -37,4 +37,8 @@ void Protocol::commit_round(State& state, std::vector<MigrationBuffer>& shards,
     apply_all(state, shard.requests, counters);
 }
 
+void Protocol::snapshot_write(std::ostream& out) const { (void)out; }
+
+void Protocol::snapshot_read(std::istream& in) { (void)in; }
+
 }  // namespace qoslb

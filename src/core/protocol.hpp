@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -108,6 +109,17 @@ class Protocol {
   /// Clears adaptive per-run state (e.g. contention estimates) so a protocol
   /// object can be reused across replications.
   virtual void reset() {}
+
+  /// Serializes cross-round mutable protocol state into a checkpoint
+  /// (core/snapshot.hpp) as `field <count>` keyword lines, mirroring the
+  /// instance_io text idiom. The default writes nothing — correct for every
+  /// protocol whose rounds are memoryless. Overrides must keep write/read
+  /// field lists in lockstep; lint rule QL008 cross-checks the pair.
+  virtual void snapshot_write(std::ostream& out) const;
+
+  /// Restores what snapshot_write() serialized. Must accept its own output
+  /// verbatim and throw std::invalid_argument on malformed input.
+  virtual void snapshot_read(std::istream& in);
 };
 
 }  // namespace qoslb

@@ -1,6 +1,9 @@
 #include "core/protocols/adaptive_sampling.hpp"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
 
 #include "core/protocols/common.hpp"
 #include "rng/distributions.hpp"
@@ -26,6 +29,25 @@ std::uint32_t intent_at(const std::vector<std::uint32_t>& intents,
   return r < intents.size() ? intents[r] : 0;
 }
 
+void write_u32_block(std::ostream& out, const char* keyword,
+                     const std::vector<std::uint32_t>& values) {
+  out << keyword << ' ' << values.size() << '\n';
+  for (const std::uint32_t v : values) out << v << '\n';
+}
+
+std::vector<std::uint32_t> read_u32_block(std::istream& in,
+                                          const std::string& keyword) {
+  std::string word;
+  std::size_t count = 0;
+  QOSLB_REQUIRE(static_cast<bool>(in >> word >> count) && word == keyword,
+                "adaptive snapshot: expected a " + keyword + " block");
+  std::vector<std::uint32_t> values(count);
+  for (auto& v : values)
+    QOSLB_REQUIRE(static_cast<bool>(in >> v),
+                  "adaptive snapshot: truncated " + keyword + " block");
+  return values;
+}
+
 }  // namespace
 
 void AdaptiveSampling::step_users(const State& state,
@@ -37,6 +59,9 @@ void AdaptiveSampling::step_users(const State& state,
   if (out.resource_tallies.size() != state.num_resources())
     out.resource_tallies.assign(state.num_resources(), 0);
 
+  // Live-list sampling: identity permutation when nothing is dead, so draws
+  // match the historical uniform(num_resources()) bit for bit.
+  const auto& live = state.live_resources();
   for (std::size_t i = 0; i < count; ++i) {
     const UserId u = users[i];
     const ResourceId current = state.resource_of(u);
@@ -46,8 +71,7 @@ void AdaptiveSampling::step_users(const State& state,
     ResourceId best = kNoResource;
     double best_quality = 0.0;
     for (int probe = 0; probe < probes_; ++probe) {
-      const auto r = static_cast<ResourceId>(
-          uniform_u64_below(rng, state.num_resources()));
+      const ResourceId r = live[uniform_u64_below(rng, live.size())];
       ++counters.probes;
       if (r == current) continue;
       if (snapshot[r] + 1 > instance.threshold(u, r)) continue;
@@ -79,6 +103,16 @@ void AdaptiveSampling::commit_round(State& state,
   last_intents_ = std::move(intents);
   for (MigrationBuffer& shard : shards)
     apply_all(state, shard.requests, counters);
+}
+
+void AdaptiveSampling::snapshot_write(std::ostream& out) const {
+  write_u32_block(out, "last_intents", last_intents_);
+  write_u32_block(out, "prev_intents", prev_intents_);
+}
+
+void AdaptiveSampling::snapshot_read(std::istream& in) {
+  last_intents_ = read_u32_block(in, "last_intents");
+  prev_intents_ = read_u32_block(in, "prev_intents");
 }
 
 }  // namespace qoslb

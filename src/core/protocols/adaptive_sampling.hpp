@@ -48,6 +48,11 @@ class AdaptiveSampling : public Protocol {
     prev_intents_.clear();
   }
 
+  /// The contention window is the protocol's only cross-round state; it must
+  /// ride along in a checkpoint or a resumed run damps differently.
+  void snapshot_write(std::ostream& out) const override;
+  void snapshot_read(std::istream& in) override;
+
  private:
   int probes_;
   std::vector<std::uint32_t> last_intents_;  // per-resource intents, round t-1

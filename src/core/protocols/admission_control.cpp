@@ -20,6 +20,9 @@ void AdmissionControl::step_users(const State& state,
                                   MigrationBuffer& out, const RoundRng& streams,
                                   Counters& counters) {
   const Instance& instance = state.instance();
+  // Live-list sampling: identity permutation when nothing is dead, so draws
+  // match the historical uniform(num_resources()) bit for bit.
+  const auto& live = state.live_resources();
   for (std::size_t i = 0; i < count; ++i) {
     const UserId u = users[i];
     const ResourceId current = state.resource_of(u);
@@ -29,8 +32,7 @@ void AdmissionControl::step_users(const State& state,
     ResourceId best = kNoResource;
     double best_quality = 0.0;
     for (int probe = 0; probe < probes_; ++probe) {
-      const auto r = static_cast<ResourceId>(
-          uniform_u64_below(rng, state.num_resources()));
+      const ResourceId r = live[uniform_u64_below(rng, live.size())];
       ++counters.probes;
       if (r == current) continue;
       if (snapshot[r] + 1 > instance.threshold(u, r)) continue;

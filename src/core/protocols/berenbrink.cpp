@@ -14,12 +14,14 @@ void BerenbrinkBalancing::step_users(const State& state,
                                      const RoundRng& streams,
                                      Counters& counters) {
   const Instance& instance = state.instance();
+  // Live-list sampling: identity permutation when nothing is dead, so draws
+  // match the historical uniform(num_resources()) bit for bit.
+  const auto& live = state.live_resources();
   for (std::size_t i = 0; i < count; ++i) {
     const UserId u = users[i];
     const ResourceId current = state.resource_of(u);
     PhiloxEngine rng = streams.user_stream(u);
-    const auto r = static_cast<ResourceId>(
-        uniform_u64_below(rng, state.num_resources()));
+    const ResourceId r = live[uniform_u64_below(rng, live.size())];
     ++counters.probes;
     if (r == current) continue;
     // Normalized (capacity-relative) loads handle related resources; for
@@ -34,12 +36,22 @@ void BerenbrinkBalancing::step_users(const State& state,
 
 bool BerenbrinkBalancing::is_stable(const State& state) const {
   const Instance& instance = state.instance();
-  if (instance.identical_capacities())
-    return state.max_load() - state.min_load() <= 1;
+  // Stability quantifies over migration targets, and only live resources are
+  // targets — a dead (evicted, load-0) resource must not keep the spread open.
+  const auto& live = state.live_resources();
+  if (instance.identical_capacities()) {
+    int min_load = state.load(live[0]);
+    int max_load = min_load;
+    for (const ResourceId r : live) {
+      min_load = std::min(min_load, state.load(r));
+      max_load = std::max(max_load, state.load(r));
+    }
+    return max_load - min_load <= 1;
+  }
   for (UserId u = 0; u < state.num_users(); ++u) {
     const ResourceId current = state.resource_of(u);
     const double own = state.quality_of(u);
-    for (ResourceId r = 0; r < state.num_resources(); ++r) {
+    for (const ResourceId r : live) {
       if (r == current) continue;
       if (instance.quality(r, state.load(r) + 1) > own) return false;
     }

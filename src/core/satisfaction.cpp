@@ -16,7 +16,9 @@ bool satisfied_after_move(const State& state, UserId u, ResourceId r) {
 
 bool has_satisfying_deviation(const State& state, UserId u) {
   const ResourceId current = state.resource_of(u);
-  for (ResourceId r = 0; r < state.num_resources(); ++r)
+  // Dead resources are not migration targets, so they cannot ground a
+  // deviation — otherwise a degraded world could never reach equilibrium.
+  for (const ResourceId r : state.live_resources())
     if (r != current && satisfied_after_move(state, u, r)) return true;
   return false;
 }
@@ -26,7 +28,7 @@ ResourceId best_satisfying_deviation(const State& state, UserId u) {
   const ResourceId current = state.resource_of(u);
   ResourceId best = kNoResource;
   double best_quality = 0.0;
-  for (ResourceId r = 0; r < state.num_resources(); ++r) {
+  for (const ResourceId r : state.live_resources()) {
     if (r == current || !satisfied_after_move(state, u, r)) continue;
     const double quality = instance.quality(r, state.load(r) + 1);
     if (best == kNoResource || quality > best_quality) {
@@ -48,10 +50,14 @@ template <typename Unsatisfied>
 bool equilibrium_identical(const State& state, const Unsatisfied& unsatisfied) {
   const Instance& instance = state.instance();
   const auto& loads = state.loads();
-  ResourceId argmin = 0;
-  int min1 = loads[0];
+  // Only live resources can receive a deviation; with every resource live
+  // the list is the identity and this is the historical all-resource scan.
+  const auto& live = state.live_resources();
+  ResourceId argmin = live[0];
+  int min1 = loads[argmin];
   int min2 = std::numeric_limits<int>::max();
-  for (ResourceId r = 1; r < loads.size(); ++r) {
+  for (std::size_t i = 1; i < live.size(); ++i) {
+    const ResourceId r = live[i];
     if (loads[r] < min1) {
       min2 = min1;
       min1 = loads[r];
@@ -63,6 +69,9 @@ bool equilibrium_identical(const State& state, const Unsatisfied& unsatisfied) {
   for (const UserId u : unsatisfied) {
     if (state.satisfied(u)) continue;
     const int candidate = state.resource_of(u) == argmin ? min2 : min1;
+    // min2 stays at the sentinel when only one resource is live: the user
+    // sitting there has nowhere to deviate to.
+    if (candidate == std::numeric_limits<int>::max()) continue;
     // Thresholds are identical across resources for identical capacities.
     if (candidate + 1 <= instance.threshold(u, 0)) return false;
   }

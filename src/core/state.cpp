@@ -16,6 +16,25 @@ State::State(const Instance& instance, std::vector<ResourceId> assignment)
     QOSLB_REQUIRE(r < instance.num_resources(), "assignment to unknown resource");
     ++loads_[r];
   }
+  live_.assign(instance.num_resources(), 1);
+  live_list_.resize(instance.num_resources());
+  for (ResourceId r = 0; r < live_list_.size(); ++r) live_list_[r] = r;
+}
+
+bool State::resource_live(ResourceId r) const {
+  QOSLB_REQUIRE(r < live_.size(), "resource out of range");
+  return live_[r] != 0;
+}
+
+void State::set_resource_live(ResourceId r, bool live) {
+  QOSLB_REQUIRE(r < live_.size(), "resource out of range");
+  QOSLB_REQUIRE((live_[r] != 0) != live, "liveness flip must change state");
+  if (!live)
+    QOSLB_REQUIRE(live_list_.size() >= 2, "cannot kill the last live resource");
+  live_[r] = live ? 1 : 0;
+  live_list_.clear();
+  for (ResourceId s = 0; s < live_.size(); ++s)
+    if (live_[s] != 0) live_list_.push_back(s);
 }
 
 State State::all_on(const Instance& instance, ResourceId r) {
@@ -123,6 +142,13 @@ void State::check_invariants() const {
     ++expected[r];
   }
   QOSLB_CHECK(expected == loads_, "cached loads diverged from assignment");
+  std::vector<ResourceId> live_expected;
+  for (ResourceId r = 0; r < live_.size(); ++r)
+    if (live_[r] != 0) live_expected.push_back(r);
+  QOSLB_CHECK(live_expected == live_list_,
+              "live-resource list diverged from the liveness bitmap");
+  for (const ResourceId r : assignment_)
+    QOSLB_CHECK(live_[r] != 0, "user resident on a dead resource");
   if (!index_) return;
   std::size_t unsatisfied = 0;
   for (UserId u = 0; u < assignment_.size(); ++u) {

@@ -39,6 +39,22 @@ class State {
   int load(ResourceId r) const;
   const std::vector<int>& loads() const { return loads_; }
 
+  /// Resource liveness (mid-run churn, docs/faults.md). Every resource
+  /// starts live; a dead resource stays in the load vector (id-stable) but
+  /// is excluded from protocol sampling and deviation checks. Flipping
+  /// liveness never touches loads — the engine evicts residents explicitly.
+  bool resource_live(ResourceId r) const;
+  std::size_t num_live_resources() const { return live_list_.size(); }
+
+  /// The live resource ids, ascending. With every resource live this is the
+  /// identity list [0, m), so sampling `live[uniform(live.size())]` draws
+  /// bit-identically to the historical `uniform(num_resources())`.
+  const std::vector<ResourceId>& live_resources() const { return live_list_; }
+
+  /// Flips resource `r`'s liveness. Rejects no-op flips (they indicate a
+  /// schedule bug) and killing the last live resource.
+  void set_resource_live(ResourceId r, bool live);
+
   /// Moves user u to resource r (no-op allowed when r == current).
   void move(UserId u, ResourceId r);
 
@@ -66,13 +82,17 @@ class State {
   int max_load() const;
   int min_load() const;
 
-  /// Recomputes loads from the assignment and compares; throws on mismatch.
+  /// Recomputes loads from the assignment and compares; additionally
+  /// cross-checks the satisfaction index against a recompute and verifies
+  /// no user resides on a dead resource. Throws on any mismatch.
   void check_invariants() const;
 
  private:
   const Instance* instance_;
   std::vector<ResourceId> assignment_;
   std::vector<int> loads_;
+  std::vector<std::uint8_t> live_;
+  std::vector<ResourceId> live_list_;  // live ids, ascending
   std::optional<SatisfactionIndex<int>> index_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "rng/distributions.hpp"
 #include "util/check.hpp"
@@ -61,15 +62,40 @@ FaultPlan& FaultPlan::crash(AgentId agent, double t_crash, double t_recover) {
   return *this;
 }
 
+void FaultPlan::validate() const {
+  for (const double p : drop)
+    QOSLB_REQUIRE(p >= 0.0 && p < 1.0, "drop probability must be in [0,1)");
+  for (const double p : dup)
+    QOSLB_REQUIRE(p >= 0.0 && p <= 1.0, "dup probability must be in [0,1]");
+  QOSLB_REQUIRE(heavy_tail_prob >= 0.0 && heavy_tail_prob <= 1.0,
+                "heavy-tail probability must be in [0,1]");
+  QOSLB_REQUIRE(heavy_tail_scale > 0.0 && heavy_tail_alpha > 0.0,
+                "heavy-tail scale/alpha must be > 0");
+  QOSLB_REQUIRE(heavy_tail_cap > 0.0, "heavy-tail cap must be > 0");
+  for (const CrashWindow& window : crashes) {
+    QOSLB_REQUIRE(window.t_crash >= 0.0,
+                  "crash window must start at non-negative time");
+    QOSLB_REQUIRE(window.t_recover > window.t_crash,
+                  "crash window must be non-empty (t_recover > t_crash)");
+  }
+  // Same-agent windows must be disjoint: sort a copy by (agent, start) and
+  // any overlap shows up between neighbors.
+  std::vector<CrashWindow> sorted = crashes;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CrashWindow& a, const CrashWindow& b) {
+              return a.agent != b.agent ? a.agent < b.agent
+                                        : a.t_crash < b.t_crash;
+            });
+  for (std::size_t i = 1; i < sorted.size(); ++i)
+    QOSLB_REQUIRE(sorted[i].agent != sorted[i - 1].agent ||
+                      sorted[i].t_crash >= sorted[i - 1].t_recover,
+                  "overlapping crash windows for agent " +
+                      std::to_string(sorted[i].agent));
+}
+
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
     : plan_(std::move(plan)), rng_(seed) {
-  for (const double p : plan_.drop)
-    QOSLB_REQUIRE(p >= 0.0 && p < 1.0, "drop probability must be in [0,1)");
-  for (const double p : plan_.dup)
-    QOSLB_REQUIRE(p >= 0.0 && p <= 1.0, "dup probability must be in [0,1]");
-  for (const CrashWindow& window : plan_.crashes)
-    QOSLB_REQUIRE(window.t_recover > window.t_crash,
-                  "crash window must be non-empty");
+  plan_.validate();
 }
 
 double FaultInjector::sample_extra_delay() {

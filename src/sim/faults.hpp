@@ -54,6 +54,16 @@ struct FaultPlan {
   FaultPlan& dup_all(double p);
   FaultPlan& heavy_tail(double p, double scale = 4.0, double alpha = 1.5);
   FaultPlan& crash(AgentId agent, double t_crash, double t_recover);
+
+  /// Full-plan sanity check, run by the FaultInjector before arming: every
+  /// probability in range (drop in [0,1), dup and heavy-tail in [0,1]),
+  /// heavy-tail scale/alpha/cap positive, every crash window non-empty with
+  /// t_crash >= 0, and no two windows of the same agent overlapping (an
+  /// agent cannot crash while already crashed — overlapping windows are a
+  /// schedule bug, not a deeper outage). Catches fields assigned directly,
+  /// bypassing the chainable setters. Throws std::invalid_argument with the
+  /// offending field spelled out.
+  void validate() const;
 };
 
 /// Tally of injected faults, surfaced through AsyncRunResult and the CLI.

@@ -5,10 +5,12 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <regex>
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace qoslb::lint {
@@ -649,6 +651,170 @@ void rule_ql007(const SourceFile& f, std::vector<Finding>& out) {
                 out);
 }
 
+// ---------------------------------------------------------------------------
+// QL008 — snapshot serializer/deserializer field-list contract
+// ---------------------------------------------------------------------------
+
+/// 1-based inclusive line range of a function definition's full text.
+struct DefRange {
+  int begin_line = 0;
+  int end_line = 0;
+};
+
+/// Locates the first *definition* (not declaration or call) of `fn_name` in
+/// the blanked code text: the name, a balanced parameter list, then a `{`
+/// before any `;`. String contents are already blanked, so brace matching
+/// cannot be confused by quoted braces.
+std::optional<DefRange> find_definition(const std::string& code_text,
+                                        const std::string& fn_name) {
+  const std::regex sig("\\b" + fn_name + R"(\s*\()");
+  for (auto it = std::sregex_iterator(code_text.begin(), code_text.end(), sig);
+       it != std::sregex_iterator(); ++it) {
+    std::size_t i = static_cast<std::size_t>(it->position()) + it->length() - 1;
+    int depth = 0;
+    for (; i < code_text.size(); ++i) {
+      if (code_text[i] == '(') ++depth;
+      if (code_text[i] == ')' && --depth == 0) break;
+    }
+    if (i >= code_text.size()) continue;
+    bool body = false;
+    for (++i; i < code_text.size(); ++i) {
+      if (code_text[i] == '{') {
+        body = true;
+        break;
+      }
+      if (code_text[i] == ';') break;  // declaration or call statement
+    }
+    if (!body) continue;
+    int braces = 0;
+    std::size_t j = i;
+    for (; j < code_text.size(); ++j) {
+      if (code_text[j] == '{') ++braces;
+      if (code_text[j] == '}' && --braces == 0) break;
+    }
+    if (j >= code_text.size()) continue;
+    return DefRange{line_of(code_text, it->position()), line_of(code_text, j)};
+  }
+  return std::nullopt;
+}
+
+/// Serialized field names mentioned in a raw text span: every string literal
+/// (comments and char literals skipped) whose content — after trimming
+/// spaces — is a single lowercase identifier. `"assignment "` names the
+/// field `assignment`; prose like `"bad number on ..."` never matches.
+std::set<std::string> ql008_fields(const std::string& raw_span) {
+  static const std::regex kField(R"(^[a-z_][a-z0-9_]*$)");
+  std::set<std::string> fields;
+  enum class Mode { kCode, kLineComment, kBlockComment, kString, kChar };
+  Mode mode = Mode::kCode;
+  std::string literal;
+  const std::size_t n = raw_span.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = raw_span[i];
+    const char next = i + 1 < n ? raw_span[i + 1] : '\0';
+    switch (mode) {
+      case Mode::kCode:
+        if (c == '/' && next == '/') {
+          mode = Mode::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          mode = Mode::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          mode = Mode::kString;
+          literal.clear();
+        } else if (c == '\'') {
+          mode = Mode::kChar;
+        }
+        break;
+      case Mode::kLineComment:
+        if (c == '\n') mode = Mode::kCode;
+        break;
+      case Mode::kBlockComment:
+        if (c == '*' && next == '/') {
+          mode = Mode::kCode;
+          ++i;
+        }
+        break;
+      case Mode::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          mode = Mode::kCode;
+          // Field keywords start at the beginning of the literal (a trailing
+          // separator space is fine: `"assignment "`). A leading space marks
+          // a connector fragment inside a spliced message (`" of "`), never
+          // a field name.
+          std::size_t end = literal.size();
+          while (end > 0 && literal[end - 1] == ' ') --end;
+          const std::string trimmed = literal.substr(0, end);
+          if (std::regex_match(trimmed, kField)) fields.insert(trimmed);
+        } else {
+          literal += c;
+        }
+        break;
+      case Mode::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          mode = Mode::kCode;
+        }
+        break;
+    }
+  }
+  return fields;
+}
+
+std::string join_range(const std::vector<std::string>& lines,
+                       const DefRange& range) {
+  std::string out;
+  for (int i = range.begin_line; i <= range.end_line; ++i) {
+    if (i < 1 || static_cast<std::size_t>(i) > lines.size()) continue;
+    out += lines[static_cast<std::size_t>(i) - 1];
+    out += '\n';
+  }
+  return out;
+}
+
+void rule_ql008(const SourceFile& f, std::vector<Finding>& out) {
+  if (!starts_with(f.rel, "src/")) return;
+  // The serializer pairs under contract: the member hooks
+  // (Protocol::snapshot_write/snapshot_read overrides) and the free
+  // checkpoint functions (write_snapshot/read_snapshot). Both halves of a
+  // pair must be defined in the same file for the check to fire — which is
+  // itself the layout the contract wants.
+  static const std::pair<const char*, const char*> kPairs[] = {
+      {"snapshot_write", "snapshot_read"},
+      {"write_snapshot", "read_snapshot"},
+  };
+  const std::string code_text = join(f.code);
+  for (const auto& [writer, reader] : kPairs) {
+    const std::optional<DefRange> wdef = find_definition(code_text, writer);
+    const std::optional<DefRange> rdef = find_definition(code_text, reader);
+    if (!wdef.has_value() || !rdef.has_value()) continue;
+    const std::set<std::string> written =
+        ql008_fields(join_range(f.raw, *wdef));
+    const std::set<std::string> read = ql008_fields(join_range(f.raw, *rdef));
+    for (const std::string& field : written) {
+      if (read.count(field) == 0) {
+        out.push_back({"QL008", f.rel, wdef->begin_line,
+                       "snapshot field '" + field + "' written in " + writer +
+                           " but never read in " + reader +
+                           " — a checkpoint round-trip would drop it"});
+      }
+    }
+    for (const std::string& field : read) {
+      if (written.count(field) == 0) {
+        out.push_back({"QL008", f.rel, rdef->begin_line,
+                       "snapshot field '" + field + "' read in " + reader +
+                           " but never written in " + writer +
+                           " — deserialization expects a field the writer "
+                           "never emits"});
+      }
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -676,6 +842,10 @@ const std::vector<RuleInfo>& rules() {
       {"QL007",
        "steady-clock reads outside src/obs/ (and obs::SteadyClock "
        "instantiation anywhere in src/core/ or src/sim/)"},
+      {"QL008",
+       "snapshot serializer/deserializer field-list contract: every field "
+       "written by snapshot_write/write_snapshot must be read by its "
+       "snapshot_read/read_snapshot counterpart, and vice versa"},
   };
   return kRules;
 }
@@ -693,6 +863,7 @@ std::vector<Finding> run(const Options& options) {
     rule_ql003(f, findings);
     rule_ql005(f, findings);
     rule_ql007(f, findings);
+    rule_ql008(f, findings);
   }
   rule_ql004_registry(files, findings);
   rule_ql004_cmake(root, files, cmake_lists, findings);

@@ -16,6 +16,12 @@
 // Shared options: --seed, --reps (run mode), --csv, --threads (run mode),
 // --engine-mode=dense|active (run mode; active iterates only the unsatisfied
 // set, bit-identical for protocols marked [active-set]).
+//
+// Robustness (run mode, docs/faults.md): --fail=R:ROUND,... and
+// --recover=R:ROUND,... schedule deterministic mid-run resource churn;
+// --check-every=K audits State::check_invariants() every K rounds. With a
+// churn plan the run prints an extra churn summary line (degradation
+// metrics aggregated over the replications).
 // `qoslb --list-protocols` prints every registered protocol kind with a
 // one-line description ([active-set] marks active-set-capable kinds) and
 // exits.
@@ -128,6 +134,40 @@ Instance build_family(const std::string& family, std::size_t n, std::size_t m,
       "' (uniform|classes|zipf|related|overloaded|herding)");
 }
 
+/// Parses --fail/--recover "R:ROUND,..." specs into one round-ordered churn
+/// plan (same-round failures apply before recoveries).
+ChurnPlan parse_churn(const std::string& fail_spec,
+                      const std::string& recover_spec) {
+  const auto parse = [](const std::string& spec, ChurnKind kind) {
+    std::vector<ChurnEvent> events;
+    for (const std::string& item : split(spec, ',')) {
+      if (item.empty()) continue;
+      const std::vector<std::string> parts = split(item, ':');
+      if (parts.size() != 2)
+        throw std::invalid_argument("churn entry expects R:ROUND, got '" +
+                                    item + "'");
+      ChurnEvent event;
+      event.resource = static_cast<ResourceId>(std::stoul(parts[0]));
+      event.round = static_cast<std::uint64_t>(std::stoull(parts[1]));
+      event.kind = kind;
+      events.push_back(event);
+    }
+    return events;
+  };
+  const std::vector<ChurnEvent> fails = parse(fail_spec, ChurnKind::kFail);
+  const std::vector<ChurnEvent> recovers =
+      parse(recover_spec, ChurnKind::kRecover);
+  ChurnPlan plan;
+  std::size_t fi = 0, ri = 0;
+  while (fi < fails.size() || ri < recovers.size()) {
+    const bool take_fail =
+        ri >= recovers.size() ||
+        (fi < fails.size() && fails[fi].round <= recovers[ri].round);
+    plan.events.push_back(take_fail ? fails[fi++] : recovers[ri++]);
+  }
+  return plan;
+}
+
 State build_start(const std::string& start, const Instance& instance,
                   Xoshiro256& rng) {
   if (start == "all0") return State::all_on(instance, 0);
@@ -152,6 +192,10 @@ int mode_run(ArgParser& args) {
       args.get_int("max-rounds", 1 << 20));
   const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
   const std::string engine_mode = args.get_string("engine-mode", "dense");
+  const ChurnPlan churn = parse_churn(args.get_string("fail", ""),
+                                      args.get_string("recover", ""));
+  const auto check_every =
+      static_cast<std::uint32_t>(args.get_int("check-every", 0));
   const bool csv = args.get_flag("csv");
   TelemetryOptions telemetry;
   read_telemetry(args, telemetry);
@@ -165,6 +209,7 @@ int mode_run(ArgParser& args) {
                                 "' (dense|active)");
 
   const Graph graph = make_complete(static_cast<Vertex>(m));
+  ChurnStats churn_total;  // aggregated over the replications
   const AggregatedRuns agg =
       aggregate_runs(seed, reps, [&](std::uint64_t rep_seed) {
         Xoshiro256 rng(rep_seed);
@@ -180,11 +225,22 @@ int mode_run(ArgParser& args) {
         config.max_rounds = max_rounds;
         config.threads = threads;
         config.mode = mode;
+        config.churn = churn;
+        config.invariant_check_period = check_every;
         // Replications share the registry (counters accumulate) and the
         // sinks (one begin/end block per rep).
         apply_telemetry(telemetry, config);
         ReplicatedRun run;
         run.result = Engine(config).run(*protocol, state, rng);
+        churn_total.failures += run.result.churn.failures;
+        churn_total.recoveries += run.result.churn.recoveries;
+        churn_total.evicted += run.result.churn.evicted;
+        churn_total.max_dip_depth = std::max(churn_total.max_dip_depth,
+                                             run.result.churn.max_dip_depth);
+        churn_total.max_recovery_rounds =
+            std::max(churn_total.max_recovery_rounds,
+                     run.result.churn.max_recovery_rounds);
+        churn_total.dip_open = churn_total.dip_open || run.result.churn.dip_open;
         run.num_users = instance.num_users();
         return run;
       });
@@ -208,6 +264,14 @@ int mode_run(ArgParser& args) {
     table.print_csv(std::cout);
   else
     table.print(std::cout);
+  if (churn.any()) {
+    std::cout << "churn: failures=" << churn_total.failures
+              << " recoveries=" << churn_total.recoveries
+              << " evicted=" << churn_total.evicted
+              << " max_dip_depth=" << churn_total.max_dip_depth
+              << " max_recovery_rounds=" << churn_total.max_recovery_rounds
+              << " dip_open=" << (churn_total.dip_open ? "yes" : "no") << '\n';
+  }
   return 0;
 }
 

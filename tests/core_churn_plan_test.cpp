@@ -1,0 +1,258 @@
+// Deterministic mid-run resource churn (core/churn_plan.hpp + the engine's
+// round-boundary replay, docs/faults.md).
+//
+// Covers: schedule validation (sorted, in-range, liveness-consistent),
+// dip/recovery bookkeeping in ChurnTracker, the engine contract that a
+// churned run evicts every resident of a failed resource onto survivors and
+// reports graceful-degradation metrics, thread/mode invariance of the
+// churned realization, convergence gating on pending events, and the
+// sequential-only rejection.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "net/generators.hpp"
+#include "obs/metrics.hpp"
+#include "qoslb.hpp"
+
+namespace qoslb {
+namespace {
+
+Instance test_instance(std::size_t n, std::size_t m, std::uint64_t seed = 1) {
+  Xoshiro256 rng(seed);
+  return make_uniform_feasible(n, m, 0.5, 1.5, rng);
+}
+
+std::vector<ResourceId> assignment_of(const State& state) {
+  std::vector<ResourceId> assignment(state.num_users());
+  for (UserId u = 0; u < state.num_users(); ++u)
+    assignment[u] = state.resource_of(u);
+  return assignment;
+}
+
+// ---- plan validation ----
+
+TEST(ChurnPlan, AcceptsAWellFormedSchedule) {
+  ChurnPlan plan;
+  plan.fail(2, 1).fail(2, 3).recover(10, 1).fail(12, 0).recover(20, 3);
+  EXPECT_NO_THROW(plan.validate(4));
+}
+
+TEST(ChurnPlan, RejectsUnsortedRounds) {
+  ChurnPlan plan;
+  plan.fail(10, 1);
+  plan.events.push_back({5, 2, ChurnKind::kFail});
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+}
+
+TEST(ChurnPlan, RejectsOutOfRangeResource) {
+  ChurnPlan plan;
+  plan.fail(1, 9);
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+}
+
+TEST(ChurnPlan, RejectsFailingADeadResource) {
+  ChurnPlan plan;
+  plan.fail(1, 2).fail(5, 2);
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+}
+
+TEST(ChurnPlan, RejectsKillingTheLastLiveResource) {
+  ChurnPlan plan;
+  plan.fail(1, 0).fail(2, 1);
+  EXPECT_THROW(plan.validate(2), std::invalid_argument);
+}
+
+TEST(ChurnPlan, RejectsRecoveringALiveResource) {
+  ChurnPlan plan;
+  plan.recover(3, 1);
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+}
+
+// ---- tracker bookkeeping ----
+
+TEST(ChurnTracker, DipDepthAndRecoveryRounds) {
+  ChurnTracker tracker;
+  tracker.on_failure(10, 100);  // baseline 100 of 200 satisfied
+  tracker.on_eviction(7);
+  tracker.on_round_end(10, 60, 200);  // dip bottom: 40/200 below baseline
+  tracker.on_round_end(11, 80, 200);
+  tracker.on_round_end(12, 100, 200);  // back at baseline after 2 rounds
+  tracker.on_round_end(13, 150, 200);
+
+  EXPECT_EQ(tracker.stats.failures, 1u);
+  EXPECT_EQ(tracker.stats.evicted, 7u);
+  EXPECT_DOUBLE_EQ(tracker.stats.max_dip_depth, 0.2);
+  EXPECT_EQ(tracker.stats.max_recovery_rounds, 2u);
+  EXPECT_FALSE(tracker.stats.dip_open);
+}
+
+TEST(ChurnTracker, OverlappingFailureDeepensTheOpenDip) {
+  ChurnTracker tracker;
+  tracker.on_failure(5, 100);
+  tracker.on_round_end(5, 70, 100);
+  tracker.on_failure(6, 70);  // second hit while still below baseline
+  tracker.on_round_end(6, 40, 100);
+  EXPECT_EQ(tracker.stats.failures, 2u);
+  EXPECT_DOUBLE_EQ(tracker.stats.max_dip_depth, 0.6);
+  EXPECT_TRUE(tracker.in_dip);
+  EXPECT_TRUE(tracker.stats.dip_open);
+}
+
+TEST(ChurnTracker, RunEndingInsideADipReportsItOpen) {
+  ChurnTracker tracker;
+  tracker.on_failure(3, 50);
+  tracker.on_round_end(3, 20, 100);
+  EXPECT_TRUE(tracker.stats.dip_open);
+  EXPECT_EQ(tracker.stats.max_recovery_rounds, 0u)
+      << "unclosed dips must not contribute a recovery time";
+}
+
+// ---- engine replay ----
+
+EngineConfig churned_config() {
+  // The failure lands at round 30, after the run has largely settled, so
+  // evicting resource 2's residents genuinely dents the satisfied count (a
+  // failure during the initial all-on-0 scramble would not dip below its
+  // low pre-failure baseline).
+  EngineConfig config;
+  config.max_rounds = 400;
+  config.shard_size = 128;
+  config.invariant_check_period = 8;
+  config.churn.fail(30, 2).recover(60, 2);
+  return config;
+}
+
+TEST(EngineChurn, FailureEvictsResidentsAndReportsDegradation) {
+  // A tight world (5% slack): losing a sixteenth of the capacity makes some
+  // users genuinely unsatisfiable until the resource returns, so the
+  // satisfied fraction must visibly dip below its pre-failure baseline.
+  Xoshiro256 world_rng(1);
+  const Instance instance = make_uniform_feasible(1500, 16, 0.05, 1.5, world_rng);
+  State state = State::all_on(instance, 0);
+  ProtocolSpec spec;
+  spec.kind = "uniform";
+  spec.lambda = 0.5;
+  const auto protocol = make_protocol(spec);
+  Xoshiro256 rng(11);
+  const EngineResult result =
+      Engine(churned_config()).run(*protocol, state, rng);
+  state.check_invariants();
+
+  EXPECT_EQ(result.churn.failures, 1u);
+  EXPECT_EQ(result.churn.recoveries, 1u);
+  EXPECT_GT(result.churn.evicted, 0u)
+      << "round 30 of a uniform run must have residents on resource 2";
+  EXPECT_GT(result.churn.max_dip_depth, 0.0);
+  EXPECT_FALSE(result.churn.dip_open) << "the run must recover";
+  EXPECT_TRUE(result.converged);
+  for (UserId u = 0; u < state.num_users(); ++u)
+    EXPECT_TRUE(state.resource_live(state.resource_of(u)));
+}
+
+TEST(EngineChurn, ChurnedRunIsThreadAndModeInvariant) {
+  const Instance instance = test_instance(1500, 16);
+  ProtocolSpec spec;
+  spec.kind = "admission";
+  spec.lambda = 1.0;
+
+  std::vector<ResourceId> reference;
+  EngineResult reference_result;
+  bool have_reference = false;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    for (const EngineMode mode : {EngineMode::kDense, EngineMode::kActive}) {
+      State state = State::all_on(instance, 0);
+      const auto protocol = make_protocol(spec);
+      EngineConfig config = churned_config();
+      config.threads = threads;
+      config.mode = mode;
+      Xoshiro256 rng(11);
+      const EngineResult result = Engine(config).run(*protocol, state, rng);
+      if (!have_reference) {
+        reference = assignment_of(state);
+        reference_result = result;
+        have_reference = true;
+        continue;
+      }
+      const std::string label =
+          "threads=" + std::to_string(threads) +
+          (mode == EngineMode::kActive ? " active" : " dense");
+      EXPECT_EQ(assignment_of(state), reference) << label;
+      EXPECT_EQ(result.rounds, reference_result.rounds) << label;
+      EXPECT_EQ(result.counters.migrations,
+                reference_result.counters.migrations)
+          << label;
+      EXPECT_EQ(result.churn.evicted, reference_result.churn.evicted) << label;
+      EXPECT_EQ(result.churn.max_dip_depth,
+                reference_result.churn.max_dip_depth)
+          << label;
+    }
+  }
+}
+
+TEST(EngineChurn, ConvergenceWaitsForPendingEvents) {
+  // A comfortably feasible world converges almost immediately — but with a
+  // failure scheduled at round 50 the run must keep going, apply it, and
+  // re-converge afterwards.
+  const Instance instance = test_instance(400, 16);
+  State state = State::round_robin(instance);
+  ProtocolSpec spec;
+  spec.kind = "uniform";
+  spec.lambda = 0.5;
+  const auto protocol = make_protocol(spec);
+  EngineConfig config;
+  config.max_rounds = 1000;
+  config.churn.fail(50, 1);
+  Xoshiro256 rng(3);
+  const EngineResult result = Engine(config).run(*protocol, state, rng);
+
+  EXPECT_GT(result.rounds, 50u)
+      << "a pending event must veto early convergence";
+  EXPECT_EQ(result.churn.failures, 1u);
+  EXPECT_TRUE(result.converged);
+  EXPECT_FALSE(state.resource_live(1));
+}
+
+TEST(EngineChurn, SequentialOnlyProtocolsRejectChurn) {
+  const Instance instance = test_instance(100, 8);
+  State state = State::all_on(instance, 0);
+  ProtocolSpec spec;
+  spec.kind = "seq-br";  // classic step() path, no sharded round support
+  const auto protocol = make_protocol(spec);
+  EngineConfig config;
+  config.churn.fail(1, 0);
+  Xoshiro256 rng(1);
+  EXPECT_THROW(Engine(config).run(*protocol, state, rng),
+               std::invalid_argument);
+}
+
+TEST(EngineChurn, ChurnMetricsReachTheRegistry) {
+  const Instance instance = test_instance(800, 16);
+  State state = State::all_on(instance, 0);
+  ProtocolSpec spec;
+  spec.kind = "uniform";
+  spec.lambda = 0.5;
+  const auto protocol = make_protocol(spec);
+  obs::MetricsRegistry metrics;
+  EngineConfig config = churned_config();
+  config.telemetry.metrics = &metrics;
+  Xoshiro256 rng(7);
+  const EngineResult result = Engine(config).run(*protocol, state, rng);
+  ASSERT_EQ(result.churn.failures, 1u);
+
+  const obs::CounterHandle failures = metrics.find_counter("churn/failures");
+  ASSERT_TRUE(failures.valid());
+  EXPECT_EQ(metrics.counter_value(failures), 1u);
+  const obs::CounterHandle evicted = metrics.find_counter("churn/evicted");
+  ASSERT_TRUE(evicted.valid());
+  EXPECT_EQ(metrics.counter_value(evicted), result.churn.evicted);
+  const obs::GaugeHandle dip = metrics.find_gauge("churn/max_dip_depth");
+  ASSERT_TRUE(dip.valid());
+  EXPECT_DOUBLE_EQ(metrics.gauge_value(dip), result.churn.max_dip_depth);
+}
+
+}  // namespace
+}  // namespace qoslb

@@ -92,6 +92,78 @@ TEST(Churn, FailResourceRelocatesAndRenumbers) {
   state.check_invariants();
 }
 
+TEST(Churn, FailResourceWithTwoResourcesLeavesTheSurvivor) {
+  // The smallest legal world for a failure: everyone lands on the one
+  // survivor and the renumbering maps it to id 0.
+  World world = make_world(12, 10, 2);
+  Xoshiro256 rng(13);
+  const World next = fail_resource(world, 1, rng);
+  EXPECT_EQ(next.instance.num_resources(), 1u);
+  for (const ResourceId r : next.assignment) EXPECT_EQ(r, 0u);
+  State state(next.instance, next.assignment);
+  state.check_invariants();
+}
+
+TEST(Churn, FailResourcePreservesSurvivorCapacities) {
+  World world = make_world(14, 40, 4);
+  Xoshiro256 rng(15);
+  const World next = fail_resource(world, 2, rng);
+  ASSERT_EQ(next.instance.num_resources(), 3u);
+  EXPECT_DOUBLE_EQ(next.instance.capacity(0), world.instance.capacity(0));
+  EXPECT_DOUBLE_EQ(next.instance.capacity(1), world.instance.capacity(1));
+  EXPECT_DOUBLE_EQ(next.instance.capacity(2), world.instance.capacity(3));
+}
+
+TEST(Churn, FailEmptyResourceRelocatesNobody) {
+  // Failing a resource with no residents only renumbers: ids above the
+  // failed one shift down, nobody migrates.
+  Xoshiro256 world_rng(22);
+  const Instance inst = make_uniform_feasible(12, 4, 0.4, 1.2, world_rng);
+  State state = State::all_on(inst, 1);  // resources 0, 2, 3 are empty
+  World world = snapshot_world(state);
+  Xoshiro256 rng(23);
+
+  const World tail = fail_resource(world, 3, rng);
+  for (const ResourceId r : tail.assignment) EXPECT_EQ(r, 1u);
+
+  const World head = fail_resource(world, 0, rng);
+  for (const ResourceId r : head.assignment) EXPECT_EQ(r, 0u);
+}
+
+TEST(Churn, FailResourceOutOfRangeThrowsChurnError) {
+  World world = make_world(16, 10, 3);
+  Xoshiro256 rng(17);
+  EXPECT_THROW(fail_resource(world, 3, rng), ChurnError);
+  EXPECT_THROW(fail_resource(world, 99, rng), ChurnError);
+  try {
+    fail_resource(world, 99, rng);
+    FAIL() << "expected ChurnError";
+  } catch (const ChurnError& error) {
+    EXPECT_NE(std::string(error.what()).find("out of range"),
+              std::string::npos);
+  }
+}
+
+TEST(Churn, FailOnlyResourceThrowsChurnError) {
+  World world = make_world(18, 10, 1);
+  Xoshiro256 rng(19);
+  EXPECT_THROW(fail_resource(world, 0, rng), ChurnError);
+}
+
+TEST(Churn, ChurnErrorIsAnInvalidArgument) {
+  // Callers that predate the typed error keep working: ChurnError derives
+  // from std::invalid_argument and carries the qoslb churn prefix.
+  World world = make_world(20, 10, 1);
+  Xoshiro256 rng(21);
+  try {
+    fail_resource(world, 0, rng);
+    FAIL() << "expected ChurnError";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("qoslb churn:"),
+              std::string::npos);
+  }
+}
+
 TEST(Churn, ProtocolRecoversAfterResourceFailure) {
   // End-to-end robustness: converge, fail a resource, converge again.
   Xoshiro256 rng(13);

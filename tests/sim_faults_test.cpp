@@ -63,6 +63,61 @@ TEST(FaultPlan, RejectsBadParameters) {
   EXPECT_THROW(FaultInjector(bad, 1), std::invalid_argument);
 }
 
+TEST(FaultPlan, ValidateCatchesDirectFieldAssignment) {
+  // The chainers validate eagerly; validate() catches plans whose fields
+  // were poked directly (config files, tests) before the injector runs.
+  FaultPlan plan;
+  plan.dup[1] = 1.2;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+  plan = FaultPlan{};
+  plan.heavy_tail_prob = -0.5;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+  plan = FaultPlan{};
+  plan.heavy_tail_scale = 0.0;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+  plan = FaultPlan{};
+  plan.heavy_tail_cap = -1.0;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+  plan = FaultPlan{};
+  plan.crashes.push_back(CrashWindow{0, 4.0, 2.0});  // t_recover <= t_crash
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+  plan = FaultPlan{};
+  plan.crashes.push_back(CrashWindow{0, -1.0, 2.0});  // negative start
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsOverlappingCrashWindowsForTheSameAgent) {
+  FaultPlan plan;
+  plan.crash(3, 1.0, 5.0);
+  plan.crash(3, 4.0, 8.0);  // overlaps [1,5) on agent 3
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  EXPECT_THROW(FaultInjector(plan, 1), std::invalid_argument);
+  try {
+    plan.validate();
+    FAIL() << "expected rejection";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("overlapping"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("agent 3"), std::string::npos);
+  }
+}
+
+TEST(FaultPlan, AllowsTouchingAndDistinctAgentWindows) {
+  // Back-to-back windows ([1,5) then [5,9)) are disjoint under the
+  // half-open convention, and different agents never conflict.
+  FaultPlan plan;
+  plan.crash(2, 1.0, 5.0);
+  plan.crash(2, 5.0, 9.0);
+  plan.crash(7, 2.0, 6.0);
+  EXPECT_NO_THROW(plan.validate());
+  EXPECT_NO_THROW(FaultInjector(plan, 1));
+}
+
 // ---- injection through the engine ----
 
 TEST(FaultInjector, DropsAreCountedAndConserved) {

@@ -41,7 +41,8 @@ TEST(LintRules, RuleTableIsStable) {
   for (const qoslb::lint::RuleInfo& r : qoslb::lint::rules())
     ids.push_back(r.id);
   EXPECT_EQ(ids, (std::vector<std::string>{"QL001", "QL002", "QL003", "QL004",
-                                           "QL005", "QL006", "QL007"}));
+                                           "QL005", "QL006", "QL007",
+                                           "QL008"}));
 }
 
 TEST(LintRules, ExactFixtureHitCounts) {
@@ -52,6 +53,7 @@ TEST(LintRules, ExactFixtureHitCounts) {
       {{"src/bad_rng.cpp", "QL001"}, 1},
       {{"src/core/potential.cpp", "QL005"}, 2},
       {{"src/core/protocols/iter_bad.cpp", "QL002"}, 3},
+      {{"src/core/snapshot_bad.cpp", "QL008"}, 2},
       {{"src/core/protocols/registry.cpp", "QL004"}, 2},
       {{"src/core/satisfaction_acc.hpp", "QL005"}, 2},
       {{"src/core/wall_clock.cpp", "QL003"}, 3},
@@ -115,6 +117,20 @@ TEST(LintRules, Ql006FlagsStaleAllowlistEntries) {
   ASSERT_EQ(fs.size(), 1u);
   EXPECT_EQ(fs[0].line, 3);
   EXPECT_NE(fs[0].message.find("src/not_there.cpp"), std::string::npos);
+}
+
+TEST(LintRules, Ql008FlagsBothContractDirections) {
+  const std::vector<Finding> fs = findings_for("src/core/snapshot_bad.cpp");
+  ASSERT_EQ(fs.size(), 2u);
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "QL008");
+  // Sorted by line: the write-side finding anchors at write_snapshot's
+  // definition, the read-side one at read_snapshot's.
+  EXPECT_EQ(fs[0].line, 16);
+  EXPECT_NE(fs[0].message.find("'beta'"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("never read"), std::string::npos);
+  EXPECT_EQ(fs[1].line, 21);
+  EXPECT_NE(fs[1].message.find("'gamma'"), std::string::npos);
+  EXPECT_NE(fs[1].message.find("never written"), std::string::npos);
 }
 
 TEST(LintSuppressions, SameLineAllowSilencesTheFinding) {

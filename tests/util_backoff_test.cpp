@@ -66,6 +66,52 @@ TEST(ExponentialBackoff, ZeroJitterIsExact) {
   EXPECT_DOUBLE_EQ(backoff.jittered(rng, 2), backoff.delay(2));
 }
 
+TEST(ExponentialBackoff, CapEqualToBaseSaturatesImmediately) {
+  ExponentialBackoff backoff{/*base=*/5.0, /*factor=*/3.0, /*cap=*/5.0,
+                             /*max_retries=*/4, /*jitter_frac=*/0.0};
+  EXPECT_DOUBLE_EQ(backoff.delay(0), 5.0);
+  EXPECT_DOUBLE_EQ(backoff.delay(1), 5.0);
+  EXPECT_DOUBLE_EQ(backoff.delay(9), 5.0);
+}
+
+TEST(ExponentialBackoff, ScheduleIsMonotoneNonDecreasing) {
+  ExponentialBackoff backoff{/*base=*/1.5, /*factor=*/1.7, /*cap=*/40.0,
+                             /*max_retries=*/16, /*jitter_frac=*/0.0};
+  double previous = 0.0;
+  for (unsigned attempt = 0; attempt < 16; ++attempt) {
+    const double d = backoff.delay(attempt);
+    EXPECT_GE(d, previous) << "attempt=" << attempt;
+    EXPECT_LE(d, backoff.cap) << "attempt=" << attempt;
+    previous = d;
+  }
+}
+
+TEST(ExponentialBackoff, JitterAtTheCapStaysWithinTheStretchedBound) {
+  // Jitter multiplies the capped delay, so the hard ceiling of the schedule
+  // is cap * (1 + jitter_frac), not cap.
+  ExponentialBackoff backoff{/*base=*/2.0, /*factor=*/2.0, /*cap=*/16.0,
+                             /*max_retries=*/8, /*jitter_frac=*/0.25};
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const double jittered = backoff.jittered(rng, /*attempt=*/20);
+    EXPECT_GE(jittered, 16.0);
+    EXPECT_LT(jittered, 16.0 * 1.25);
+  }
+}
+
+TEST(ExponentialBackoff, ZeroMaxRetriesIsExhaustedFromTheStart) {
+  ExponentialBackoff backoff;
+  backoff.max_retries = 0;
+  EXPECT_TRUE(backoff.exhausted(0));
+}
+
+TEST(ExponentialBackoff, NegativeJitterFractionBehavesAsNoJitter) {
+  ExponentialBackoff backoff;
+  backoff.jitter_frac = -0.5;  // defensive: treated as "no stretch"
+  Xoshiro256 rng(3);
+  EXPECT_DOUBLE_EQ(backoff.jittered(rng, 1), backoff.delay(1));
+}
+
 TEST(ExponentialBackoff, RejectsBadParameters) {
   ExponentialBackoff backoff;
   backoff.base = 0.0;

@@ -87,9 +87,9 @@ int main(int argc, char** argv) {
         ProtocolSpec spec;
         spec.kind = kind;
         auto protocol = make_protocol(spec);
-        RunConfig config;
+        EngineConfig config;
         config.max_rounds = 100000;
-        run_protocol(*protocol, state, rng, config);  // initial convergence
+        Engine(config).run(*protocol, state, rng);  // initial convergence
 
         for (long long wave = 0; wave < waves; ++wave) {
           std::vector<ResourceId> assignment(instance.num_users());
@@ -99,7 +99,7 @@ int main(int argc, char** argv) {
               churn(instance, assignment, churn_count, t_min, t_max, rng);
           instance = std::move(world.instance);
           state = State(instance, std::move(world.assignment));
-          const RunResult result = run_protocol(*protocol, state, rng, config);
+          const EngineResult result = Engine(config).run(*protocol, state, rng);
           wave_rounds[wave].add(static_cast<double>(result.rounds));
           wave_migrations[wave].add(
               static_cast<double>(result.counters.migrations));

@@ -48,8 +48,9 @@ int main(int argc, char** argv) {
           protocol = std::make_unique<WeightedUniformSampling>(0.5);
         else
           protocol = std::make_unique<WeightedAdmissionControl>();
-        const WeightedRunResult result =
-            run_weighted_protocol(*protocol, state, rng, 30000);
+        EngineConfig config;
+        config.max_rounds = 30000;
+        const EngineResult result = Engine(config).run(*protocol, state, rng);
         if (result.converged) ++converged;
         rounds.add(static_cast<double>(result.rounds));
         migrations.add(static_cast<double>(result.counters.migrations));

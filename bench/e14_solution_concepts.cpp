@@ -77,9 +77,9 @@ int main(int argc, char** argv) {
           rng);
       State state = State::all_on(instance, 0);
       const auto protocol = dynamic.build();
-      RunConfig config;
+      EngineConfig config;
       config.max_rounds = 200000;
-      const RunResult result = run_protocol(*protocol, state, rng, config);
+      const EngineResult result = Engine(config).run(*protocol, state, rng);
       rounds.add(static_cast<double>(result.rounds));
       migrations.add(static_cast<double>(result.counters.migrations));
       min_q.add(min_quality(state));

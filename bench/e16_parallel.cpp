@@ -43,10 +43,10 @@ int main(int argc, char** argv) {
       State state = State::all_on(instance, 0);
       ParallelUniformSampling protocol(0.5, /*seed=*/7, threads);
       Xoshiro256 unused(1);
-      RunConfig config;
+      EngineConfig config;
       config.max_rounds = 100000;
       Stopwatch watch;
-      const RunResult result = run_protocol(protocol, state, unused, config);
+      const EngineResult result = Engine(config).run(protocol, state, unused);
       best_seconds = std::min(best_seconds, watch.seconds());
       rounds = result.rounds;
 

@@ -57,10 +57,10 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(n), static_cast<std::size_t>(m), slack, 1.5,
           rng);
       State state = State::all_on(instance, 0);
-      RunConfig run_config;
+      EngineConfig run_config;
       run_config.max_rounds = 50000;
-      const RunResult result =
-          run_protocol(*config.protocol, state, rng, run_config);
+      const EngineResult result =
+          Engine(run_config).run(*config.protocol, state, rng);
       if (result.converged) ++converged;
       rounds.add(static_cast<double>(result.rounds));
       probes.add(static_cast<double>(result.counters.probes));

@@ -62,9 +62,9 @@ int main(int argc, char** argv) {
       ProtocolSpec spec;
       spec.kind = "admission";
       const auto protocol = make_protocol(spec);
-      RunConfig config;
+      EngineConfig config;
       config.max_rounds = 50000;
-      const RunResult result = run_protocol(*protocol, state, rng, config);
+      const EngineResult result = Engine(config).run(*protocol, state, rng);
       if (result.converged) ++converged;
       rounds.add(static_cast<double>(result.rounds));
       migrations.add(static_cast<double>(result.counters.migrations));

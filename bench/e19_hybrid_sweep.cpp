@@ -39,9 +39,9 @@ int main(int argc, char** argv) {
           rng);
       State state = State::all_on(instance, 0);
       HybridEpsilonGreedy protocol(0.5, epsilon);
-      RunConfig config;
+      EngineConfig config;
       config.max_rounds = 100000;
-      const RunResult result = run_protocol(protocol, state, rng, config);
+      const EngineResult result = Engine(config).run(protocol, state, rng);
       if (result.converged) ++converged;
       rounds.add(static_cast<double>(result.rounds));
       migrations.add(static_cast<double>(result.counters.migrations));

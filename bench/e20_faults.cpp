@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
         Xoshiro256 rng(derive_seed(common.seed, rep));
         const Instance instance =
             make_uniform_feasible(n, m, slack, 1.5, rng);
-        AsyncConfig config;
+        EngineConfig config;
         config.seed = derive_seed(common.seed, 1000 + rep);
         config.random_start = false;  // force migration traffic
         if (drop > 0.0) config.faults.drop_all(drop);

@@ -38,8 +38,8 @@ int main(int argc, char** argv) {
     spec.kind = kind;
     spec.lambda = lambda;
     const auto protocol = make_protocol(spec);
-    // Per-round rows come from the engine's trace sink (the TraceRecorder
-    // successor); period 1 keeps the recorder's check-every-round semantics.
+    // Per-round rows come from the engine's trace sink; period 1 keeps the
+    // legacy check-every-round semantics.
     obs::MemoryTraceSink sink;
     EngineConfig config;
     config.max_rounds = 10000;

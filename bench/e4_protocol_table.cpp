@@ -67,10 +67,10 @@ int main(int argc, char** argv) {
             spec.kind = kind;
             spec.lambda = lambda;
             const auto protocol = make_protocol(spec);
-            RunConfig config;
+            EngineConfig config;
             config.max_rounds = 30000;
             ReplicatedRun run;
-            run.result = run_protocol(*protocol, state, rng, config);
+            run.result = Engine(config).run(*protocol, state, rng);
             run.num_users = instance.num_users();
             return run;
           });

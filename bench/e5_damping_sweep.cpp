@@ -53,10 +53,10 @@ int main(int argc, char** argv) {
           spec.lambda = config.lambda;
           spec.probes = 8;  // enough probes to always spot the other resource
           const auto protocol = make_protocol(spec);
-          RunConfig run_config;
+          EngineConfig run_config;
           run_config.max_rounds = static_cast<std::uint64_t>(cap);
           ReplicatedRun run;
-          run.result = run_protocol(*protocol, state, rng, run_config);
+          run.result = Engine(run_config).run(*protocol, state, rng);
           run.num_users = instance.num_users();
           return run;
         });

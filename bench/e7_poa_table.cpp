@@ -80,9 +80,9 @@ int main(int argc, char** argv) {
         spec.kind = kind;
         spec.lambda = 0.5;
         const auto protocol = make_protocol(spec);
-        RunConfig config;
+        EngineConfig config;
         config.max_rounds = 20000;
-        const RunResult result = run_protocol(*protocol, state, rng, config);
+        const EngineResult result = Engine(config).run(*protocol, state, rng);
         satisfied.add(static_cast<double>(result.final_satisfied));
         optimum.add(static_cast<double>(opt));
         const double r = opt == 0

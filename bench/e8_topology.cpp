@@ -75,10 +75,10 @@ int main(int argc, char** argv) {
             spec.kind = "nbr-admission";
             spec.graph = &topology.graph;
             const auto protocol = make_protocol(spec);
-            RunConfig config;
+            EngineConfig config;
             config.max_rounds = 100000;
             ReplicatedRun run;
-            run.result = run_protocol(*protocol, state, rng, config);
+            run.result = Engine(config).run(*protocol, state, rng);
             run.num_users = instance.num_users();
             return run;
           });

@@ -40,10 +40,10 @@ int main(int argc, char** argv) {
             ProtocolSpec spec;
             spec.kind = kind;
             const auto protocol = make_protocol(spec);
-            RunConfig config;
+            EngineConfig config;
             config.max_rounds = static_cast<std::uint64_t>(n) * 64;
             ReplicatedRun run;
-            run.result = run_protocol(*protocol, state, rng, config);
+            run.result = Engine(config).run(*protocol, state, rng);
             run.num_users = instance.num_users();
             return run;
           });

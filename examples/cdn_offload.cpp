@@ -1,13 +1,16 @@
-// CDN edge offload — a domain scenario for heterogeneous capacities and QoS
-// classes.
+// CDN edge offload — a domain scenario for heterogeneous capacities, QoS
+// classes, and restricted assignment.
 //
 // A metro region has a handful of big edge PoPs and many small cache boxes
 // (capacities 8:2:1). Viewers stream at one of three bitrates (the QoS
 // classes); a viewer is happy while its server's per-viewer bandwidth share
-// covers its bitrate. The example runs a flash crowd: after the region
-// converges, a wave of new 4K viewers arrives concentrated on one PoP, and
-// we watch the distributed admission protocol re-absorb them — no central
-// load balancer anywhere.
+// covers its bitrate. The small boxes cache only the HD/FHD renditions, so
+// 4K viewers simply cannot be served there — a rate of 0, i.e. a restricted-
+// assignment instance (docs/heterogeneity.md): the 4K population competes
+// for the 8 big-and-mid servers only. The example runs a flash crowd: after
+// the region converges, a wave of new 4K viewers arrives concentrated on one
+// PoP, and we watch the distributed adaptive protocol re-absorb them within
+// the servers they can reach — no central load balancer anywhere.
 
 #include <iostream>
 #include <string>
@@ -48,6 +51,17 @@ Region build_region(std::size_t viewers, Xoshiro256& rng) {
   return region;
 }
 
+/// Rate matrix: everyone at full rate on the 8 big/mid servers; 4K viewers
+/// at rate 0 on the 16 small boxes (no 4K rendition cached there).
+RateModel build_rates(const Region& region) {
+  const std::size_t servers = region.capacities.size();
+  std::vector<double> rates(region.bitrates.size() * servers, 1.0);
+  for (std::size_t v = 0; v < region.bitrates.size(); ++v)
+    if (std::string(region.tier_of[v]) == "4K")
+      for (std::size_t s = 8; s < servers; ++s) rates[v * servers + s] = 0.0;
+  return RateModel::matrix(region.bitrates.size(), servers, std::move(rates));
+}
+
 void report(const char* phase, const Instance& inst, const State& state,
             const Region& region) {
   std::size_t happy = 0, happy_4k = 0, total_4k = 0;
@@ -70,9 +84,10 @@ void report(const char* phase, const Instance& inst, const State& state,
 int main() {
   Xoshiro256 rng(7);
   Region region = build_region(12000, rng);
-  Instance instance(region.capacities, region.bitrates);
+  Instance instance(region.capacities, region.bitrates, build_rates(region));
 
-  // Day starts: viewers attach to arbitrary servers (DNS round-robin-ish).
+  // Day starts: viewers attach to arbitrary servers (DNS round-robin-ish;
+  // 4K viewers only land where the rendition exists).
   State state = State::random(instance, rng);
   report("before balancing", instance, state, region);
 
@@ -96,7 +111,8 @@ int main() {
     region.tier_of.push_back("4K");
     assignment[old_n + v] = 0;
   }
-  Instance crowd_instance(region.capacities, region.bitrates);
+  Instance crowd_instance(region.capacities, region.bitrates,
+                          build_rates(region));
   State crowd_state(crowd_instance, std::move(assignment));
   report("flash crowd hits PoP 0", crowd_instance, crowd_state, region);
 

@@ -580,7 +580,7 @@ class UserAgent : public DesAgent {
 
 namespace {
 
-AsyncRunResult run_async(const Instance& instance, const AsyncConfig& config,
+AsyncRunResult run_async(const Instance& instance, const EngineConfig& config,
                          bool gated, double lambda) {
   const std::size_t m = instance.num_resources();
   const std::size_t n = instance.num_users();
@@ -658,8 +658,8 @@ AsyncRunResult run_async(const Instance& instance, const AsyncConfig& config,
   result.virtual_time = engine.now();
   result.counters.events = result.events;
   result.hit_event_cap = engine.pending() > 0;
-  result.termination = result.hit_event_cap ? AsyncTermination::kEventCap
-                                            : AsyncTermination::kQuiesced;
+  result.termination = result.hit_event_cap ? Termination::kEventCap
+                                            : Termination::kQuiesced;
   if (injector) result.faults = injector->stats();
 
   // Final satisfaction from the users' own view (consistent when the queue
@@ -677,12 +677,12 @@ AsyncRunResult run_async(const Instance& instance, const AsyncConfig& config,
 }  // namespace
 
 AsyncRunResult run_async_admission(const Instance& instance,
-                                   const AsyncConfig& config) {
+                                   const EngineConfig& config) {
   return run_async(instance, config, /*gated=*/true, /*lambda=*/1.0);
 }
 
 AsyncRunResult run_async_optimistic(const Instance& instance, double lambda,
-                                    const AsyncConfig& config) {
+                                    const EngineConfig& config) {
   QOSLB_REQUIRE(lambda > 0.0 && lambda <= 1.0, "lambda must be in (0,1]");
   return run_async(instance, config, /*gated=*/false, lambda);
 }

@@ -28,22 +28,16 @@ namespace qoslb {
 /// With an inert plan the protocols run exactly the paper's trusting
 /// realization — byte-identical schedules and counters to the
 /// pre-fault-layer implementation.
-///
-/// Deprecated alias, kept for one release: use EngineConfig.
-using AsyncConfig = EngineConfig;
 
-/// Deprecated alias, kept for one release: use Termination. Async runs stop
-/// with kQuiesced (the event queue drained) or kEventCap.
-using AsyncTermination = Termination;
-
-/// Deprecated: prefer Engine::run_async_admission / run_async_optimistic,
-/// which return the unified EngineResult (satisfied → final_satisfied).
+/// Result of the asynchronous free-function entry points below. The Engine
+/// facade (run_async_admission / run_async_optimistic) folds this into the
+/// unified EngineResult (satisfied → final_satisfied).
 struct AsyncRunResult {
   bool all_satisfied = false;
   std::size_t satisfied = 0;
   double virtual_time = 0.0;   // time of the last delivered event
   std::uint64_t events = 0;
-  AsyncTermination termination = AsyncTermination::kQuiesced;
+  Termination termination = Termination::kQuiesced;
   bool hit_event_cap = false;  // convenience: termination == kEventCap
   Counters counters;
   FaultStats faults;           // what the injector actually did (zero if off)
@@ -66,7 +60,7 @@ struct AsyncRunResult {
 /// GRANT; a user whose resource crashed detects the silence via timeouts and
 /// re-enters search.
 AsyncRunResult run_async_admission(const Instance& instance,
-                                   const AsyncConfig& config = {});
+                                   const EngineConfig& config = {});
 
 /// Runs the *optimistic* asynchronous protocol — the message-passing
 /// realization of P2 (UniformSampling) with migration probability `lambda`:
@@ -77,6 +71,6 @@ AsyncRunResult run_async_admission(const Instance& instance,
 /// 1 the dynamics still settle in practice. Same config/termination/fault
 /// semantics as run_async_admission.
 AsyncRunResult run_async_optimistic(const Instance& instance, double lambda,
-                                    const AsyncConfig& config = {});
+                                    const EngineConfig& config = {});
 
 }  // namespace qoslb

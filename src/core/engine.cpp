@@ -316,6 +316,12 @@ EngineResult Engine::run(Protocol& protocol, State& state,
   QOSLB_REQUIRE(config_.snapshot_rounds.empty() ||
                     protocol.supports_step_users(),
                 "checkpointing needs a sharded (step_users) protocol");
+  // A protocol that samples the whole resource set would migrate users onto
+  // rate-0 pairs; only opted-in protocols may drive restricted instances.
+  QOSLB_REQUIRE(!state.instance().restricted() ||
+                    protocol.restricted_assignment_compatible(),
+                "protocol '" + protocol.name() +
+                    "' does not support restricted-assignment instances");
   protocol.reset();
   // O(1) per-round satisfaction reads on every path; the build is O(n log n)
   // once and idempotent across chained runs on the same state.
@@ -377,9 +383,25 @@ void apply_churn_event(const ChurnEvent& event, State& state,
   state.set_resource_live(event.resource, false);
   const auto& live = state.live_resources();
   const RoundRng streams(derive_seed(master_seed, kChurnSalt), event.round);
+  const Instance& instance = state.instance();
+  std::vector<ResourceId> candidates;
   for (const UserId u : victims) {
     PhiloxEngine rng = streams.user_stream(u);
-    state.move(u, live[uniform_u64_below(rng, live.size())]);
+    if (!instance.restricted()) {
+      state.move(u, live[uniform_u64_below(rng, live.size())]);
+      continue;
+    }
+    // Victims of a restricted instance relocate within reachable(u) ∩ live.
+    // A user whose only reachable resources are all dead cannot be placed
+    // anywhere — that is a schedule bug, reported loudly rather than
+    // silently parking the user on a rate-0 pair.
+    candidates.clear();
+    for (const ResourceId r : instance.reachable(u))
+      if (state.resource_live(r)) candidates.push_back(r);
+    QOSLB_REQUIRE(!candidates.empty(),
+                  "churn stranded user " + std::to_string(u) +
+                      ": every reachable resource is dead");
+    state.move(u, candidates[uniform_u64_below(rng, candidates.size())]);
   }
   tracker.on_eviction(victims.size());
 }
@@ -559,8 +581,8 @@ EngineResult Engine::resume(Protocol& protocol, const SnapshotV1& snapshot,
                           snapshot.churn);
 }
 
-EngineResult Engine::run_weighted(WeightedProtocol& protocol,
-                                  WeightedState& state, Xoshiro256& rng) const {
+EngineResult Engine::run(WeightedProtocol& protocol, WeightedState& state,
+                         Xoshiro256& rng) const {
   // The weighted loop checks stability *before* each step (matching the
   // historical run_weighted_protocol semantics exactly).
   EngineResult result;

@@ -164,9 +164,17 @@ class Engine {
   /// classic sequential step() path.
   EngineResult run(Protocol& protocol, State& state, Xoshiro256& rng) const;
 
-  /// Weighted-model counterpart of run() (always sequential).
+  /// Weighted-model overload: the state/protocol kinds select the weighted
+  /// sequential path, so callers use one run() entry point for both models.
+  EngineResult run(WeightedProtocol& protocol, WeightedState& state,
+                   Xoshiro256& rng) const;
+
+  /// Deprecated alias for the weighted run() overload (one release cycle).
+  [[deprecated("call run(); the engine dispatches on the instance kind")]]
   EngineResult run_weighted(WeightedProtocol& protocol, WeightedState& state,
-                            Xoshiro256& rng) const;
+                            Xoshiro256& rng) const {
+    return run(protocol, state, rng);
+  }
 
   /// Asynchronous (DES) admission protocol under this config's seed,
   /// latency, start and fault plan.

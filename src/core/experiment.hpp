@@ -3,7 +3,7 @@
 #include <cstdint>
 #include <functional>
 
-#include "core/runner.hpp"
+#include "core/engine.hpp"
 #include "stats/summary.hpp"
 
 namespace qoslb {
@@ -22,10 +22,10 @@ struct AggregatedRuns {
 };
 
 /// Runs `body` once per derived child seed and aggregates. `body` builds the
-/// instance/state/protocol for the given seed and returns the RunResult plus
+/// instance/state/protocol for the given seed and returns the EngineResult plus
 /// the user count (for the satisfied fraction).
 struct ReplicatedRun {
-  RunResult result;
+  EngineResult result;
   std::size_t num_users = 0;
 };
 

@@ -133,4 +133,77 @@ Instance make_related_capacities(std::size_t n, std::size_t m, double slack,
   return Instance(std::move(capacities), std::move(requirements));
 }
 
+Instance make_zipf_rates(std::size_t n, std::size_t m, double slack,
+                         double exponent, Xoshiro256& rng) {
+  QOSLB_REQUIRE(n >= 1 && m >= 1, "need users and resources");
+  QOSLB_REQUIRE(slack >= 0.0 && slack < 1.0, "slack in [0,1)");
+
+  // Worst rate = 2^-(ranks-1) from the user's class, halved again by the
+  // per-pair jitter; the base threshold absorbs it so floor(rate·T) ≥ L on
+  // every pair and the balanced assignment stays feasible.
+  constexpr int kRanks = 4;
+  constexpr double kWorstRate = 1.0 / (1 << kRanks);  // 2^-3 class · 0.5 jitter
+  const int load = balanced_load(n, m);
+  const int t_base = static_cast<int>(
+      std::ceil(static_cast<double>(load) / ((1.0 - slack) * kWorstRate)));
+
+  const ZipfSampler zipf(kRanks, exponent);
+  std::vector<double> rates(n * m);
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto rank = static_cast<int>(zipf(rng));
+    const double user_rate = std::ldexp(1.0, -rank);
+    for (std::size_t r = 0; r < m; ++r)
+      rates[u * m + r] = bernoulli(rng, 0.5) ? 0.5 * user_rate : user_rate;
+  }
+
+  std::vector<double> capacities(m, 1.0);
+  std::vector<double> requirements =
+      thresholds_to_requirements(std::vector<int>(n, t_base));
+  return Instance(std::move(capacities), std::move(requirements),
+                  RateModel::matrix(n, m, std::move(rates)));
+}
+
+Instance make_clustered_bipartite(std::size_t n, std::size_t m,
+                                  std::size_t clusters, std::size_t extra,
+                                  double slack, Xoshiro256& rng) {
+  QOSLB_REQUIRE(n >= 1, "need users");
+  QOSLB_REQUIRE(clusters >= 1 && m >= clusters, "need m >= clusters >= 1");
+  QOSLB_REQUIRE(slack >= 0.0 && slack < 1.0, "slack in [0,1)");
+
+  // Round-robin partition; the fullest cluster fixes the base threshold so
+  // the within-cluster balanced assignment is feasible for every cluster.
+  int worst_load = 1;
+  for (std::size_t c = 0; c < clusters; ++c) {
+    const std::size_t users_c = n / clusters + (c < n % clusters ? 1 : 0);
+    const std::size_t resources_c = m / clusters + (c < m % clusters ? 1 : 0);
+    if (users_c >= 1)
+      worst_load = std::max(worst_load, balanced_load(users_c, resources_c));
+  }
+  const int t_base = static_cast<int>(
+      std::ceil(static_cast<double>(worst_load) / (1.0 - slack)));
+
+  std::vector<RateEdge> edges;
+  std::vector<ResourceId> remote;
+  for (std::size_t u = 0; u < n; ++u) {
+    const std::size_t home = u % clusters;
+    remote.clear();
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r % clusters == home)
+        edges.push_back({static_cast<UserId>(u), static_cast<ResourceId>(r), 1.0});
+      else
+        remote.push_back(static_cast<ResourceId>(r));
+    }
+    const std::size_t picks = std::min(extra, remote.size());
+    for (const std::size_t i :
+         sample_without_replacement(rng, remote.size(), picks))
+      edges.push_back({static_cast<UserId>(u), remote[i], 0.5});
+  }
+
+  std::vector<double> capacities(m, 1.0);
+  std::vector<double> requirements =
+      thresholds_to_requirements(std::vector<int>(n, t_base));
+  return Instance(std::move(capacities), std::move(requirements),
+                  RateModel::bipartite(n, m, std::move(edges)));
+}
+
 }  // namespace qoslb

@@ -43,4 +43,23 @@ Instance make_herding(std::size_t n);
 Instance make_related_capacities(std::size_t n, std::size_t m, double slack,
                                  std::size_t speed_classes, Xoshiro256& rng);
 
+/// Heterogeneous service rates (docs/heterogeneity.md): a dense rate matrix
+/// with per-user Zipf(exponent) rate classes over 4 ranks (rate 2^-rank) and
+/// independent per-(user, resource) halving jitter. All rates are positive,
+/// so the instance is NOT restricted — sampling keeps the uniform fast path
+/// — but thresholds genuinely vary per pair. The base threshold absorbs the
+/// worst rate, so the balanced assignment stays feasible with slack β.
+Instance make_zipf_rates(std::size_t n, std::size_t m, double slack,
+                         double exponent, Xoshiro256& rng);
+
+/// Restricted assignment via a locality-clustered access graph: resources
+/// and users are partitioned round-robin into `clusters` groups; each user
+/// reaches its whole home cluster at rate 1.0 plus `extra` distinct remote
+/// resources at rate 0.5. Thresholds make the within-cluster balanced
+/// assignment feasible with slack β; remote edges are lower-quality escape
+/// hatches. Requires m ≥ clusters ≥ 1.
+Instance make_clustered_bipartite(std::size_t n, std::size_t m,
+                                  std::size_t clusters, std::size_t extra,
+                                  double slack, Xoshiro256& rng);
+
 }  // namespace qoslb

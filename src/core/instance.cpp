@@ -15,7 +15,13 @@ constexpr double kFloorEpsilon = 1e-9;
 }  // namespace
 
 Instance::Instance(std::vector<double> capacities, std::vector<double> requirements)
-    : capacities_(std::move(capacities)), requirements_(std::move(requirements)) {
+    : Instance(std::move(capacities), std::move(requirements), RateModel()) {}
+
+Instance::Instance(std::vector<double> capacities,
+                   std::vector<double> requirements, RateModel rates)
+    : capacities_(std::move(capacities)),
+      requirements_(std::move(requirements)),
+      rates_(std::move(rates)) {
   QOSLB_REQUIRE(!capacities_.empty(), "instance needs at least one resource");
   QOSLB_REQUIRE(!requirements_.empty(), "instance needs at least one user");
   for (const double s : capacities_) {
@@ -27,6 +33,12 @@ Instance::Instance(std::vector<double> capacities, std::vector<double> requireme
     QOSLB_REQUIRE(std::isfinite(q) && q > 0.0, "requirements must be positive");
     inv_requirements_.push_back(1.0 / q);
   }
+  // The RateModel validated its own shape (no empty reachable sets); here
+  // only the dimensions need to agree with the scalar vectors.
+  QOSLB_REQUIRE(rates_.is_uniform() ||
+                    (rates_.num_users() == requirements_.size() &&
+                     rates_.num_resources() == capacities_.size()),
+                "rate model dimensions must match the instance");
 }
 
 Instance Instance::identical(std::size_t m_resources, double capacity,
@@ -50,10 +62,20 @@ double Instance::quality(ResourceId r, int load) const {
   return capacity(r) / static_cast<double>(load);
 }
 
+double Instance::quality(UserId u, ResourceId r, int load) const {
+  QOSLB_REQUIRE(load >= 1, "quality defined for load >= 1");
+  return rates_.rate(u, r) * capacity(r) / static_cast<double>(load);
+}
+
 int Instance::threshold(UserId u, ResourceId r) const {
   QOSLB_REQUIRE(u < requirements_.size(), "user out of range");
   QOSLB_REQUIRE(r < capacities_.size(), "resource out of range");
-  const double ratio = capacities_[r] * inv_requirements_[u];
+  double ratio = capacities_[r] * inv_requirements_[u];
+  if (!rates_.is_uniform()) {
+    const double rate = rates_.rate(u, r);
+    if (rate == 0.0) return 0;
+    ratio *= rate;
+  }
   const double floored = std::floor(ratio + kFloorEpsilon);
   const double cap = static_cast<double>(num_users());
   return static_cast<int>(std::min(floored, cap));

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "core/rate_model.hpp"
 #include "core/types.hpp"
 
 namespace qoslb {
@@ -9,17 +11,24 @@ namespace qoslb {
 /// An instance of the QoS load-balancing problem (DESIGN.md §1).
 ///
 /// `m` resources with capacities `s_r > 0` and `n` users with QoS
-/// requirements `q_u > 0`. A resource serving `ℓ` users offers quality
-/// `s_r / ℓ` to each of them (processor sharing); user `u` is satisfied iff
-/// the quality meets its requirement, i.e. iff `ℓ ≤ threshold(u, r)` with
-/// `threshold(u, r) = ⌊s_r / q_u⌋`.
+/// requirements `q_u > 0`. A resource serving `ℓ` users offers user `u`
+/// quality `rate(u, r) · s_r / ℓ` (processor sharing scaled by the
+/// per-(user, resource) service rate); user `u` is satisfied iff the
+/// quality meets its requirement, i.e. iff `ℓ ≤ threshold(u, r)` with
+/// `threshold(u, r) = ⌊rate(u, r) · s_r / q_u⌋`. The default RateModel is
+/// uniform (`rate ≡ 1`, the paper's base model); see docs/heterogeneity.md
+/// for the matrix and bipartite restricted-assignment forms.
 ///
 /// Immutable after construction; States reference an Instance and must not
 /// outlive it.
 class Instance {
  public:
-  /// General constructor: per-resource capacities, per-user requirements.
+  /// Uniform rates: per-resource capacities, per-user requirements.
   Instance(std::vector<double> capacities, std::vector<double> requirements);
+
+  /// Heterogeneous rates; `rates` dimensions must match (unless uniform).
+  Instance(std::vector<double> capacities, std::vector<double> requirements,
+           RateModel rates);
 
   /// All resources share one capacity (the paper's base model).
   static Instance identical(std::size_t m_resources, double capacity,
@@ -31,22 +40,46 @@ class Instance {
   double capacity(ResourceId r) const;
   double requirement(UserId u) const;
 
-  /// Quality offered by resource `r` at occupancy `load` (load ≥ 1).
+  /// Rate-agnostic quality of resource `r` at occupancy `load` (load ≥ 1):
+  /// `s_r / load`, every user's quality under the uniform model.
   double quality(ResourceId r, int load) const;
 
+  /// Quality user `u` experiences on `r` at occupancy `load`:
+  /// `rate(u, r) · s_r / load`.
+  double quality(UserId u, ResourceId r, int load) const;
+
+  /// Service rate of the (u, r) pair; 0 means `u` cannot use `r`.
+  double rate(UserId u, ResourceId r) const { return rates_.rate(u, r); }
+
   /// Maximum occupancy of `r` at which user `u` is still satisfied; 0 means
-  /// `u` can never be satisfied on `r`. Clamped to num_users() (occupancy can
-  /// never exceed n, so larger thresholds are indistinguishable).
+  /// `u` can never be satisfied on `r` (in particular for every unreachable
+  /// pair). Clamped to num_users() (occupancy can never exceed n, so larger
+  /// thresholds are indistinguishable).
   int threshold(UserId u, ResourceId r) const;
 
   /// True if every resource has the same capacity (enables the O(n+m)
-  /// equilibrium fast path).
+  /// equilibrium fast path — which additionally needs uniform_rates()).
   bool identical_capacities() const { return identical_; }
+
+  const RateModel& rate_model() const { return rates_; }
+  bool uniform_rates() const { return rates_.is_uniform(); }
+
+  /// True iff some user's reachable set is a proper subset of the
+  /// resources. Protocols must restrict sampling to reachable() exactly
+  /// when this holds; see Protocol::restricted_assignment_compatible().
+  bool restricted() const { return rates_.restricted(); }
+
+  /// The resources user `u` can use (rate > 0), ascending. Requires a
+  /// restricted (or bipartite) rate model.
+  std::span<const ResourceId> reachable(UserId u) const {
+    return rates_.reachable(u);
+  }
 
  private:
   std::vector<double> capacities_;
   std::vector<double> requirements_;
   std::vector<double> inv_requirements_;  // 1/q_u, precomputed for threshold()
+  RateModel rates_;
   bool identical_ = true;
 };
 

@@ -12,16 +12,21 @@ namespace qoslb {
 ///
 /// Format (line-oriented, '#' comments allowed between sections):
 ///
-///   qoslb-instance v1
+///   qoslb-instance v2
 ///   resources <m>
 ///   <m capacity lines>
 ///   users <n>
 ///   <n requirement lines>
+///   rate_model uniform | matrix | bipartite
+///   [rates <n·m> + value lines]            (matrix)
+///   [edges <E> + "<u> <r> <rate>" lines]   (bipartite)
 ///
 ///   qoslb-state v1
 ///   users <n>
 ///   <n resource-id lines>
 ///
+/// The writer always emits the newest version; the reader also accepts the
+/// pre-rate-model `qoslb-instance v1` (read back as the uniform model).
 /// Numbers are written with 17 significant digits so the round trip is
 /// value-exact for doubles.
 

@@ -81,6 +81,17 @@ class Protocol {
   /// even in active mode.
   virtual bool active_set_compatible() const { return false; }
 
+  /// True when this dynamic respects restricted-assignment instances
+  /// (Instance::restricted()): every probe targets the deciding user's
+  /// reachable set (sample_reachable() / reachable_target() in
+  /// protocols/common.hpp, or a threshold-gated deviation scan), so no
+  /// migration ever lands on a rate-0 pair. The engine rejects restricted
+  /// instances for protocols that don't opt in; lint rule QL009
+  /// cross-checks the registry flag against the class. Unrestricted
+  /// instances are unaffected — the helpers reduce to the historical
+  /// whole-live-list draw bit-for-bit.
+  virtual bool restricted_assignment_compatible() const { return false; }
+
   /// Decides for `users[0..count)` against `load_snapshot` (the loads at
   /// the round boundary), appending wishes to `out`. Draw randomness for
   /// user u exclusively from `rng.user_stream(u)`; tally into `counters`

@@ -59,9 +59,6 @@ void AdaptiveSampling::step_users(const State& state,
   if (out.resource_tallies.size() != state.num_resources())
     out.resource_tallies.assign(state.num_resources(), 0);
 
-  // Live-list sampling: identity permutation when nothing is dead, so draws
-  // match the historical uniform(num_resources()) bit for bit.
-  const auto& live = state.live_resources();
   for (std::size_t i = 0; i < count; ++i) {
     const UserId u = users[i];
     const ResourceId current = state.resource_of(u);
@@ -71,11 +68,11 @@ void AdaptiveSampling::step_users(const State& state,
     ResourceId best = kNoResource;
     double best_quality = 0.0;
     for (int probe = 0; probe < probes_; ++probe) {
-      const ResourceId r = live[uniform_u64_below(rng, live.size())];
+      const ResourceId r = sample_reachable(state, u, rng);
       ++counters.probes;
-      if (r == current) continue;
+      if (r == kNoResource || r == current) continue;
       if (snapshot[r] + 1 > instance.threshold(u, r)) continue;
-      const double quality = instance.quality(r, snapshot[r] + 1);
+      const double quality = instance.quality(u, r, snapshot[r] + 1);
       if (best == kNoResource || quality > best_quality) {
         best = r;
         best_quality = quality;

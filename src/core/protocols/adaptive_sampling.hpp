@@ -30,6 +30,7 @@ class AdaptiveSampling : public Protocol {
 
   bool supports_step_users() const override { return true; }
   bool active_set_compatible() const override { return true; }
+  bool restricted_assignment_compatible() const override { return true; }
 
   /// Tallies this shard's migration intents into out.resource_tallies (the
   /// contention estimate the *next* rounds damp against) while reading the

@@ -14,16 +14,13 @@ void BerenbrinkBalancing::step_users(const State& state,
                                      const RoundRng& streams,
                                      Counters& counters) {
   const Instance& instance = state.instance();
-  // Live-list sampling: identity permutation when nothing is dead, so draws
-  // match the historical uniform(num_resources()) bit for bit.
-  const auto& live = state.live_resources();
   for (std::size_t i = 0; i < count; ++i) {
     const UserId u = users[i];
     const ResourceId current = state.resource_of(u);
     PhiloxEngine rng = streams.user_stream(u);
-    const ResourceId r = live[uniform_u64_below(rng, live.size())];
+    const ResourceId r = sample_reachable(state, u, rng);
     ++counters.probes;
-    if (r == current) continue;
+    if (r == kNoResource || r == current) continue;
     // Normalized (capacity-relative) loads handle related resources; for
     // identical capacities this reduces to the original integer rule.
     const double src = static_cast<double>(snapshot[current]) / instance.capacity(current);
@@ -39,7 +36,9 @@ bool BerenbrinkBalancing::is_stable(const State& state) const {
   // Stability quantifies over migration targets, and only live resources are
   // targets — a dead (evicted, load-0) resource must not keep the spread open.
   const auto& live = state.live_resources();
-  if (instance.identical_capacities()) {
+  // The min/max-spread shortcut needs every user to see every live resource
+  // as a potential target, so restricted instances take the general scan.
+  if (instance.identical_capacities() && !instance.restricted()) {
     int min_load = state.load(live[0]);
     int max_load = min_load;
     for (const ResourceId r : live) {
@@ -50,9 +49,11 @@ bool BerenbrinkBalancing::is_stable(const State& state) const {
   }
   for (UserId u = 0; u < state.num_users(); ++u) {
     const ResourceId current = state.resource_of(u);
-    const double own = state.quality_of(u);
+    // The migration rule compares *normalized loads*, not user-rate-scaled
+    // qualities, so stability must quantify over the same objective.
+    const double own = instance.quality(current, state.load(current));
     for (const ResourceId r : live) {
-      if (r == current) continue;
+      if (r == current || !reachable_target(state, u, r)) continue;
       if (instance.quality(r, state.load(r) + 1) > own) return false;
     }
   }

@@ -20,6 +20,7 @@ class BerenbrinkBalancing : public Protocol {
   bool supports_step_users() const override { return true; }
   // Not active_set_compatible(): every user — satisfied or not — probes and
   // may move each round, so the unsatisfied set is not the acting set.
+  bool restricted_assignment_compatible() const override { return true; }
 
   void step_users(const State& state, const std::vector<int>& load_snapshot,
                   const UserId* users, std::size_t count, MigrationBuffer& out,

@@ -6,9 +6,39 @@
 #include "core/protocol.hpp"  // MigrationRequest / MigrationBuffer
 #include "core/state.hpp"
 #include "core/types.hpp"
+#include "rng/distributions.hpp"
 #include "sim/accounting.hpp"
 
 namespace qoslb {
+
+/// Draws one probe target for user `u`. Unrestricted instances keep the
+/// historical whole-live-list draw bit-for-bit; restricted ones draw from
+/// u's reachable set instead. A restricted draw that lands on a dead
+/// resource returns kNoResource — a failed probe, mirroring the nbr-*
+/// dead-neighbor idiom — so u's stream position advances identically
+/// whether or not churn killed anything. Every restricted-assignment-
+/// compatible sampling protocol must draw through this helper (lint rule
+/// QL009).
+template <typename Rng>
+ResourceId sample_reachable(const State& state, UserId u, Rng& rng) {
+  const Instance& instance = state.instance();
+  if (!instance.restricted()) {
+    const auto& live = state.live_resources();
+    return live[uniform_u64_below(rng, live.size())];
+  }
+  const auto reach = instance.reachable(u);
+  const auto r = static_cast<ResourceId>(
+      reach[uniform_u64_below(rng, reach.size())]);
+  return state.resource_live(r) ? r : kNoResource;
+}
+
+/// True iff `r` is a valid migration target for `u`: live, and reachable
+/// when the instance is restricted. Fixed-candidate protocols (nbr-*) gate
+/// each probe through this instead of bare resource_live().
+inline bool reachable_target(const State& state, UserId u, ResourceId r) {
+  if (!state.resource_live(r)) return false;
+  return !state.instance().restricted() || state.instance().rate(u, r) > 0.0;
+}
 
 /// Applies optimistic (ungated) migrations; every request is executed.
 void apply_all(State& state, const std::vector<MigrationRequest>& requests,

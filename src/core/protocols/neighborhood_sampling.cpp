@@ -47,11 +47,12 @@ void NeighborhoodSampling::step_users(const State& state,
     for (int probe = 0; probe < probes_; ++probe) {
       const ResourceId r = neighbors[uniform_u64_below(rng, neighbors.size())];
       ++counters.probes;
-      // A dead neighbor is drawn (keeping the draw count, and thus the RNG
-      // stream position, identical to a churn-free run) but never targeted.
-      if (!state.resource_live(r)) continue;
+      // A dead or unreachable neighbor is drawn (keeping the draw count, and
+      // thus the RNG stream position, identical to a churn-free run on an
+      // unrestricted instance) but never targeted.
+      if (!reachable_target(state, u, r)) continue;
       if (snapshot[r] + 1 > instance.threshold(u, r)) continue;
-      const double quality = instance.quality(r, snapshot[r] + 1);
+      const double quality = instance.quality(u, r, snapshot[r] + 1);
       if (best == kNoResource || quality > best_quality) {
         best = r;
         best_quality = quality;
@@ -84,7 +85,7 @@ namespace {
 
 bool stable_user(const State& state, const Graph& graph, UserId u) {
   for (const ResourceId r : graph.neighbors(state.resource_of(u)))
-    if (state.resource_live(r) && satisfied_after_move(state, u, r))
+    if (reachable_target(state, u, r) && satisfied_after_move(state, u, r))
       return false;
   return true;
 }

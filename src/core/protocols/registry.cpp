@@ -37,41 +37,43 @@ std::unique_ptr<Protocol> make_neighborhood(const ProtocolSpec& spec) {
 
 const std::vector<Entry>& entries() {
   static const std::vector<Entry> kEntries = {
-      {{"seq-br", "sequential best response, random user order (P1)"},
+      {{"seq-br", "sequential best response, random user order (P1)",
+        /*active_set=*/false, /*restricted=*/true},
        [](const ProtocolSpec&) {
          return std::make_unique<SequentialBestResponse>(
              SequentialBestResponse::Order::kRandom);
        }},
-      {{"seq-br-rr", "sequential best response, round-robin user order"},
+      {{"seq-br-rr", "sequential best response, round-robin user order",
+        /*active_set=*/false, /*restricted=*/true},
        [](const ProtocolSpec&) {
          return std::make_unique<SequentialBestResponse>(
              SequentialBestResponse::Order::kRoundRobin);
        }},
       {{"uniform",
         "uniform sampling with lambda-damped optimistic migration (P2)",
-        /*active_set=*/true},
+        /*active_set=*/true, /*restricted=*/true},
        [](const ProtocolSpec& spec) {
          return std::make_unique<UniformSampling>(spec.lambda, spec.probes);
        }},
       {{"adaptive",
         "contention-adaptive migration probability slack/intents (P3)",
-        /*active_set=*/true},
+        /*active_set=*/true, /*restricted=*/true},
        [](const ProtocolSpec& spec) {
          return std::make_unique<AdaptiveSampling>(spec.probes);
        }},
       {{"admission",
         "resource-gated admission: REQUEST/GRANT commit, monotone (P4)",
-        /*active_set=*/true},
+        /*active_set=*/true, /*restricted=*/true},
        [](const ProtocolSpec& spec) {
          return std::make_unique<AdmissionControl>(spec.probes);
        }},
       {{"nbr-uniform",
         "neighborhood-restricted optimistic sampling on a resource graph (P5)",
-        /*active_set=*/true},
+        /*active_set=*/true, /*restricted=*/true},
        make_neighborhood},
       {{"nbr-admission",
         "neighborhood-restricted sampling with admission commit (P5)",
-        /*active_set=*/true},
+        /*active_set=*/true, /*restricted=*/true},
        make_neighborhood},
       // Deliberately dense-only (qoslb-lint QL004 checks the pairing):
       // every user — satisfied or not — probes and may move each round, so
@@ -79,17 +81,24 @@ const std::vector<Entry>& entries() {
       // does not hold; see berenbrink.hpp.
       {{"berenbrink",
         "classic selfish load balancing, QoS-oblivious baseline (P6)",
-        /*active_set=*/false},
+        /*active_set=*/false, /*restricted=*/true},
        [](const ProtocolSpec&) {
          return std::make_unique<BerenbrinkBalancing>();
        }},
+      // Deliberately not restricted-assignment-compatible (QL009): the TTL
+      // cache samples raw resource ids and would need a per-user cache walk.
       {{"cached",
-        "uniform sampling against a shared load cache with ttl rounds (E17)"},
+        "uniform sampling against a shared load cache with ttl rounds (E17)",
+        /*active_set=*/false, /*restricted=*/false},
        [](const ProtocolSpec& spec) {
          return std::make_unique<CachedSampling>(spec.lambda, spec.ttl);
        }},
+      // Deliberately not restricted-assignment-compatible (QL009): the
+      // sequential-protocol shard merge keys its own substreams and predates
+      // the reachable-set helper; use "uniform" with engine threads instead.
       {{"par-uniform",
-        "thread-parallel uniform sampling, Philox per-user substreams"},
+        "thread-parallel uniform sampling, Philox per-user substreams",
+        /*active_set=*/false, /*restricted=*/false},
        [](const ProtocolSpec& spec) {
          return std::make_unique<ParallelUniformSampling>(
              spec.lambda, spec.seed, spec.threads);

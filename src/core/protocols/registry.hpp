@@ -31,6 +31,11 @@ struct ProtocolInfo {
   /// and still reproduces the dense run bit-for-bit. Kept consistent with
   /// the protocol classes by a registry test.
   bool active_set = false;
+  /// True when the built protocol is restricted_assignment_compatible():
+  /// it may drive instances whose users reach only a subset of resources
+  /// (Instance::restricted()). Kept consistent with the protocol classes by
+  /// a registry test and lint rule QL009.
+  bool restricted = false;
 };
 
 /// Every registered kind, in presentation order. This is the single source

@@ -24,6 +24,10 @@ class SequentialBestResponse : public Protocol {
 
   void step(State& state, Xoshiro256& rng, Counters& counters) override;
 
+  /// The deviation scan is threshold-gated (threshold 0 on every
+  /// unreachable pair), so no sampling helper is needed.
+  bool restricted_assignment_compatible() const override { return true; }
+
   void reset() override { cursor_ = 0; }
 
  private:

@@ -28,9 +28,6 @@ void UniformSampling::step_users(const State& state,
                                  MigrationBuffer& out, const RoundRng& streams,
                                  Counters& counters) {
   const Instance& instance = state.instance();
-  // Sampling via the live list keeps draws bit-identical to the historical
-  // uniform(num_resources()) whenever every resource is live (identity list).
-  const auto& live = state.live_resources();
   for (std::size_t i = 0; i < count; ++i) {
     const UserId u = users[i];
     const ResourceId current = state.resource_of(u);
@@ -40,11 +37,11 @@ void UniformSampling::step_users(const State& state,
     ResourceId best = kNoResource;
     double best_quality = 0.0;
     for (int probe = 0; probe < probes_; ++probe) {
-      const ResourceId r = live[uniform_u64_below(rng, live.size())];
+      const ResourceId r = sample_reachable(state, u, rng);
       ++counters.probes;
-      if (r == current) continue;
+      if (r == kNoResource || r == current) continue;
       if (snapshot[r] + 1 > instance.threshold(u, r)) continue;
-      const double quality = instance.quality(r, snapshot[r] + 1);
+      const double quality = instance.quality(u, r, snapshot[r] + 1);
       if (best == kNoResource || quality > best_quality) {
         best = r;
         best_quality = quality;

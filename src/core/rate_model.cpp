@@ -1,0 +1,129 @@
+#include "core/rate_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace qoslb {
+
+RateModel RateModel::matrix(std::size_t num_users, std::size_t num_resources,
+                            std::vector<double> rates) {
+  QOSLB_REQUIRE(num_users >= 1, "rate matrix needs at least one user");
+  QOSLB_REQUIRE(num_resources >= 1, "rate matrix needs at least one resource");
+  QOSLB_REQUIRE(rates.size() == num_users * num_resources,
+                "rate matrix must be n×m row-major");
+  RateModel model;
+  model.kind_ = RateModelKind::kMatrix;
+  model.num_users_ = num_users;
+  model.num_resources_ = num_resources;
+  model.matrix_ = std::move(rates);
+  bool any_zero = false;
+  for (UserId u = 0; u < num_users; ++u) {
+    std::size_t degree = 0;
+    for (ResourceId r = 0; r < num_resources; ++r) {
+      const double rate = model.matrix_[u * num_resources + r];
+      QOSLB_REQUIRE(std::isfinite(rate) && rate >= 0.0,
+                    "rates must be finite and non-negative");
+      if (rate > 0.0)
+        ++degree;
+      else
+        any_zero = true;
+    }
+    QOSLB_REQUIRE(degree >= 1, "user " + std::to_string(u) +
+                                   " has an empty reachable set (all rates 0)");
+  }
+  model.restricted_ = any_zero;
+  if (model.restricted_) {
+    // Materialize the reachable-set CSR so restricted sampling is a plain
+    // indexed draw (no per-probe matrix scan).
+    model.offsets_.reserve(num_users + 1);
+    model.offsets_.push_back(0);
+    for (UserId u = 0; u < num_users; ++u) {
+      for (ResourceId r = 0; r < num_resources; ++r)
+        if (model.matrix_[u * num_resources + r] > 0.0)
+          model.targets_.push_back(r);
+      model.offsets_.push_back(model.targets_.size());
+    }
+  }
+  return model;
+}
+
+RateModel RateModel::bipartite(std::size_t num_users, std::size_t num_resources,
+                               std::vector<RateEdge> edges) {
+  QOSLB_REQUIRE(num_users >= 1, "access graph needs at least one user");
+  QOSLB_REQUIRE(num_resources >= 1, "access graph needs at least one resource");
+  std::sort(edges.begin(), edges.end(), [](const RateEdge& a, const RateEdge& b) {
+    return a.user != b.user ? a.user < b.user : a.resource < b.resource;
+  });
+  RateModel model;
+  model.kind_ = RateModelKind::kBipartite;
+  model.num_users_ = num_users;
+  model.num_resources_ = num_resources;
+  model.offsets_.reserve(num_users + 1);
+  model.targets_.reserve(edges.size());
+  model.edge_rates_.reserve(edges.size());
+  model.offsets_.push_back(0);
+  std::size_t next = 0;
+  for (UserId u = 0; u < num_users; ++u) {
+    const std::size_t row_start = model.targets_.size();
+    while (next < edges.size() && edges[next].user == u) {
+      const RateEdge& e = edges[next];
+      QOSLB_REQUIRE(e.resource < num_resources, "edge to unknown resource");
+      QOSLB_REQUIRE(std::isfinite(e.rate) && e.rate > 0.0,
+                    "edge rates must be finite and positive");
+      QOSLB_REQUIRE(model.targets_.size() == row_start ||
+                        model.targets_.back() != e.resource,
+                    "duplicate (user, resource) edge");
+      model.targets_.push_back(e.resource);
+      model.edge_rates_.push_back(e.rate);
+      ++next;
+    }
+    QOSLB_REQUIRE(model.targets_.size() > row_start,
+                  "user " + std::to_string(u) +
+                      " has an empty reachable set (no edges)");
+    model.offsets_.push_back(model.targets_.size());
+  }
+  QOSLB_REQUIRE(next == edges.size(), "edge to unknown user");
+  model.restricted_ = model.targets_.size() < num_users * num_resources;
+  return model;
+}
+
+double RateModel::rate_slow(UserId u, ResourceId r) const {
+  QOSLB_REQUIRE(u < num_users_, "user out of range");
+  QOSLB_REQUIRE(r < num_resources_, "resource out of range");
+  if (kind_ == RateModelKind::kMatrix) return matrix_[u * num_resources_ + r];
+  const auto begin = targets_.begin() + static_cast<std::ptrdiff_t>(offsets_[u]);
+  const auto end = targets_.begin() + static_cast<std::ptrdiff_t>(offsets_[u + 1]);
+  const auto it = std::lower_bound(begin, end, r);
+  if (it == end || *it != r) return 0.0;
+  return edge_rates_[static_cast<std::size_t>(it - targets_.begin())];
+}
+
+std::span<const ResourceId> RateModel::reachable(UserId u) const {
+  QOSLB_REQUIRE(!offsets_.empty(),
+                "reachable() is only materialized for restricted (or "
+                "bipartite) models");
+  QOSLB_REQUIRE(u < num_users_, "user out of range");
+  return {targets_.data() + offsets_[u], targets_.data() + offsets_[u + 1]};
+}
+
+const std::vector<double>& RateModel::matrix_rates() const {
+  QOSLB_REQUIRE(kind_ == RateModelKind::kMatrix,
+                "matrix_rates() needs a matrix model");
+  return matrix_;
+}
+
+std::vector<RateEdge> RateModel::edges() const {
+  QOSLB_REQUIRE(kind_ == RateModelKind::kBipartite,
+                "edges() needs a bipartite model");
+  std::vector<RateEdge> out;
+  out.reserve(targets_.size());
+  for (UserId u = 0; u < num_users_; ++u)
+    for (std::uint64_t i = offsets_[u]; i < offsets_[u + 1]; ++i)
+      out.push_back({u, targets_[i], edge_rates_[i]});
+  return out;
+}
+
+}  // namespace qoslb

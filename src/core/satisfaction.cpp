@@ -30,7 +30,7 @@ ResourceId best_satisfying_deviation(const State& state, UserId u) {
   double best_quality = 0.0;
   for (const ResourceId r : state.live_resources()) {
     if (r == current || !satisfied_after_move(state, u, r)) continue;
-    const double quality = instance.quality(r, state.load(r) + 1);
+    const double quality = instance.quality(u, r, state.load(r) + 1);
     if (best == kNoResource || quality > best_quality) {
       best = r;
       best_quality = quality;
@@ -101,8 +101,11 @@ bool equilibrium_general(const State& state, const Unsatisfied& unsatisfied) {
 }  // namespace
 
 bool is_satisfaction_equilibrium(const State& state) {
-  const bool identical =
-      state.instance().identical_capacities() && state.num_resources() > 1;
+  // The fast path relies on thresholds being identical across resources for
+  // each user, which needs identical capacities AND uniform rates.
+  const bool identical = state.instance().identical_capacities() &&
+                         state.instance().uniform_rates() &&
+                         state.num_resources() > 1;
   // With satisfaction tracking on, only the unsatisfied view needs checking
   // — the equilibrium condition quantifies over unsatisfied users — which
   // makes the convergence-tail check O(|unsatisfied|), not O(n).

@@ -98,12 +98,13 @@ bool read_named_bool(std::istream& in, const std::string& keyword) {
 }
 
 constexpr char kMagicV1[] = "qoslb-snapshot v1";
+constexpr char kMagicV2[] = "qoslb-snapshot v2";
 
 }  // namespace
 
 void write_snapshot(std::ostream& out, const SnapshotV1& snapshot) {
   const auto previous = out.precision(std::numeric_limits<double>::max_digits10);
-  out << kMagicV1 << '\n';
+  out << kMagicV2 << '\n';
   out << "protocol " << snapshot.protocol << '\n';
   out << "next_round " << snapshot.next_round << '\n';
   out << "master_seed " << snapshot.master_seed << '\n';
@@ -112,6 +113,25 @@ void write_snapshot(std::ostream& out, const SnapshotV1& snapshot) {
   out << "users " << snapshot.requirements.size() << '\n';
   for (const double requirement : snapshot.requirements)
     out << requirement << '\n';
+  const RateModel& rates = snapshot.rate_model;
+  switch (rates.kind()) {
+    case RateModelKind::kUniform:
+      out << "rate_model " << "uniform" << '\n';
+      break;
+    case RateModelKind::kMatrix:
+      out << "rate_model " << "matrix" << '\n';
+      out << "rates " << rates.matrix_rates().size() << '\n';
+      for (const double rate : rates.matrix_rates()) out << rate << '\n';
+      break;
+    case RateModelKind::kBipartite: {
+      out << "rate_model " << "bipartite" << '\n';
+      const std::vector<RateEdge> edges = rates.edges();
+      out << "edges " << edges.size() << '\n';
+      for (const RateEdge& e : edges)
+        out << e.user << ' ' << e.resource << ' ' << e.rate << '\n';
+      break;
+    }
+  }
   out << "assignment " << snapshot.assignment.size() << '\n';
   for (const ResourceId r : snapshot.assignment) out << r << '\n';
   out << "live " << snapshot.live.size() << '\n';
@@ -151,9 +171,10 @@ void write_snapshot(std::ostream& out, const SnapshotV1& snapshot) {
 
 SnapshotV1 read_snapshot(std::istream& in) {
   const std::string magic = next_line(in, "the format magic");
-  if (magic != kMagicV1)
+  if (magic != kMagicV1 && magic != kMagicV2)
     fail("unsupported format version '" + magic + "' (expected '" +
-         kMagicV1 + "')");
+         kMagicV1 + "' or '" + kMagicV2 + "')");
+  const bool v2 = magic == kMagicV2;
   SnapshotV1 snapshot;
   const std::string protocol_line = next_line(in, "the protocol name");
   const std::string protocol_keyword = "protocol ";
@@ -171,6 +192,54 @@ SnapshotV1 read_snapshot(std::istream& in) {
   snapshot.requirements.resize(n);
   for (auto& requirement : snapshot.requirements)
     requirement = read_double(in, "requirement value");
+  if (v2) {
+    // v1 predates the rate-model block; its absence means uniform rates.
+    const std::string kind_line = next_line(in, "the rate model kind");
+    std::istringstream kind_parts(kind_line);
+    std::string word, kind;
+    if (!(kind_parts >> word >> kind) || word != "rate_model")
+      fail("expected 'rate_model <kind>', got '" + kind_line + "'");
+    if (kind == "uniform") {
+      snapshot.rate_model = RateModel::uniform();
+    } else if (kind == "matrix") {
+      const std::size_t values = read_count(in, "rates");
+      if (values != n * m)
+        fail("rates block lists " + std::to_string(values) + " values for a " +
+             std::to_string(n) + " x " + std::to_string(m) + " instance");
+      std::vector<double> rate_values(values);
+      for (auto& rate : rate_values) rate = read_double(in, "rate value");
+      try {
+        snapshot.rate_model = RateModel::matrix(n, m, std::move(rate_values));
+      } catch (const std::invalid_argument& error) {
+        fail(std::string("invalid rate matrix: ") + error.what());
+      }
+    } else if (kind == "bipartite") {
+      const std::size_t edge_count = read_count(in, "edges");
+      std::vector<RateEdge> edge_list(edge_count);
+      for (auto& edge : edge_list) {
+        const std::string line = next_line(in, "an access-graph edge");
+        std::istringstream parts(line);
+        std::uint64_t user = 0;
+        std::uint64_t resource = 0;
+        double rate = 0.0;
+        std::string extra;
+        if (!(parts >> user >> resource >> rate) || (parts >> extra))
+          fail("expected '<user> <resource> <rate>', got '" + line + "'");
+        if (user >= n || resource >= m)
+          fail("edge endpoint out of range on '" + line + "'");
+        edge = {static_cast<UserId>(user), static_cast<ResourceId>(resource),
+                rate};
+      }
+      try {
+        snapshot.rate_model =
+            RateModel::bipartite(n, m, std::move(edge_list));
+      } catch (const std::invalid_argument& error) {
+        fail(std::string("invalid access graph: ") + error.what());
+      }
+    } else {
+      fail("unknown rate model kind '" + kind + "'");
+    }
+  }
   const std::size_t assigned = read_count(in, "assignment");
   if (assigned != n)
     fail("assignment block covers " + std::to_string(assigned) + " of " +
@@ -232,7 +301,8 @@ SnapshotV1 read_snapshot(std::istream& in) {
 
 Instance SnapshotV1::make_instance() const {
   try {
-    return Instance(capacities, requirements);
+    if (rate_model.is_uniform()) return Instance(capacities, requirements);
+    return Instance(capacities, requirements, rate_model);
   } catch (const std::invalid_argument& error) {
     fail(std::string("invalid instance data: ") + error.what());
   }
@@ -266,6 +336,7 @@ SnapshotV1 capture_snapshot(const Protocol& protocol, const State& state,
   snapshot.requirements.reserve(instance.num_users());
   for (UserId u = 0; u < instance.num_users(); ++u)
     snapshot.requirements.push_back(instance.requirement(u));
+  snapshot.rate_model = instance.rate_model();
   snapshot.assignment.reserve(state.num_users());
   for (UserId u = 0; u < state.num_users(); ++u)
     snapshot.assignment.push_back(state.resource_of(u));

@@ -16,10 +16,11 @@ namespace qoslb {
 class Protocol;
 
 /// Crash-consistent checkpoint of a sharded engine run, taken at a round
-/// boundary (docs/faults.md). Version 1 of the on-disk format; the writer
-/// always emits the newest version, the reader accepts exactly the versions
-/// it knows (currently: v1) and rejects everything else loudly. Adding a
-/// field means bumping the magic line to v2 plus keeping a v1 read path.
+/// boundary (docs/faults.md). The writer always emits the newest on-disk
+/// version (currently v2, which adds the rate-model block); the reader
+/// accepts exactly the versions it knows (v1, which implies a uniform rate
+/// model, and v2) and rejects everything else loudly. Adding a field means
+/// bumping the magic line again plus keeping the older read paths.
 ///
 /// `next_round` is the first round that has NOT executed: the checkpoint is
 /// taken before round `next_round`'s churn events and decisions. Resuming
@@ -34,6 +35,9 @@ struct SnapshotV1 {
   std::uint64_t master_seed = 0;
   std::vector<double> capacities;
   std::vector<double> requirements;
+  /// Per-(user, resource) service rates (v2; a v1 checkpoint reads back as
+  /// the uniform model).
+  RateModel rate_model;
   std::vector<ResourceId> assignment;
   std::vector<std::uint8_t> live;  // per-resource liveness bits
   Counters counters;               // totals up to (excluding) next_round

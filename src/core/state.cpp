@@ -12,8 +12,11 @@ State::State(const Instance& instance, std::vector<ResourceId> assignment)
   QOSLB_REQUIRE(assignment_.size() == instance.num_users(),
                 "assignment must place every user");
   loads_.assign(instance.num_resources(), 0);
-  for (const ResourceId r : assignment_) {
+  for (UserId u = 0; u < assignment_.size(); ++u) {
+    const ResourceId r = assignment_[u];
     QOSLB_REQUIRE(r < instance.num_resources(), "assignment to unknown resource");
+    QOSLB_REQUIRE(!instance.restricted() || instance.rate(u, r) > 0.0,
+                  "assignment places a user on an unreachable resource");
     ++loads_[r];
   }
   live_.assign(instance.num_resources(), 1);
@@ -44,28 +47,53 @@ State State::all_on(const Instance& instance, ResourceId r) {
 
 State State::round_robin(const Instance& instance) {
   std::vector<ResourceId> assignment(instance.num_users());
-  for (std::size_t u = 0; u < assignment.size(); ++u)
-    assignment[u] = static_cast<ResourceId>(u % instance.num_resources());
+  if (instance.restricted()) {
+    // Balanced over each user's own reachable set instead of [0, m).
+    for (std::size_t u = 0; u < assignment.size(); ++u) {
+      const auto reach = instance.reachable(static_cast<UserId>(u));
+      assignment[u] = reach[u % reach.size()];
+    }
+  } else {
+    for (std::size_t u = 0; u < assignment.size(); ++u)
+      assignment[u] = static_cast<ResourceId>(u % instance.num_resources());
+  }
   return State(instance, std::move(assignment));
 }
 
 State State::random(const Instance& instance, Xoshiro256& rng) {
   std::vector<ResourceId> assignment(instance.num_users());
-  for (auto& r : assignment)
-    r = static_cast<ResourceId>(uniform_u64_below(rng, instance.num_resources()));
+  if (instance.restricted()) {
+    for (UserId u = 0; u < assignment.size(); ++u) {
+      const auto reach = instance.reachable(u);
+      assignment[u] = reach[uniform_u64_below(rng, reach.size())];
+    }
+  } else {
+    for (auto& r : assignment)
+      r = static_cast<ResourceId>(
+          uniform_u64_below(rng, instance.num_resources()));
+  }
   return State(instance, std::move(assignment));
 }
 
 State State::two_choices(const Instance& instance, Xoshiro256& rng) {
   std::vector<ResourceId> assignment(instance.num_users());
   std::vector<int> loads(instance.num_resources(), 0);
-  for (auto& choice : assignment) {
-    const auto a = static_cast<ResourceId>(
-        uniform_u64_below(rng, instance.num_resources()));
-    const auto b = static_cast<ResourceId>(
-        uniform_u64_below(rng, instance.num_resources()));
-    choice = loads[b] < loads[a] ? b : a;
+  for (UserId u = 0; u < assignment.size(); ++u) {
+    ResourceId a;
+    ResourceId b;
+    if (instance.restricted()) {
+      const auto reach = instance.reachable(u);
+      a = reach[uniform_u64_below(rng, reach.size())];
+      b = reach[uniform_u64_below(rng, reach.size())];
+    } else {
+      a = static_cast<ResourceId>(
+          uniform_u64_below(rng, instance.num_resources()));
+      b = static_cast<ResourceId>(
+          uniform_u64_below(rng, instance.num_resources()));
+    }
+    const ResourceId choice = loads[b] < loads[a] ? b : a;
     ++loads[choice];
+    assignment[u] = choice;
   }
   return State(instance, std::move(assignment));
 }
@@ -85,6 +113,8 @@ void State::move(UserId u, ResourceId r) {
   QOSLB_REQUIRE(r < loads_.size(), "resource out of range");
   const ResourceId old = assignment_[u];
   if (old == r) return;
+  QOSLB_REQUIRE(!instance_->restricted() || instance_->rate(u, r) > 0.0,
+                "move to an unreachable resource");
   --loads_[old];
   ++loads_[r];
   assignment_[u] = r;
@@ -111,7 +141,7 @@ const std::vector<UserId>& State::unsatisfied_view() const {
 
 double State::quality_of(UserId u) const {
   const ResourceId r = resource_of(u);
-  return instance_->quality(r, loads_[r]);
+  return instance_->quality(u, r, loads_[r]);
 }
 
 bool State::satisfied(UserId u) const {
@@ -149,6 +179,10 @@ void State::check_invariants() const {
               "live-resource list diverged from the liveness bitmap");
   for (const ResourceId r : assignment_)
     QOSLB_CHECK(live_[r] != 0, "user resident on a dead resource");
+  if (instance_->restricted())
+    for (UserId u = 0; u < assignment_.size(); ++u)
+      QOSLB_CHECK(instance_->rate(u, assignment_[u]) > 0.0,
+                  "user resident on an unreachable resource");
   if (!index_) return;
   std::size_t unsatisfied = 0;
   for (UserId u = 0; u < assignment_.size(); ++u) {

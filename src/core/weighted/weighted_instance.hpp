@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/rate_model.hpp"
 #include "core/types.hpp"
 
 namespace qoslb {
@@ -13,13 +14,21 @@ namespace qoslb {
 /// bandwidth, jobs of different size). A resource's load is the *total
 /// weight* `W_r` of its users; capacity is shared proportionally to weight,
 /// so every unit of weight receives quality `s_r / W_r` and user `u` is
-/// satisfied iff `W_r ≤ threshold(u, r) = ⌊s_r / q_u⌋` — the same rule as the
-/// unit model, with loads measured in weight units. Integer weights keep all
-/// load arithmetic exact.
+/// satisfied iff `W_r ≤ threshold(u, r) = ⌊rate(u, r) · s_r / q_u⌋` — the
+/// same rule as the unit model, with loads measured in weight units. Integer
+/// weights keep all load arithmetic exact.
+///
+/// An optional RateModel adds per-(user, resource) *speeds* — the
+/// weights-and-speeds model of Adolphs & Berenbrink. Unlike the unit model,
+/// every rate must be strictly positive: the weighted protocols sample the
+/// full resource list, so restricted assignment (rate 0) is not supported
+/// here and is rejected at construction.
 class WeightedInstance {
  public:
   WeightedInstance(std::vector<double> capacities, std::vector<double> requirements,
                    std::vector<std::uint32_t> weights);
+  WeightedInstance(std::vector<double> capacities, std::vector<double> requirements,
+                   std::vector<std::uint32_t> weights, RateModel rates);
 
   std::size_t num_users() const { return requirements_.size(); }
   std::size_t num_resources() const { return capacities_.size(); }
@@ -28,6 +37,9 @@ class WeightedInstance {
   double requirement(UserId u) const;
   std::uint32_t weight(UserId u) const;
   std::uint64_t total_weight() const { return total_weight_; }
+
+  const RateModel& rate_model() const { return rates_; }
+  double rate(UserId u, ResourceId r) const { return rates_.rate(u, r); }
 
   /// Maximum total weight of `r` at which user `u` is still satisfied,
   /// clamped to total_weight().
@@ -42,6 +54,7 @@ class WeightedInstance {
   std::vector<double> requirements_;
   std::vector<double> inv_requirements_;
   std::vector<std::uint32_t> weights_;
+  RateModel rates_;
   std::uint64_t total_weight_ = 0;
   bool identical_ = true;
 };

@@ -152,14 +152,4 @@ void WeightedSequentialBestResponse::step(WeightedState& state, Xoshiro256& rng,
   }
 }
 
-WeightedRunResult run_weighted_protocol(WeightedProtocol& protocol,
-                                        WeightedState& state, Xoshiro256& rng,
-                                        std::uint64_t max_rounds,
-                                        std::uint32_t stability_check_period) {
-  EngineConfig config;
-  config.max_rounds = max_rounds;
-  config.stability_check_period = stability_check_period;
-  return Engine(config).run_weighted(protocol, state, rng);
-}
-
 }  // namespace qoslb

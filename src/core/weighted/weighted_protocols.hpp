@@ -57,13 +57,4 @@ class WeightedSequentialBestResponse : public WeightedProtocol {
   void step(WeightedState& state, Xoshiro256& rng, Counters& counters) override;
 };
 
-/// Deprecated alias, kept for one release: use EngineResult.
-using WeightedRunResult = EngineResult;
-
-/// Deprecated: use Engine(config).run_weighted(protocol, state, rng).
-WeightedRunResult run_weighted_protocol(WeightedProtocol& protocol,
-                                        WeightedState& state, Xoshiro256& rng,
-                                        std::uint64_t max_rounds = 1u << 20,
-                                        std::uint32_t stability_check_period = 4);
-
 }  // namespace qoslb

@@ -45,7 +45,7 @@ class TraceSink {
   virtual void end_run() {}
 };
 
-/// Buffers rows in memory — the TraceRecorder shim and tests use this.
+/// Buffers rows in memory — tests and in-process consumers use this.
 class MemoryTraceSink final : public TraceSink {
  public:
   void begin_run(const TraceRunInfo& info) override;

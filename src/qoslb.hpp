@@ -20,6 +20,7 @@
 #include "core/instance.hpp"
 #include "core/protocol.hpp"
 #include "core/protocols/registry.hpp"
+#include "core/rate_model.hpp"
 #include "core/satisfaction.hpp"
 #include "core/state.hpp"
 #include "core/async/async_protocols.hpp"

@@ -404,21 +404,26 @@ const SourceFile* find_file(const std::vector<SourceFile>& files,
 
 /// One row of the protocol registry as recovered from source text.
 struct RegistryEntry {
-  std::string name;        // spec kind, e.g. "uniform"
-  bool active_set = false; // third ProtocolInfo field
-  std::string class_name;  // protocol class the builder constructs
-  int line = 0;            // anchor in registry.cpp
+  std::string name;         // spec kind, e.g. "uniform"
+  bool active_set = false;  // ProtocolInfo::active_set
+  bool restricted = false;  // ProtocolInfo::restricted
+  std::string class_name;   // protocol class the builder constructs
+  int line = 0;             // anchor in registry.cpp
 };
 
 /// Token-level parse of src/core/protocols/registry.cpp: each entry starts
-/// with `{{"kind"`; the ProtocolInfo part ends at the first `}`, and the
-/// builder either names `std::make_unique<Class>` directly or delegates to a
-/// free helper (`make_neighborhood`) that does.
+/// with `{{"kind"`; the ProtocolInfo flags are read off their
+/// `/*active_set=*/` / `/*restricted=*/` marker comments (an unmarked flag
+/// defaults to false, matching the aggregate initializer), and the builder
+/// either names `std::make_unique<Class>` directly or delegates to a free
+/// helper (`make_neighborhood`) that does.
 std::vector<RegistryEntry> parse_registry(const std::string& raw_text) {
   std::vector<RegistryEntry> entries;
   static const std::regex kEntryStart(R"(\{\{\s*"([^"]+)\")");
   static const std::regex kMakeUnique(R"(make_unique\s*<\s*(\w+)\s*>)");
   static const std::regex kBuilderRef(R"(\}\s*,\s*(\w+)\s*\}\s*,)");
+  static const std::regex kActiveMarker(R"(active_set=\*/\s*true)");
+  static const std::regex kRestrictedMarker(R"(restricted=\*/\s*true)");
   std::vector<std::pair<std::size_t, std::string>> starts;
   for (auto it = std::sregex_iterator(raw_text.begin(), raw_text.end(),
                                       kEntryStart);
@@ -435,8 +440,8 @@ std::vector<RegistryEntry> parse_registry(const std::string& raw_text) {
     const std::size_t info_end = chunk.find('}');
     const std::string info =
         info_end == std::string::npos ? chunk : chunk.substr(0, info_end);
-    entry.active_set =
-        std::regex_search(info, std::regex(R"(\btrue\b)"));
+    entry.active_set = std::regex_search(info, kActiveMarker);
+    entry.restricted = std::regex_search(info, kRestrictedMarker);
     std::smatch m;
     if (std::regex_search(chunk, m, kMakeUnique)) {
       entry.class_name = m[1].str();
@@ -564,6 +569,63 @@ void rule_ql004_cmake(const fs::path& root,
                      "not reachable from any CMakeLists.txt — dead "
                      "translation units drift out of sync with the contract "
                      "the build enforces"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// QL009 — restricted-assignment contract (registry <-> protocol classes)
+// ---------------------------------------------------------------------------
+
+/// Cross-file check mirroring QL004, for the restricted-assignment flag:
+/// a `/*restricted=*/true` registry entry must construct a class whose
+/// restricted_assignment_compatible() returns true, a class that returns
+/// true must be marked in the registry, and a restricted class with a
+/// step_users() hook must sample through the reachable-set helpers
+/// (sample_reachable / reachable_target) — a raw live-list or modulo draw
+/// can target resources the user cannot reach.
+void rule_ql009_registry(const std::vector<SourceFile>& files,
+                         std::vector<Finding>& out) {
+  const std::string kRegistry = "src/core/protocols/registry.cpp";
+  const SourceFile* reg = find_file(files, kRegistry);
+  if (reg == nullptr) return;
+  const std::string raw_text = join(reg->raw);
+  for (const RegistryEntry& e : parse_registry(raw_text)) {
+    if (e.class_name.empty()) continue;  // QL004 reports the unresolved build
+    const std::string code = class_code(files, e.class_name);
+    if (code.empty()) continue;  // QL004 reports the missing class
+    const bool class_restricted =
+        returns_true_near(code, "restricted_assignment_compatible");
+    if (e.restricted && !class_restricted) {
+      out.push_back({"QL009", kRegistry, e.line,
+                     "registry entry '" + e.name + "' declares restricted "
+                     "but " + e.class_name +
+                         "::restricted_assignment_compatible() does not "
+                         "return true — the engine would reject instances "
+                         "the registry advertises"});
+    }
+    if (!e.restricted && class_restricted) {
+      out.push_back({"QL009", kRegistry, e.line,
+                     "registry entry '" + e.name + "' declares restricted = "
+                     "false but " + e.class_name +
+                         "::restricted_assignment_compatible() returns true "
+                         "— the listing would hide a capability the class "
+                         "implements"});
+    }
+    const bool has_step_users =
+        std::regex_search(code, std::regex(R"(\bstep_users\s*\()"));
+    const bool uses_helper =
+        std::regex_search(code,
+                          std::regex(R"(\bsample_reachable\s*\()")) ||
+        std::regex_search(code, std::regex(R"(\breachable_target\s*\()"));
+    if (e.restricted && class_restricted && has_step_users && !uses_helper) {
+      out.push_back({"QL009", kRegistry, e.line,
+                     "registry entry '" + e.name +
+                         "' is restricted-assignment-compatible but " +
+                         e.class_name +
+                         "::step_users() never samples through "
+                         "sample_reachable()/reachable_target() — raw draws "
+                         "can target unreachable resources"});
     }
   }
 }
@@ -846,6 +908,11 @@ const std::vector<RuleInfo>& rules() {
        "snapshot serializer/deserializer field-list contract: every field "
        "written by snapshot_write/write_snapshot must be read by its "
        "snapshot_read/read_snapshot counterpart, and vice versa"},
+      {"QL009",
+       "cross-file contract: registry restricted entries must construct "
+       "classes whose restricted_assignment_compatible() returns true (and "
+       "vice versa), and restricted step_users() protocols must sample via "
+       "sample_reachable()/reachable_target()"},
   };
   return kRules;
 }
@@ -868,6 +935,7 @@ std::vector<Finding> run(const Options& options) {
   rule_ql004_registry(files, findings);
   rule_ql004_cmake(root, files, cmake_lists, findings);
   rule_ql006(root, findings);
+  rule_ql009_registry(files, findings);
 
   std::vector<Finding> kept;
   for (Finding& fd : findings) {

@@ -16,6 +16,11 @@
 //   --n, --m, --seed      world size and master seed (uniform feasible family)
 //   --slack               capacity headroom of the generated world (default
 //                         0.15 — tight enough that failures visibly dip)
+//   --rate-model          uniform (default) | matrix | bipartite: the world's
+//                         rate model (docs/heterogeneity.md). matrix uses
+//                         make_zipf_rates, bipartite make_clustered_bipartite;
+//                         non-uniform worlds start from State::random because
+//                         all-on-0 may be unreachable under restriction
 //   --protocols           CSV of sharded protocol kinds, or "all" (default)
 //   --threads             CSV of worker counts (default 1,2,4,8)
 //   --modes               CSV from {dense,active} (default both)
@@ -186,7 +191,13 @@ int run_chaos(ArgParser& args) {
   const auto check_every =
       static_cast<std::uint32_t>(args.get_int("check-every", 8));
   const std::string out_dir = args.get_string("out", "chaos-out");
+  const std::string rate_model = args.get_string("rate-model", "uniform");
   args.finish();
+
+  if (rate_model != "uniform" && rate_model != "matrix" &&
+      rate_model != "bipartite")
+    throw std::invalid_argument("unknown --rate-model '" + rate_model +
+                                "' (uniform|matrix|bipartite)");
 
   if (kill_rounds.empty())
     throw std::invalid_argument("--kill must name at least one round");
@@ -235,8 +246,14 @@ int run_chaos(ArgParser& args) {
         // World + baseline run (uninterrupted, capturing checkpoints).
         Xoshiro256 world_rng(seed);
         const Instance instance =
-            make_uniform_feasible(n, m, slack, 1.5, world_rng);
-        State state = State::all_on(instance, 0);
+            rate_model == "matrix"
+                ? make_zipf_rates(n, m, slack, 1.1, world_rng)
+            : rate_model == "bipartite"
+                ? make_clustered_bipartite(n, m, 8, 2, slack, world_rng)
+                : make_uniform_feasible(n, m, slack, 1.5, world_rng);
+        State state = instance.rate_model().is_uniform()
+                          ? State::all_on(instance, 0)
+                          : State::random(instance, world_rng);
         ProtocolSpec spec;
         spec.kind = kind.kind;
         spec.lambda = kind.lambda;

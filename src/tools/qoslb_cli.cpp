@@ -17,6 +17,14 @@
 // --engine-mode=dense|active (run mode; active iterates only the unsatisfied
 // set, bit-identical for protocols marked [active-set]).
 //
+// Heterogeneous rates (run/trace/gen modes, docs/heterogeneity.md):
+// --rate-model=uniform|matrix|bipartite selects the rate model; matrix uses
+// make_zipf_rates (--rate-exponent), bipartite make_clustered_bipartite
+// (--clusters, --extra-edges). Non-uniform rate models build their own
+// instance family (combining with --family is an error); restricted
+// instances additionally reject --start=all0 and protocols not marked
+// [restricted] in --list-protocols.
+//
 // Robustness (run mode, docs/faults.md): --fail=R:ROUND,... and
 // --recover=R:ROUND,... schedule deterministic mid-run resource churn;
 // --check-every=K audits State::check_invariants() every K rounds. With a
@@ -134,6 +142,42 @@ Instance build_family(const std::string& family, std::size_t n, std::size_t m,
       "' (uniform|classes|zipf|related|overloaded|herding)");
 }
 
+/// Heterogeneous-rate options (docs/heterogeneity.md). A non-uniform
+/// --rate-model replaces the --family generator with its own construction,
+/// so combining the two is rejected loudly rather than silently ignored.
+struct RateModelOptions {
+  std::string model = "uniform";
+  double exponent = 1.1;    // --rate-exponent (matrix: Zipf class skew)
+  std::size_t clusters = 8; // --clusters      (bipartite: home clusters)
+  std::size_t extra = 2;    // --extra-edges   (bipartite: remote edges/user)
+};
+
+RateModelOptions read_rate_model(ArgParser& args) {
+  RateModelOptions rates;
+  rates.model = args.get_string("rate-model", "uniform");
+  rates.exponent = args.get_double("rate-exponent", 1.1);
+  rates.clusters = static_cast<std::size_t>(args.get_int("clusters", 8));
+  rates.extra = static_cast<std::size_t>(args.get_int("extra-edges", 2));
+  return rates;
+}
+
+Instance build_instance(const std::string& family, const RateModelOptions& rates,
+                        std::size_t n, std::size_t m, double slack,
+                        Xoshiro256& rng) {
+  if (rates.model == "uniform") return build_family(family, n, m, slack, rng);
+  if (family != "uniform")
+    throw std::invalid_argument(
+        "--rate-model=" + rates.model +
+        " builds its own instance family; drop --family=" + family);
+  if (rates.model == "matrix")
+    return make_zipf_rates(n, m, slack, rates.exponent, rng);
+  if (rates.model == "bipartite")
+    return make_clustered_bipartite(n, m, rates.clusters, rates.extra, slack,
+                                    rng);
+  throw std::invalid_argument("unknown --rate-model '" + rates.model +
+                              "' (uniform|matrix|bipartite)");
+}
+
 /// Parses --fail/--recover "R:ROUND,..." specs into one round-ordered churn
 /// plan (same-round failures apply before recoveries).
 ChurnPlan parse_churn(const std::string& fail_spec,
@@ -170,6 +214,11 @@ ChurnPlan parse_churn(const std::string& fail_spec,
 
 State build_start(const std::string& start, const Instance& instance,
                   Xoshiro256& rng) {
+  if (start == "all0" && instance.restricted())
+    throw std::invalid_argument(
+        "--start=all0 places every user on resource 0, but the instance is "
+        "restricted (some users cannot reach it); use --start=random or "
+        "--start=round-robin");
   if (start == "all0") return State::all_on(instance, 0);
   if (start == "random") return State::random(instance, rng);
   if (start == "round-robin") return State::round_robin(instance);
@@ -197,6 +246,7 @@ int mode_run(ArgParser& args) {
   const auto check_every =
       static_cast<std::uint32_t>(args.get_int("check-every", 0));
   const bool csv = args.get_flag("csv");
+  const RateModelOptions rates = read_rate_model(args);
   TelemetryOptions telemetry;
   read_telemetry(args, telemetry);
   args.finish();
@@ -213,7 +263,8 @@ int mode_run(ArgParser& args) {
   const AggregatedRuns agg =
       aggregate_runs(seed, reps, [&](std::uint64_t rep_seed) {
         Xoshiro256 rng(rep_seed);
-        const Instance instance = build_family(family, n, m, slack, rng);
+        const Instance instance =
+            build_instance(family, rates, n, m, slack, rng);
         State state = build_start(start, instance, rng);
         ProtocolSpec spec;
         spec.kind = kind;
@@ -285,10 +336,11 @@ int mode_gen(ArgParser& args) {
   const std::string start = args.get_string("start", "all0");
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const std::string out_path = args.get_string("out", "");
+  const RateModelOptions rates = read_rate_model(args);
   args.finish();
 
   Xoshiro256 rng(seed);
-  const Instance instance = build_family(family, n, m, slack, rng);
+  const Instance instance = build_instance(family, rates, n, m, slack, rng);
   const State state = build_start(start, instance, rng);
 
   std::ofstream file;
@@ -318,6 +370,7 @@ int mode_trace(ArgParser& args) {
   const auto max_rounds =
       static_cast<std::uint64_t>(args.get_int("max-rounds", 100000));
   const std::string load_path = args.get_string("load", "");
+  const RateModelOptions rates = read_rate_model(args);
   TelemetryOptions telemetry;
   read_telemetry(args, telemetry);
   args.finish();
@@ -332,7 +385,7 @@ int mode_trace(ArgParser& args) {
     instance = read_instance(file);
     state.emplace(read_state(file, *instance));
   } else {
-    instance = build_family(family, n, m, slack, rng);
+    instance = build_instance(family, rates, n, m, slack, rng);
     state.emplace(build_start(start, *instance, rng));
   }
   ProtocolSpec spec;
@@ -465,7 +518,8 @@ int main(int argc, char** argv) {
       for (const ProtocolInfo& info : protocol_registry())
         std::cout << info.name << std::string(width - info.name.size() + 2, ' ')
                   << info.description
-                  << (info.active_set ? "  [active-set]" : "") << '\n';
+                  << (info.active_set ? "  [active-set]" : "")
+                  << (info.restricted ? "  [restricted]" : "") << '\n';
       return 0;
     }
     const std::string mode = args.get_string("mode", "run");

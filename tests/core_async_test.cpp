@@ -11,13 +11,13 @@ namespace {
 TEST(AsyncAdmission, FeasibleInstanceQuiescesFullySatisfied) {
   Xoshiro256 rng(1);
   const Instance inst = make_uniform_feasible(80, 8, 0.5, 1.0, rng);
-  AsyncConfig config;
+  EngineConfig config;
   config.seed = 7;
   const AsyncRunResult result = run_async_admission(inst, config);
   EXPECT_TRUE(result.all_satisfied);
   EXPECT_EQ(result.satisfied, 80u);
   EXPECT_LT(result.events, config.max_events);  // queue drained
-  EXPECT_EQ(result.termination, AsyncTermination::kQuiesced);
+  EXPECT_EQ(result.termination, Termination::kQuiesced);
   EXPECT_FALSE(result.hit_event_cap);
   EXPECT_EQ(result.faults.total(), 0u);  // injector never attached
 }
@@ -25,7 +25,7 @@ TEST(AsyncAdmission, FeasibleInstanceQuiescesFullySatisfied) {
 TEST(AsyncAdmission, DeterministicPerSeed) {
   Xoshiro256 rng(2);
   const Instance inst = make_uniform_feasible(40, 4, 0.5, 1.0, rng);
-  AsyncConfig config;
+  EngineConfig config;
   config.seed = 5;
   const AsyncRunResult a = run_async_admission(inst, config);
   const AsyncRunResult b = run_async_admission(inst, config);
@@ -37,7 +37,7 @@ TEST(AsyncAdmission, DeterministicPerSeed) {
 TEST(AsyncAdmission, DifferentSeedsDifferentSchedules) {
   Xoshiro256 rng(3);
   const Instance inst = make_uniform_feasible(60, 6, 0.4, 1.5, rng);
-  AsyncConfig a_cfg, b_cfg;
+  EngineConfig a_cfg, b_cfg;
   a_cfg.seed = 1;
   b_cfg.seed = 2;
   // Force real migration work so the schedules actually diverge.
@@ -52,13 +52,13 @@ TEST(AsyncAdmission, DifferentSeedsDifferentSchedules) {
 
 TEST(AsyncAdmission, InfeasibleInstanceIsCutOffAtMaxEvents) {
   const Instance inst = make_overloaded(30, 3, 2.0);
-  AsyncConfig config;
+  EngineConfig config;
   config.max_events = 20000;
   const AsyncRunResult result = run_async_admission(inst, config);
   EXPECT_FALSE(result.all_satisfied);
   EXPECT_EQ(result.events, config.max_events);
   // Termination reason distinguishes the cutoff from real quiescence.
-  EXPECT_EQ(result.termination, AsyncTermination::kEventCap);
+  EXPECT_EQ(result.termination, Termination::kEventCap);
   EXPECT_TRUE(result.hit_event_cap);
   // The stable population matches capacity: threshold 5 per resource.
   EXPECT_LE(result.satisfied, 15u);
@@ -67,7 +67,7 @@ TEST(AsyncAdmission, InfeasibleInstanceIsCutOffAtMaxEvents) {
 TEST(AsyncAdmission, DeterministicStartPlacement) {
   Xoshiro256 rng(4);
   const Instance inst = make_uniform_feasible(20, 4, 0.6, 1.0, rng);
-  AsyncConfig config;
+  EngineConfig config;
   config.random_start = false;  // everyone starts on resource 0
   const AsyncRunResult result = run_async_admission(inst, config);
   EXPECT_TRUE(result.all_satisfied);
@@ -94,13 +94,13 @@ TEST(AsyncAdmission, SingleUserTrivial) {
 TEST(AsyncOptimistic, DampedRunSettlesOnFeasibleInstance) {
   Xoshiro256 rng(6);
   const Instance inst = make_uniform_feasible(80, 8, 0.4, 1.0, rng);
-  AsyncConfig config;
+  EngineConfig config;
   config.seed = 9;
   config.random_start = false;
   const AsyncRunResult result = run_async_optimistic(inst, 0.5, config);
   EXPECT_TRUE(result.all_satisfied);
   EXPECT_LT(result.events, config.max_events);
-  EXPECT_EQ(result.termination, AsyncTermination::kQuiesced);
+  EXPECT_EQ(result.termination, Termination::kQuiesced);
   // No handshake: every request is granted.
   EXPECT_EQ(result.counters.rejects, 0u);
   EXPECT_EQ(result.counters.grants, result.counters.migrate_requests);
@@ -112,7 +112,7 @@ TEST(AsyncOptimistic, CanOvershootWhereAdmissionCannot) {
   // while gated admission never displaces anyone.
   Xoshiro256 rng(7);
   const Instance inst = make_uniform_feasible(200, 10, 0.05, 1.0, rng);
-  AsyncConfig config;
+  EngineConfig config;
   config.seed = 11;
   config.random_start = false;
   config.max_events = 400000;
@@ -125,7 +125,7 @@ TEST(AsyncOptimistic, CanOvershootWhereAdmissionCannot) {
 TEST(AsyncOptimistic, DeterministicPerSeed) {
   Xoshiro256 rng(8);
   const Instance inst = make_uniform_feasible(40, 4, 0.4, 1.0, rng);
-  AsyncConfig config;
+  EngineConfig config;
   config.seed = 13;
   const AsyncRunResult a = run_async_optimistic(inst, 0.7, config);
   const AsyncRunResult b = run_async_optimistic(inst, 0.7, config);
@@ -145,7 +145,7 @@ TEST(AsyncOptimistic, RejectsBadLambda) {
 TEST(AsyncConfigStart, InitialAssignmentIsHonored) {
   Xoshiro256 rng(21);
   const Instance inst = make_uniform_feasible(24, 4, 0.6, 1.0, rng);
-  AsyncConfig config;
+  EngineConfig config;
   // Everyone on resource 3: the run must drain users off it.
   config.initial_assignment.assign(24, ResourceId{3});
   const AsyncRunResult result = run_async_admission(inst, config);
@@ -156,7 +156,7 @@ TEST(AsyncConfigStart, InitialAssignmentIsHonored) {
 TEST(AsyncConfigStart, RejectsBadInitialAssignment) {
   Xoshiro256 rng(22);
   const Instance inst = make_uniform_feasible(10, 2, 0.5, 1.0, rng);
-  AsyncConfig config;
+  EngineConfig config;
   config.initial_assignment = {0, 1};  // wrong length
   EXPECT_THROW(run_async_admission(inst, config), std::invalid_argument);
   config.initial_assignment.assign(10, ResourceId{7});  // out of range
@@ -170,8 +170,8 @@ TEST(AsyncConfigStart, RejectsBadInitialAssignment) {
 /// loss-tolerant protocol must still drive a feasible instance to full
 /// satisfaction — the pre-fault implementation deadlocks into silent
 /// quiescence on the first lost GRANT.
-AsyncConfig faulty_config(std::uint64_t seed) {
-  AsyncConfig config;
+EngineConfig faulty_config(std::uint64_t seed) {
+  EngineConfig config;
   config.seed = seed;
   config.random_start = false;  // concentrate load: forces real migrations
   config.faults.drop_all(0.10)
@@ -186,7 +186,7 @@ TEST(AsyncFaults, SurvivesLossDuplicationAndCrash) {
   const AsyncRunResult result = run_async_admission(inst, faulty_config(7));
   EXPECT_TRUE(result.all_satisfied);
   EXPECT_EQ(result.satisfied, 80u);
-  EXPECT_EQ(result.termination, AsyncTermination::kQuiesced);
+  EXPECT_EQ(result.termination, Termination::kQuiesced);
   // The injector actually did something.
   EXPECT_GT(result.faults.dropped, 0u);
   EXPECT_GT(result.faults.duplicated, 0u);
@@ -217,20 +217,20 @@ TEST(AsyncFaults, SeveralSeedsAllConverge) {
   for (const std::uint64_t seed : {11ull, 13ull, 99ull, 123ull}) {
     const AsyncRunResult result = run_async_admission(inst, faulty_config(seed));
     EXPECT_TRUE(result.all_satisfied) << "seed=" << seed;
-    EXPECT_EQ(result.termination, AsyncTermination::kQuiesced) << "seed=" << seed;
+    EXPECT_EQ(result.termination, Termination::kQuiesced) << "seed=" << seed;
   }
 }
 
 TEST(AsyncFaults, OptimisticSurvivesLossToo) {
   Xoshiro256 rng(6);
   const Instance inst = make_uniform_feasible(80, 8, 0.4, 1.0, rng);
-  AsyncConfig config;
+  EngineConfig config;
   config.seed = 9;
   config.random_start = false;
   config.faults.drop_all(0.08).dup_all(0.05);
   const AsyncRunResult result = run_async_optimistic(inst, 0.5, config);
   EXPECT_TRUE(result.all_satisfied);
-  EXPECT_EQ(result.termination, AsyncTermination::kQuiesced);
+  EXPECT_EQ(result.termination, Termination::kQuiesced);
 }
 
 TEST(AsyncFaults, ForceTimeoutsAloneIsBenign) {
@@ -239,13 +239,13 @@ TEST(AsyncFaults, ForceTimeoutsAloneIsBenign) {
   // diverge; stale suppression never eats a live reply for good).
   Xoshiro256 rng(2);
   const Instance inst = make_uniform_feasible(60, 6, 0.5, 1.0, rng);
-  AsyncConfig config;
+  EngineConfig config;
   config.seed = 17;
   config.random_start = false;
   config.force_timeouts = true;
   const AsyncRunResult result = run_async_admission(inst, config);
   EXPECT_TRUE(result.all_satisfied);
-  EXPECT_EQ(result.termination, AsyncTermination::kQuiesced);
+  EXPECT_EQ(result.termination, Termination::kQuiesced);
   EXPECT_EQ(result.faults.total(), 0u);  // no injector attached
 }
 
@@ -258,7 +258,7 @@ TEST(AsyncFaults, FaultFreeRunMatchesLegacyGolden) {
   {
     Xoshiro256 rng(1);
     const Instance inst = make_uniform_feasible(80, 8, 0.5, 1.0, rng);
-    AsyncConfig config;
+    EngineConfig config;
     config.seed = 7;
     const AsyncRunResult r = run_async_admission(inst, config);
     EXPECT_EQ(r.events, 160u);
@@ -270,7 +270,7 @@ TEST(AsyncFaults, FaultFreeRunMatchesLegacyGolden) {
   {
     Xoshiro256 rng(42);
     const Instance inst = make_uniform_feasible(120, 10, 0.4, 1.2, rng);
-    AsyncConfig config;
+    EngineConfig config;
     config.seed = 21;
     config.random_start = false;
     const AsyncRunResult r = run_async_admission(inst, config);
@@ -286,7 +286,7 @@ TEST(AsyncFaults, FaultFreeRunMatchesLegacyGolden) {
   {
     Xoshiro256 rng(6);
     const Instance inst = make_uniform_feasible(80, 8, 0.4, 1.0, rng);
-    AsyncConfig config;
+    EngineConfig config;
     config.seed = 9;
     config.random_start = false;
     const AsyncRunResult r = run_async_optimistic(inst, 0.5, config);

@@ -4,7 +4,7 @@
 
 #include "core/generators.hpp"
 #include "core/protocols/uniform_sampling.hpp"
-#include "core/runner.hpp"
+#include "core/engine.hpp"
 
 namespace qoslb {
 namespace {
@@ -14,9 +14,9 @@ TEST(CachedSampling, ConvergesLikeUniform) {
   const Instance instance = make_uniform_feasible(256, 16, 0.3, 1.3, rng);
   State state = State::all_on(instance, 0);
   CachedSampling protocol(0.5, /*ttl=*/2);
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 50000;
-  const RunResult result = run_protocol(protocol, state, rng, config);
+  const EngineResult result = Engine(config).run(protocol, state, rng);
   EXPECT_TRUE(result.converged);
   EXPECT_TRUE(result.all_satisfied);
 }
@@ -28,9 +28,9 @@ TEST(CachedSampling, SharedRoundCacheSavesProbes) {
     Xoshiro256 rng(3);
     const Instance instance = make_uniform_feasible(512, 8, 0.2, 1.0, rng);
     State state = State::all_on(instance, 0);
-    RunConfig config;
+    EngineConfig config;
     config.max_rounds = 50000;
-    return run_protocol(protocol, state, rng, config).counters.probes;
+    return Engine(config).run(protocol, state, rng).counters.probes;
   };
   UniformSampling uniform(0.5);
   CachedSampling cached(0.5, 0);
@@ -43,9 +43,9 @@ TEST(CachedSampling, LargeTtlStillConvergesEventually) {
   const Instance instance = make_uniform_feasible(256, 16, 0.3, 1.0, rng);
   State state = State::all_on(instance, 0);
   CachedSampling protocol(0.5, /*ttl=*/16);
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 100000;
-  const RunResult result = run_protocol(protocol, state, rng, config);
+  const EngineResult result = Engine(config).run(protocol, state, rng);
   EXPECT_TRUE(result.converged);
   EXPECT_TRUE(result.all_satisfied);
 }
@@ -58,9 +58,9 @@ TEST(CachedSampling, StalenessSlowsConvergence) {
       const Instance instance = make_uniform_feasible(1024, 64, 0.15, 1.0, rng);
       State state = State::all_on(instance, 0);
       CachedSampling protocol(0.5, ttl);
-      RunConfig config;
+      EngineConfig config;
       config.max_rounds = 100000;
-      total += static_cast<double>(run_protocol(protocol, state, rng, config).rounds);
+      total += static_cast<double>(Engine(config).run(protocol, state, rng).rounds);
     }
     return total / 5.0;
   };

@@ -6,7 +6,7 @@
 #include "core/generators.hpp"
 #include "rng/distributions.hpp"
 #include "core/protocols/registry.hpp"
-#include "core/runner.hpp"
+#include "core/engine.hpp"
 #include "opt/satisfaction.hpp"
 
 namespace qoslb {
@@ -172,13 +172,13 @@ TEST(Churn, ProtocolRecoversAfterResourceFailure) {
   ProtocolSpec spec;
   spec.kind = "admission";
   const auto protocol = make_protocol(spec);
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 50000;
-  ASSERT_TRUE(run_protocol(*protocol, state, rng, config).all_satisfied);
+  ASSERT_TRUE(Engine(config).run(*protocol, state, rng).all_satisfied);
 
   const World failed = fail_resource(snapshot_world(state), 0, rng);
   State recovered(failed.instance, failed.assignment);
-  const RunResult result = run_protocol(*protocol, recovered, rng, config);
+  const EngineResult result = Engine(config).run(*protocol, recovered, rng);
   EXPECT_TRUE(result.converged);
   // Slack 0.5 leaves enough headroom that 5 of 6 resources still suffice.
   EXPECT_TRUE(result.all_satisfied);
@@ -193,12 +193,12 @@ TEST(Churn, FailResourceThenAsyncReconverges) {
   State state = State::round_robin(inst);
   const World failed = fail_resource(snapshot_world(state), 0, rng);
 
-  AsyncConfig config;
+  EngineConfig config;
   config.seed = 23;
   config.initial_assignment = failed.assignment;
   const AsyncRunResult result = run_async_admission(failed.instance, config);
   EXPECT_TRUE(result.all_satisfied);
-  EXPECT_EQ(result.termination, AsyncTermination::kQuiesced);
+  EXPECT_EQ(result.termination, Termination::kQuiesced);
 }
 
 TEST(Churn, FailResourceThenAsyncReconvergesUnderMessageFaults) {
@@ -209,13 +209,13 @@ TEST(Churn, FailResourceThenAsyncReconvergesUnderMessageFaults) {
   State state = State::round_robin(inst);
   const World failed = fail_resource(snapshot_world(state), 2, rng);
 
-  AsyncConfig config;
+  EngineConfig config;
   config.seed = 31;
   config.initial_assignment = failed.assignment;
   config.faults.drop_all(0.08).dup_all(0.04);
   const AsyncRunResult result = run_async_admission(failed.instance, config);
   EXPECT_TRUE(result.all_satisfied);
-  EXPECT_EQ(result.termination, AsyncTermination::kQuiesced);
+  EXPECT_EQ(result.termination, Termination::kQuiesced);
 }
 
 // ---- greedy optimum bound ----

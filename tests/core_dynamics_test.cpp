@@ -4,7 +4,7 @@
 
 #include "core/generators.hpp"
 #include "core/potential.hpp"
-#include "core/runner.hpp"
+#include "core/engine.hpp"
 #include "rng/xoshiro256.hpp"
 
 namespace qoslb {
@@ -66,9 +66,9 @@ TEST(QualityBestResponse, ConvergesViaRunner) {
   const Instance inst = Instance::identical(8, 1.0, std::vector<double>(128, 1e-3));
   State state = State::all_on(inst, 0);
   QualityBestResponse protocol;
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 100000;
-  const RunResult result = run_protocol(protocol, state, rng, config);
+  const EngineResult result = Engine(config).run(protocol, state, rng);
   EXPECT_TRUE(result.converged);
   EXPECT_LE(state.max_load() - state.min_load(), 1);
 }
@@ -78,9 +78,9 @@ TEST(QualityBestResponse, RoundRobinOrderAlsoConverges) {
   const Instance inst = Instance::identical(5, 1.0, std::vector<double>(60, 1e-3));
   State state = State::all_on(inst, 2);
   QualityBestResponse protocol(QualityBestResponse::Order::kRoundRobin);
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 100000;
-  const RunResult result = run_protocol(protocol, state, rng, config);
+  const EngineResult result = Engine(config).run(protocol, state, rng);
   EXPECT_TRUE(result.converged);
   EXPECT_TRUE(is_quality_nash(state));
 }
@@ -90,9 +90,9 @@ TEST(QualitySampling, ConvergesToNashOnIdentical) {
   const Instance inst = Instance::identical(16, 1.0, std::vector<double>(512, 1e-3));
   State state = State::all_on(inst, 0);
   QualitySampling protocol;
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 100000;
-  const RunResult result = run_protocol(protocol, state, rng, config);
+  const EngineResult result = Engine(config).run(protocol, state, rng);
   EXPECT_TRUE(result.converged);
   EXPECT_LE(state.max_load() - state.min_load(), 1);
 }
@@ -102,9 +102,9 @@ TEST(QualitySampling, ConvergesOnRelatedCapacities) {
   const Instance inst = make_related_capacities(200, 8, 0.3, 3, rng);
   State state = State::all_on(inst, 0);
   QualitySampling protocol;
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 200000;
-  const RunResult result = run_protocol(protocol, state, rng, config);
+  const EngineResult result = Engine(config).run(protocol, state, rng);
   EXPECT_TRUE(result.converged);
   EXPECT_TRUE(is_quality_nash(state));
 }
@@ -117,9 +117,9 @@ TEST(QualityVsSatisfaction, NashRefinesSatisfactionOnFeasible) {
   const Instance inst = make_uniform_feasible(120, 8, 0.3, 1.0, rng);
   State state = State::all_on(inst, 0);
   QualityBestResponse protocol;
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 100000;
-  const RunResult result = run_protocol(protocol, state, rng, config);
+  const EngineResult result = Engine(config).run(protocol, state, rng);
   ASSERT_TRUE(result.converged);
   EXPECT_TRUE(result.all_satisfied);
 }

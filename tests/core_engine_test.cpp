@@ -10,9 +10,8 @@
 //      shards that share one RoundRng is exactly the default step() — each
 //      user's draws come from its own substream;
 //   3. facade regressions: Engine::run_async_admission matches the PR 1
-//      fault-tolerant DES results, sharded execution falls back to the
-//      sequential driver for protocols without step_users, and the
-//      deprecated run_protocol shim routes through the same engine;
+//      fault-tolerant DES results, and sharded execution falls back to the
+//      sequential driver for protocols without step_users;
 //   4. the (seed, round, user) substream golden values are frozen.
 
 #include <gtest/gtest.h>
@@ -20,7 +19,6 @@
 #include <numeric>
 #include <vector>
 
-#include "core/runner.hpp"  // deprecated shim — deliberately not in qoslb.hpp
 #include "net/generators.hpp"
 #include "qoslb.hpp"
 #include "sim/parallel_round_engine.hpp"
@@ -239,29 +237,6 @@ TEST(EngineSharded, FallsBackToSequentialWithoutStepUsers) {
   const EngineResult b = Engine(EngineConfig{}).run(*p2, state_seq, rng_seq);
   EXPECT_EQ(assignment_of(state_sharded), assignment_of(state_seq));
   EXPECT_EQ(a.rounds, b.rounds);
-}
-
-TEST(EngineShim, DeprecatedRunProtocolRoutesThroughEngine) {
-  const Instance instance = test_instance(400, 16, 5);
-  ProtocolSpec spec;
-  spec.kind = "uniform";
-  spec.lambda = 0.5;
-
-  State state_shim = State::all_on(instance, 0);
-  Xoshiro256 rng_shim(13);
-  const auto p1 = make_protocol(spec);
-  RunConfig legacy;  // deprecated alias of EngineConfig
-  const RunResult via_shim = run_protocol(*p1, state_shim, rng_shim, legacy);
-
-  State state_engine = State::all_on(instance, 0);
-  Xoshiro256 rng_engine(13);
-  const auto p2 = make_protocol(spec);
-  const EngineResult direct =
-      Engine(EngineConfig{}).run(*p2, state_engine, rng_engine);
-
-  EXPECT_EQ(assignment_of(state_shim), assignment_of(state_engine));
-  EXPECT_EQ(via_shim.rounds, direct.rounds);
-  EXPECT_EQ(via_shim.termination, direct.termination);
 }
 
 TEST(EngineTermination, RoundCapAndConvergedAreDistinguished) {

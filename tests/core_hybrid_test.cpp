@@ -4,7 +4,7 @@
 
 #include "core/dynamics/quality_game.hpp"
 #include "core/generators.hpp"
-#include "core/runner.hpp"
+#include "core/engine.hpp"
 #include "core/satisfaction.hpp"
 
 namespace qoslb {
@@ -15,9 +15,9 @@ TEST(Hybrid, EpsilonZeroStopsAtSatisfactionEquilibrium) {
   const Instance instance = make_uniform_feasible(256, 16, 0.3, 1.0, rng);
   State state = State::all_on(instance, 0);
   HybridEpsilonGreedy protocol(0.5, 0.0);
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 50000;
-  const RunResult result = run_protocol(protocol, state, rng, config);
+  const EngineResult result = Engine(config).run(protocol, state, rng);
   EXPECT_TRUE(result.converged);
   EXPECT_TRUE(is_satisfaction_equilibrium(state));
   // Typically NOT a quality Nash: the run stops at "good enough".
@@ -29,9 +29,9 @@ TEST(Hybrid, PositiveEpsilonReachesQualityNash) {
   const Instance instance = make_uniform_feasible(256, 16, 0.3, 1.0, rng);
   State state = State::all_on(instance, 0);
   HybridEpsilonGreedy protocol(0.5, 0.2);
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 200000;
-  const RunResult result = run_protocol(protocol, state, rng, config);
+  const EngineResult result = Engine(config).run(protocol, state, rng);
   EXPECT_TRUE(result.converged);
   EXPECT_TRUE(is_quality_nash(state));
   EXPECT_LE(state.max_load() - state.min_load(), 1);
@@ -43,9 +43,9 @@ TEST(Hybrid, EpsilonOneMatchesQualitySamplingBalance) {
       Instance::identical(8, 1.0, std::vector<double>(256, 1e-3));
   State state = State::all_on(instance, 0);
   HybridEpsilonGreedy protocol(0.5, 1.0);
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 100000;
-  const RunResult result = run_protocol(protocol, state, rng, config);
+  const EngineResult result = Engine(config).run(protocol, state, rng);
   EXPECT_TRUE(result.converged);
   EXPECT_LE(state.max_load() - state.min_load(), 1);
 }

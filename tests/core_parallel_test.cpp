@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/generators.hpp"
-#include "core/runner.hpp"
+#include "core/engine.hpp"
 
 namespace qoslb {
 namespace {
@@ -14,9 +14,9 @@ std::vector<ResourceId> final_assignment(std::size_t threads, std::uint64_t seed
   State state = State::all_on(instance, 0);
   ParallelUniformSampling protocol(0.5, seed, threads);
   Xoshiro256 unused(1);
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 50000;
-  const RunResult result = run_protocol(protocol, state, unused, config);
+  const EngineResult result = Engine(config).run(protocol, state, unused);
   EXPECT_TRUE(result.converged);
   std::vector<ResourceId> assignment(state.num_users());
   for (UserId u = 0; u < state.num_users(); ++u)
@@ -46,9 +46,9 @@ TEST(ParallelUniform, ConvergesAndSatisfies) {
   State state = State::all_on(instance, 0);
   ParallelUniformSampling protocol(0.5, 5, /*threads=*/4);
   Xoshiro256 unused(1);
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 50000;
-  const RunResult result = run_protocol(protocol, state, unused, config);
+  const EngineResult result = Engine(config).run(protocol, state, unused);
   EXPECT_TRUE(result.all_satisfied);
   state.check_invariants();
 }

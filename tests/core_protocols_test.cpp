@@ -11,7 +11,7 @@
 #include "core/protocols/registry.hpp"
 #include "core/protocols/sequential_best_response.hpp"
 #include "core/protocols/uniform_sampling.hpp"
-#include "core/runner.hpp"
+#include "core/engine.hpp"
 #include "net/generators.hpp"
 
 namespace qoslb {
@@ -38,9 +38,9 @@ TEST_P(SatisfactionProtocol, ConvergesToFullSatisfactionOnSlackInstance) {
   spec.kind = GetParam();
   spec.lambda = 0.5;
   const auto protocol = make_protocol(spec);
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 200000;
-  const RunResult result = run_protocol(*protocol, s.state, s.rng, config);
+  const EngineResult result = Engine(config).run(*protocol, s.state, s.rng);
   EXPECT_TRUE(result.converged) << protocol->name();
   EXPECT_TRUE(result.all_satisfied) << protocol->name();
   s.state.check_invariants();
@@ -62,9 +62,9 @@ TEST_P(SeededConvergence, DeterministicGivenSeed) {
   auto run_once = [&] {
     Scenario s(100, 8, 0.5, seed);
     const auto protocol = make_protocol(spec);
-    RunConfig config;
+    EngineConfig config;
     config.max_rounds = 100000;
-    return run_protocol(*protocol, s.state, s.rng, config).rounds;
+    return Engine(config).run(*protocol, s.state, s.rng).rounds;
   };
   EXPECT_EQ(run_once(), run_once());
 }
@@ -134,9 +134,9 @@ TEST(UniformSampling, UndampedFullScanOscillatesOnHerdingInstance) {
   State state = State::all_on(inst, 0);
   Xoshiro256 rng(3);
   UniformSampling protocol(1.0, /*probes=*/8);
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 300;
-  const RunResult result = run_protocol(protocol, state, rng, config);
+  const EngineResult result = Engine(config).run(protocol, state, rng);
   EXPECT_FALSE(result.converged);
   EXPECT_GT(state.count_unsatisfied(), 20u);
 }
@@ -146,9 +146,9 @@ TEST(UniformSampling, DampingTamesHerding) {
   State state = State::all_on(inst, 0);
   Xoshiro256 rng(3);
   UniformSampling protocol(0.3, /*probes=*/8);
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 10000;
-  const RunResult result = run_protocol(protocol, state, rng, config);
+  const EngineResult result = Engine(config).run(protocol, state, rng);
   EXPECT_TRUE(result.converged);
   EXPECT_TRUE(result.all_satisfied);
 }
@@ -165,9 +165,9 @@ TEST(AdaptiveSampling, ConvergesOnHerdingWithoutTuning) {
   State state = State::all_on(inst, 0);
   Xoshiro256 rng(5);
   AdaptiveSampling protocol;
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 20000;
-  const RunResult result = run_protocol(protocol, state, rng, config);
+  const EngineResult result = Engine(config).run(protocol, state, rng);
   EXPECT_TRUE(result.converged);
   EXPECT_TRUE(result.all_satisfied);
 }
@@ -286,9 +286,9 @@ TEST(NeighborhoodSampling, ConvergesOnRing) {
   const Graph ring = make_ring(12);
   State state = State::random(inst, rng);
   NeighborhoodSampling protocol(ring, NeighborhoodSampling::Commit::kAdmission);
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 50000;
-  const RunResult result = run_protocol(protocol, state, rng, config);
+  const EngineResult result = Engine(config).run(protocol, state, rng);
   EXPECT_TRUE(result.converged);
   EXPECT_TRUE(result.all_satisfied);
 }
@@ -343,9 +343,9 @@ TEST(Berenbrink, BalancesIdenticalResources) {
   const Instance inst = Instance::identical(8, 1.0, std::vector<double>(256, 1e-3));
   State state = State::all_on(inst, 0);
   BerenbrinkBalancing protocol;
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 20000;
-  const RunResult result = run_protocol(protocol, state, rng, config);
+  const EngineResult result = Engine(config).run(protocol, state, rng);
   EXPECT_TRUE(result.converged);
   EXPECT_LE(state.max_load() - state.min_load(), 1);
 }

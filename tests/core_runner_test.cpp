@@ -1,14 +1,16 @@
-#include "core/runner.hpp"
+// Engine-facade run semantics (termination, trajectories, per-round trace
+// rows) and experiment aggregation. Historically this file tested the
+// run_protocol/TraceRecorder shims; those are gone and the same contracts now
+// hold directly on Engine + obs::MemoryTraceSink.
 
 #include <gtest/gtest.h>
 
+#include "core/engine.hpp"
+#include "core/experiment.hpp"
 #include "core/generators.hpp"
 #include "core/protocols/admission_control.hpp"
 #include "core/protocols/uniform_sampling.hpp"
-#include "core/trace.hpp"
-#include "core/experiment.hpp"
-
-#include <sstream>
+#include "obs/trace_sink.hpp"
 
 namespace qoslb {
 namespace {
@@ -18,7 +20,7 @@ TEST(Runner, AlreadyStableTakesZeroRounds) {
   State state(inst, {0, 1});
   Xoshiro256 rng(1);
   AdmissionControl protocol;
-  const RunResult result = run_protocol(protocol, state, rng);
+  const EngineResult result = Engine().run(protocol, state, rng);
   EXPECT_TRUE(result.converged);
   EXPECT_TRUE(result.all_satisfied);
   EXPECT_EQ(result.rounds, 0u);
@@ -29,9 +31,9 @@ TEST(Runner, MaxRoundsCapsRun) {
   State state = State::all_on(inst, 0);
   Xoshiro256 rng(2);
   UniformSampling protocol(1.0, 8);  // oscillates forever
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 25;
-  const RunResult result = run_protocol(protocol, state, rng, config);
+  const EngineResult result = Engine(config).run(protocol, state, rng);
   EXPECT_FALSE(result.converged);
   EXPECT_EQ(result.rounds, 25u);
   EXPECT_EQ(result.counters.rounds, 25u);
@@ -42,9 +44,9 @@ TEST(Runner, TrajectoryRecordsEveryRound) {
   const Instance inst = make_uniform_feasible(60, 6, 0.5, 1.0, rng);
   State state = State::all_on(inst, 0);
   AdmissionControl protocol;
-  RunConfig config;
+  EngineConfig config;
   config.record_trajectory = true;
-  const RunResult result = run_protocol(protocol, state, rng, config);
+  const EngineResult result = Engine(config).run(protocol, state, rng);
   EXPECT_TRUE(result.converged);
   EXPECT_EQ(result.unsatisfied_trajectory.size(), result.rounds);
   if (!result.unsatisfied_trajectory.empty()) {
@@ -58,7 +60,7 @@ TEST(Runner, StuckEquilibriumReportedConvergedNotSatisfied) {
   State state(inst, {0, 0, 1});
   Xoshiro256 rng(4);
   AdmissionControl protocol;
-  const RunResult result = run_protocol(protocol, state, rng);
+  const EngineResult result = Engine().run(protocol, state, rng);
   EXPECT_TRUE(result.converged);
   EXPECT_FALSE(result.all_satisfied);
   // Only the lone user on resource 1 is satisfied; the two users sharing
@@ -71,46 +73,33 @@ TEST(Runner, FinalSatisfiedMatchesState) {
   const Instance inst = make_uniform_feasible(40, 4, 0.5, 1.0, rng);
   State state = State::random(inst, rng);
   AdmissionControl protocol;
-  const RunResult result = run_protocol(protocol, state, rng);
+  const EngineResult result = Engine().run(protocol, state, rng);
   EXPECT_EQ(result.final_satisfied, state.count_satisfied());
 }
 
-// ---- trace ----
+// ---- per-round trace rows (the trace sink succeeded the old recorder) ----
 
 TEST(Trace, RecordsRoundZeroSnapshot) {
   Xoshiro256 rng(6);
   const Instance inst = make_uniform_feasible(30, 3, 0.5, 1.0, rng);
   State state = State::all_on(inst, 0);
   AdmissionControl protocol;
-  TraceRecorder recorder;
-  const auto records = recorder.run(protocol, state, rng, 1000);
-  ASSERT_GE(records.size(), 2u);
-  EXPECT_EQ(records.front().round, 0u);
-  EXPECT_EQ(records.front().migrations, 0u);
-  EXPECT_EQ(records.back().unsatisfied, 0u);
+  obs::MemoryTraceSink sink;
+  EngineConfig config;
+  config.telemetry.sink = &sink;
+  const EngineResult result = Engine(config).run(protocol, state, rng);
+  EXPECT_TRUE(result.converged);
+  const auto& rows = sink.rows();
+  ASSERT_GE(rows.size(), 2u);
+  EXPECT_EQ(rows.front().round, 0u);
+  EXPECT_EQ(rows.front().migrations, 0u);
+  EXPECT_EQ(rows.back().unsatisfied, 0u);
   // Rounds strictly increasing, cumulative counters non-decreasing.
-  for (std::size_t i = 1; i < records.size(); ++i) {
-    EXPECT_EQ(records[i].round, records[i - 1].round + 1);
-    EXPECT_GE(records[i].migrations, records[i - 1].migrations);
-    EXPECT_GE(records[i].messages, records[i - 1].messages);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].round, rows[i - 1].round + 1);
+    EXPECT_GE(rows[i].migrations, rows[i - 1].migrations);
+    EXPECT_GE(rows[i].messages, rows[i - 1].messages);
   }
-}
-
-TEST(Trace, CsvHasHeaderAndRows) {
-  Xoshiro256 rng(7);
-  const Instance inst = make_uniform_feasible(20, 2, 0.5, 1.0, rng);
-  State state = State::all_on(inst, 0);
-  AdmissionControl protocol;
-  TraceRecorder recorder;
-  const auto records = recorder.run(protocol, state, rng, 1000);
-  std::ostringstream out;
-  TraceRecorder::write_csv(records, out);
-  const std::string text = out.str();
-  EXPECT_EQ(text.find("round,unsatisfied"), 0u);
-  std::size_t lines = 0;
-  for (const char c : text)
-    if (c == '\n') ++lines;
-  EXPECT_EQ(lines, records.size() + 1);
 }
 
 TEST(Trace, StopsImmediatelyWhenStable) {
@@ -118,9 +107,12 @@ TEST(Trace, StopsImmediatelyWhenStable) {
   State state(inst, {0, 1});
   Xoshiro256 rng(8);
   AdmissionControl protocol;
-  TraceRecorder recorder;
-  const auto records = recorder.run(protocol, state, rng, 1000);
-  EXPECT_EQ(records.size(), 1u);  // just the round-0 snapshot
+  obs::MemoryTraceSink sink;
+  EngineConfig config;
+  config.telemetry.sink = &sink;
+  const EngineResult result = Engine(config).run(protocol, state, rng);
+  EXPECT_EQ(result.rounds, 0u);
+  EXPECT_EQ(sink.rows().size(), 1u);  // just the round-0 snapshot
 }
 
 // ---- aggregation ----
@@ -132,7 +124,7 @@ TEST(Aggregate, DeterministicAndComplete) {
     State state = State::random(inst, rng);
     AdmissionControl protocol;
     ReplicatedRun run;
-    run.result = run_protocol(protocol, state, rng);
+    run.result = Engine().run(protocol, state, rng);
     run.num_users = inst.num_users();
     return run;
   };

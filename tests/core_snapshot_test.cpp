@@ -258,10 +258,25 @@ TEST(Snapshot, ReaderAcceptsItsOwnWriter) {
 
 TEST(Snapshot, ReaderRejectsUnknownVersion) {
   std::string text = valid_snapshot_text();
-  const std::size_t pos = text.find("v1");
+  const std::size_t pos = text.find("v2");
   ASSERT_NE(pos, std::string::npos);
-  text.replace(pos, 2, "v2");
+  text.replace(pos, 2, "v3");
   EXPECT_THROW(parse(text), std::invalid_argument);
+}
+
+TEST(Snapshot, ReaderAcceptsLegacyV1WithoutRateModelBlock) {
+  // A v1 checkpoint has no rate_model block; it must read back as the
+  // uniform model, exactly as pre-v2 writers produced it.
+  std::string text = valid_snapshot_text();
+  const std::size_t magic = text.find("v2");
+  ASSERT_NE(magic, std::string::npos);
+  text.replace(magic, 2, "v1");
+  const std::size_t block = text.find("rate_model uniform\n");
+  ASSERT_NE(block, std::string::npos);
+  text.erase(block, std::string("rate_model uniform\n").size());
+  const SnapshotV1 snapshot = parse(text);
+  EXPECT_TRUE(snapshot.rate_model.is_uniform());
+  EXPECT_EQ(snapshot.make_instance().num_users(), 3u);
 }
 
 TEST(Snapshot, ReaderRejectsTruncation) {

@@ -225,14 +225,14 @@ TEST(Telemetry, AsyncRunsAreUnchangedAndTimeEventDispatchVirtually) {
   Xoshiro256 rng(3);
   const Instance instance = make_uniform_feasible(300, 12, 0.4, 1.5, rng);
 
-  AsyncConfig off;
+  EngineConfig off;
   off.seed = 11;
   off.random_start = false;
   const AsyncRunResult reference = run_async_admission(instance, off);
   EXPECT_FALSE(reference.telemetry.enabled);
 
   obs::MetricsRegistry metrics;
-  AsyncConfig on;
+  EngineConfig on;
   on.seed = 11;
   on.random_start = false;
   on.telemetry.metrics = &metrics;
@@ -267,7 +267,7 @@ TEST(Telemetry, WeightedRunsFillMetricsWithoutTraceRows) {
   config.max_rounds = 100000;
   config.telemetry.metrics = &metrics;
   config.telemetry.clock = &clock;
-  const EngineResult result = Engine(config).run_weighted(protocol, state, rng);
+  const EngineResult result = Engine(config).run(protocol, state, rng);
 
   EXPECT_TRUE(result.telemetry.enabled);
   EXPECT_EQ(result.telemetry.trace_rows, 0u);

@@ -91,8 +91,9 @@ TEST(WeightedGenerator, FeasibleByConstruction) {
   WeightedState state = WeightedState::all_on(inst, 0);
   Xoshiro256 run_rng(7);
   WeightedAdmissionControl protocol;
-  const WeightedRunResult result =
-      run_weighted_protocol(protocol, state, run_rng, 100000);
+  EngineConfig config;
+  config.max_rounds = 100000;
+  const EngineResult result = Engine(config).run(protocol, state, run_rng);
   EXPECT_TRUE(result.converged);
   EXPECT_TRUE(result.all_satisfied);
 }
@@ -109,8 +110,9 @@ TEST_P(WeightedProtocolKind, ConvergesOnFeasibleInstances) {
     case 1: protocol = std::make_unique<WeightedAdmissionControl>(); break;
     default: protocol = std::make_unique<WeightedSequentialBestResponse>(); break;
   }
-  const WeightedRunResult result =
-      run_weighted_protocol(*protocol, state, rng, 200000);
+  EngineConfig config;
+  config.max_rounds = 200000;
+  const EngineResult result = Engine(config).run(*protocol, state, rng);
   EXPECT_TRUE(result.converged) << protocol->name();
   EXPECT_TRUE(result.all_satisfied) << protocol->name();
   state.check_invariants();
@@ -149,7 +151,7 @@ TEST(WeightedRunner, AlreadyStableIsZeroRounds) {
   WeightedState state(inst, {0, 1, 0});
   Xoshiro256 rng(1);
   WeightedAdmissionControl protocol;
-  const WeightedRunResult result = run_weighted_protocol(protocol, state, rng);
+  const EngineResult result = Engine().run(protocol, state, rng);
   EXPECT_TRUE(result.converged);
   EXPECT_EQ(result.rounds, 0u);
   EXPECT_EQ(result.final_satisfied_weight, inst.total_weight());
@@ -162,7 +164,9 @@ TEST(WeightedRunner, MaxRoundsCap) {
   WeightedState state = WeightedState::all_on(inst, 0);
   Xoshiro256 rng(3);
   WeightedUniformSampling protocol(0.5);
-  const WeightedRunResult result = run_weighted_protocol(protocol, state, rng, 10);
+  EngineConfig config;
+  config.max_rounds = 10;
+  const EngineResult result = Engine(config).run(protocol, state, rng);
   // Single resource: nobody can deviate, so the state is stuck-stable.
   EXPECT_TRUE(result.converged);
   EXPECT_FALSE(result.all_satisfied);

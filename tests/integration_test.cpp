@@ -6,7 +6,7 @@
 #include "core/async/async_protocols.hpp"
 #include "core/generators.hpp"
 #include "core/protocols/registry.hpp"
-#include "core/runner.hpp"
+#include "core/engine.hpp"
 #include "core/satisfaction.hpp"
 #include "opt/satisfaction.hpp"
 
@@ -34,9 +34,9 @@ TEST(Integration, ProtocolsNeverBeatTheCentralizedOptimum) {
       spec.kind = kind;
       spec.lambda = 0.5;
       const auto protocol = make_protocol(spec);
-      RunConfig config;
+      EngineConfig config;
       config.max_rounds = 20000;
-      const RunResult result = run_protocol(*protocol, state, run_rng, config);
+      const EngineResult result = Engine(config).run(*protocol, state, run_rng);
       EXPECT_LE(static_cast<int>(result.final_satisfied), opt)
           << kind << " seed=" << seed;
       if (result.converged) {
@@ -57,7 +57,7 @@ TEST(Integration, AdmissionReachesOptimumOnFeasibleInstances) {
     ProtocolSpec spec;
     spec.kind = "admission";
     const auto protocol = make_protocol(spec);
-    const RunResult result = run_protocol(*protocol, state, rng);
+    const EngineResult result = Engine().run(*protocol, state, rng);
     EXPECT_TRUE(result.all_satisfied) << "seed=" << seed;
   }
 }
@@ -72,9 +72,9 @@ TEST(Integration, SyncAndAsyncAdmissionAgreeOnOutcome) {
     ProtocolSpec spec;
     spec.kind = "admission";
     const auto protocol = make_protocol(spec);
-    const RunResult sync = run_protocol(*protocol, state, rng);
+    const EngineResult sync = Engine().run(*protocol, state, rng);
 
-    AsyncConfig config;
+    EngineConfig config;
     config.seed = seed;
     const AsyncRunResult async = run_async_admission(inst, config);
 
@@ -92,7 +92,7 @@ TEST(Integration, EquilibriumStatesSurviveFurtherRounds) {
   ProtocolSpec spec;
   spec.kind = "admission";
   const auto protocol = make_protocol(spec);
-  const RunResult first = run_protocol(*protocol, state, rng);
+  const EngineResult first = Engine().run(*protocol, state, rng);
   ASSERT_TRUE(first.all_satisfied);
   Counters counters;
   for (int i = 0; i < 20; ++i) protocol->step(state, rng, counters);
@@ -107,9 +107,9 @@ TEST(Integration, HeterogeneousCapacitiesEndToEnd) {
   ProtocolSpec spec;
   spec.kind = "adaptive";
   const auto protocol = make_protocol(spec);
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 50000;
-  const RunResult result = run_protocol(*protocol, state, rng, config);
+  const EngineResult result = Engine(config).run(*protocol, state, rng);
   EXPECT_TRUE(result.converged);
   EXPECT_TRUE(result.all_satisfied);
   state.check_invariants();
@@ -126,9 +126,9 @@ TEST(Integration, OverloadedInstanceSettlesNearCapacity) {
   ProtocolSpec spec;
   spec.kind = "admission";
   const auto protocol = make_protocol(spec);
-  RunConfig config;
+  EngineConfig config;
   config.max_rounds = 50000;
-  const RunResult result = run_protocol(*protocol, state, rng, config);
+  const EngineResult result = Engine(config).run(*protocol, state, rng);
   EXPECT_TRUE(result.converged);
   EXPECT_FALSE(result.all_satisfied);
   EXPECT_EQ(result.final_satisfied, 24u);
@@ -145,7 +145,7 @@ TEST(Integration, OverloadedBalancedStartIsADeadlockEquilibrium) {
   ProtocolSpec spec;
   spec.kind = "admission";
   const auto protocol = make_protocol(spec);
-  const RunResult result = run_protocol(*protocol, state, rng);
+  const EngineResult result = Engine().run(*protocol, state, rng);
   EXPECT_TRUE(result.converged);
   EXPECT_EQ(result.rounds, 0u);
   EXPECT_EQ(result.final_satisfied, 0u);

@@ -1,0 +1,15 @@
+#pragma once
+
+namespace fx {
+
+class Protocol;
+class State;
+
+// Never opts in to restricted assignment; the registry marks it restricted
+// anyway: the QL009 overstated-entry fixture violation.
+class RBadProtocol : public Protocol {
+ public:
+  void step_users(const State& state, const int* users, int count);
+};
+
+}  // namespace fx

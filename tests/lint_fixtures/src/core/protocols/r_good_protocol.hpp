@@ -1,0 +1,21 @@
+#pragma once
+
+namespace fx {
+
+class Protocol;
+class State;
+
+// Consistent restricted-assignment protocol: marked in the registry, the
+// class returns true, and step_users() draws through the reachable helper.
+class RGoodProtocol : public Protocol {
+ public:
+  bool restricted_assignment_compatible() const { return true; }
+  void step_users(const State& state, const int* users, int count) {
+    for (int i = 0; i < count; ++i) sample_reachable(state, users[i]);
+  }
+
+ private:
+  int sample_reachable(const State& state, int user);
+};
+
+}  // namespace fx

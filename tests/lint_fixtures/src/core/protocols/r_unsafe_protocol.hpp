@@ -1,0 +1,22 @@
+#pragma once
+
+namespace fx {
+
+class Protocol;
+class State;
+
+// Returns true and is marked, but its step_users() samples raw resource ids
+// instead of going through the reachable-set helpers: the QL009 unsafe-draw
+// fixture violation.
+class RUnsafeProtocol : public Protocol {
+ public:
+  bool restricted_assignment_compatible() const { return true; }
+  void step_users(const State& state, const int* users, int count) {
+    for (int i = 0; i < count; ++i) raw_draw(users[i]);
+  }
+
+ private:
+  int raw_draw(int user);
+};
+
+}  // namespace fx

@@ -1,7 +1,9 @@
 // Miniature protocol registry mirroring the real table idiom, for the QL004
-// cross-file contract check. Entries: two consistent ones (one through a
-// delegating builder), one declaring active_set over a class without
-// step_users(), and one understating a class that is active-set capable.
+// and QL009 cross-file contract checks. Entries: two consistent ones (one
+// through a delegating builder), one declaring active_set over a class
+// without step_users(), one understating a class that is active-set capable,
+// and a restricted-assignment trio — overstated, understated, and a marked
+// class whose step_users() skips the reachable-set helpers.
 #include <functional>
 #include <memory>
 #include <string>
@@ -9,6 +11,9 @@
 
 #include "core/protocols/bad_protocol.hpp"
 #include "core/protocols/good_protocol.hpp"
+#include "core/protocols/r_bad_protocol.hpp"
+#include "core/protocols/r_good_protocol.hpp"
+#include "core/protocols/r_unsafe_protocol.hpp"
 
 namespace fx {
 
@@ -48,6 +53,18 @@ const std::vector<Entry>& entries() {
        [](const ProtocolSpec&) { return std::make_unique<BadProtocol>(); }},
       {{"understated", "class is active-set capable, entry says false"},
        [](const ProtocolSpec&) { return std::make_unique<GoodProtocol>(); }},
+      {{"r-good", "consistent restricted entry", /*restricted=*/true},
+       [](const ProtocolSpec&) { return std::make_unique<RGoodProtocol>(); }},
+      {{"r-bad", "marked restricted, class never opts in",
+        /*restricted=*/true},
+       [](const ProtocolSpec&) { return std::make_unique<RBadProtocol>(); }},
+      {{"r-understated", "class opts in, entry says false"},
+       [](const ProtocolSpec&) { return std::make_unique<RGoodProtocol>(); }},
+      {{"r-unsafe", "marked and opted in, but samples raw resource ids",
+        /*restricted=*/true},
+       [](const ProtocolSpec&) {
+         return std::make_unique<RUnsafeProtocol>();
+       }},
   };
   return kEntries;
 }

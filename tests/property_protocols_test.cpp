@@ -18,7 +18,7 @@
 
 #include "core/generators.hpp"
 #include "core/protocols/registry.hpp"
-#include "core/runner.hpp"
+#include "core/engine.hpp"
 #include "core/satisfaction.hpp"
 #include "net/generators.hpp"
 #include "opt/satisfaction.hpp"
@@ -75,9 +75,9 @@ TEST_P(ProtocolGrid, InvariantsHoldEndToEnd) {
     spec.graph = &graph;
     const auto protocol = make_protocol(spec);
 
-    RunConfig config;
+    EngineConfig config;
     config.max_rounds = 5000;  // capped: oscillating cases simply don't converge
-    const RunResult result = run_protocol(*protocol, state, rng, config);
+    const EngineResult result = Engine(config).run(*protocol, state, rng);
 
     // I1 — structural consistency.
     state.check_invariants();

@@ -48,8 +48,9 @@ TEST_P(WeightedGrid, InvariantsHoldEndToEnd) {
                         std::int64_t{0});
 
     const auto protocol = build(grid.protocol);
-    const WeightedRunResult result =
-        run_weighted_protocol(*protocol, state, rng, 20000);
+    EngineConfig config;
+    config.max_rounds = 20000;
+    const EngineResult result = Engine(config).run(*protocol, state, rng);
 
     state.check_invariants();
     const std::int64_t total_after =

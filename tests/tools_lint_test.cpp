@@ -30,6 +30,14 @@ std::vector<Finding> findings_for(const std::string& file) {
   return out;
 }
 
+std::vector<Finding> findings_for(const std::string& file,
+                                  const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : findings_for(file))
+    if (f.rule == rule) out.push_back(f);
+  return out;
+}
+
 std::vector<int> lines_of(const std::vector<Finding>& fs) {
   std::vector<int> lines;
   for (const Finding& f : fs) lines.push_back(f.line);
@@ -41,8 +49,8 @@ TEST(LintRules, RuleTableIsStable) {
   for (const qoslb::lint::RuleInfo& r : qoslb::lint::rules())
     ids.push_back(r.id);
   EXPECT_EQ(ids, (std::vector<std::string>{"QL001", "QL002", "QL003", "QL004",
-                                           "QL005", "QL006", "QL007",
-                                           "QL008"}));
+                                           "QL005", "QL006", "QL007", "QL008",
+                                           "QL009"}));
 }
 
 TEST(LintRules, ExactFixtureHitCounts) {
@@ -55,6 +63,7 @@ TEST(LintRules, ExactFixtureHitCounts) {
       {{"src/core/protocols/iter_bad.cpp", "QL002"}, 3},
       {{"src/core/snapshot_bad.cpp", "QL008"}, 2},
       {{"src/core/protocols/registry.cpp", "QL004"}, 2},
+      {{"src/core/protocols/registry.cpp", "QL009"}, 3},
       {{"src/core/satisfaction_acc.hpp", "QL005"}, 2},
       {{"src/core/wall_clock.cpp", "QL003"}, 3},
       {{"src/orphan.cpp", "QL004"}, 1},
@@ -88,13 +97,26 @@ TEST(LintRules, Ql003FlagsClockEnvAndTimerInclude) {
 
 TEST(LintRules, Ql004CatchesBothRegistryMismatchDirections) {
   const std::vector<Finding> fs =
-      findings_for("src/core/protocols/registry.cpp");
+      findings_for("src/core/protocols/registry.cpp", "QL004");
   ASSERT_EQ(fs.size(), 2u);
   EXPECT_NE(fs[0].message.find("'bad'"), std::string::npos);
   EXPECT_NE(fs[0].message.find("does not define step_users"),
             std::string::npos);
   EXPECT_NE(fs[1].message.find("'understated'"), std::string::npos);
   EXPECT_NE(fs[1].message.find("returns true"), std::string::npos);
+}
+
+TEST(LintRules, Ql009CatchesAllThreeRestrictedContractDirections) {
+  const std::vector<Finding> fs =
+      findings_for("src/core/protocols/registry.cpp", "QL009");
+  ASSERT_EQ(fs.size(), 3u);
+  // Sorted by registry-entry line: r-bad, r-understated, r-unsafe.
+  EXPECT_NE(fs[0].message.find("'r-bad'"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("does not return true"), std::string::npos);
+  EXPECT_NE(fs[1].message.find("'r-understated'"), std::string::npos);
+  EXPECT_NE(fs[1].message.find("returns true"), std::string::npos);
+  EXPECT_NE(fs[2].message.find("'r-unsafe'"), std::string::npos);
+  EXPECT_NE(fs[2].message.find("sample_reachable"), std::string::npos);
 }
 
 TEST(LintRules, Ql004FlagsCMakeOrphans) {

@@ -238,8 +238,14 @@ class UserSetRoundTask : public ShardedRoundTask {
 
   void begin_round(std::size_t num_shards) override {
     snapshot_ = state_->loads();
-    shards_.clear();
+    // Reuse the staging buffers' capacity across rounds: clear the vectors
+    // in place instead of destroying them, so steady-state rounds allocate
+    // nothing in the fan-out path.
     shards_.resize(num_shards);
+    for (MigrationBuffer& shard : shards_) {
+      shard.requests.clear();
+      shard.resource_tallies.clear();
+    }
     shard_counters_.assign(num_shards, Counters{});
   }
 

@@ -69,8 +69,12 @@ struct EngineConfig {
   /// 1 = single worker. With kAuto, threads == 1 keeps the sequential path.
   std::size_t threads = 1;
   /// Users per shard. The shard partition is fixed (independent of the
-  /// thread count), which is what makes sharded results thread-invariant.
-  std::size_t shard_size = 16384;
+  /// thread count), which is what makes sharded results thread-invariant —
+  /// and per-user substreams make the realization independent of this value
+  /// altogether, so it is purely a performance knob. The default keeps a
+  /// shard's SoA working set inside a per-core L2 (see
+  /// ParallelRoundEngine::Options::shard_size).
+  std::size_t shard_size = 8192;
 
   /// Master seed for the sharded path's counter-based substreams and for
   /// async runs. The sharded path additionally folds in one draw from the
@@ -168,13 +172,6 @@ class Engine {
   /// sequential path, so callers use one run() entry point for both models.
   EngineResult run(WeightedProtocol& protocol, WeightedState& state,
                    Xoshiro256& rng) const;
-
-  /// Deprecated alias for the weighted run() overload (one release cycle).
-  [[deprecated("call run(); the engine dispatches on the instance kind")]]
-  EngineResult run_weighted(WeightedProtocol& protocol, WeightedState& state,
-                            Xoshiro256& rng) const {
-    return run(protocol, state, rng);
-  }
 
   /// Asynchronous (DES) admission protocol under this config's seed,
   /// latency, start and fault plan.

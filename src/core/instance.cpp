@@ -39,6 +39,17 @@ Instance::Instance(std::vector<double> capacities,
                     (rates_.num_users() == requirements_.size() &&
                      rates_.num_resources() == capacities_.size()),
                 "rate model dimensions must match the instance");
+  if (identical_ && rates_.is_uniform()) {
+    // threshold(u, r) does not depend on r: precompute the per-user table
+    // with the exact arithmetic of threshold() so lookups are bit-identical.
+    flat_thresholds_.reserve(requirements_.size());
+    const double cap = static_cast<double>(num_users());
+    for (const double inv_q : inv_requirements_) {
+      const double floored =
+          std::floor(capacities_.front() * inv_q + kFloorEpsilon);
+      flat_thresholds_.push_back(static_cast<int>(std::min(floored, cap)));
+    }
+  }
 }
 
 Instance Instance::identical(std::size_t m_resources, double capacity,
@@ -70,6 +81,7 @@ double Instance::quality(UserId u, ResourceId r, int load) const {
 int Instance::threshold(UserId u, ResourceId r) const {
   QOSLB_REQUIRE(u < requirements_.size(), "user out of range");
   QOSLB_REQUIRE(r < capacities_.size(), "resource out of range");
+  if (!flat_thresholds_.empty()) return flat_thresholds_[u];
   double ratio = capacities_[r] * inv_requirements_[u];
   if (!rates_.is_uniform()) {
     const double rate = rates_.rate(u, r);

@@ -57,6 +57,15 @@ class Instance {
   /// thresholds are indistinguishable).
   int threshold(UserId u, ResourceId r) const;
 
+  /// True when threshold(u, r) is independent of r (identical capacities and
+  /// uniform rates — the paper's base model); the values are then the
+  /// precomputed flat_thresholds() table and threshold() is a table lookup.
+  bool flat_thresholds_available() const { return !flat_thresholds_.empty(); }
+
+  /// The per-user threshold table when flat_thresholds_available(); the
+  /// round hot path streams this instead of calling threshold() per probe.
+  std::span<const int> flat_thresholds() const { return flat_thresholds_; }
+
   /// True if every resource has the same capacity (enables the O(n+m)
   /// equilibrium fast path — which additionally needs uniform_rates()).
   bool identical_capacities() const { return identical_; }
@@ -79,6 +88,7 @@ class Instance {
   std::vector<double> capacities_;
   std::vector<double> requirements_;
   std::vector<double> inv_requirements_;  // 1/q_u, precomputed for threshold()
+  std::vector<int> flat_thresholds_;      // threshold(u, ·) when r-independent
   RateModel rates_;
   bool identical_ = true;
 };

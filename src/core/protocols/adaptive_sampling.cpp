@@ -59,11 +59,9 @@ void AdaptiveSampling::step_users(const State& state,
   if (out.resource_tallies.size() != state.num_resources())
     out.resource_tallies.assign(state.num_resources(), 0);
 
-  for (std::size_t i = 0; i < count; ++i) {
-    const UserId u = users[i];
-    const ResourceId current = state.resource_of(u);
-    if (snapshot[current] <= instance.threshold(u, current)) continue;
-
+  const ResourceId* assignment = state.assignment().data();
+  for (const UserId u : unsatisfied_prefilter(state, snapshot, users, count)) {
+    const ResourceId current = assignment[u];
     PhiloxEngine rng = streams.user_stream(u);
     ResourceId best = kNoResource;
     double best_quality = 0.0;

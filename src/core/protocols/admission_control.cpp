@@ -20,11 +20,9 @@ void AdmissionControl::step_users(const State& state,
                                   MigrationBuffer& out, const RoundRng& streams,
                                   Counters& counters) {
   const Instance& instance = state.instance();
-  for (std::size_t i = 0; i < count; ++i) {
-    const UserId u = users[i];
-    const ResourceId current = state.resource_of(u);
-    if (snapshot[current] <= instance.threshold(u, current)) continue;
-
+  const ResourceId* assignment = state.assignment().data();
+  for (const UserId u : unsatisfied_prefilter(state, snapshot, users, count)) {
+    const ResourceId current = assignment[u];
     PhiloxEngine rng = streams.user_stream(u);
     ResourceId best = kNoResource;
     double best_quality = 0.0;
@@ -46,14 +44,8 @@ void AdmissionControl::step_users(const State& state,
 void AdmissionControl::commit_round(State& state,
                                     std::vector<MigrationBuffer>& shards,
                                     Counters& counters) {
-  std::size_t total = 0;
-  for (const MigrationBuffer& shard : shards) total += shard.requests.size();
-  std::vector<MigrationRequest> requests;
-  requests.reserve(total);
-  for (const MigrationBuffer& shard : shards)
-    requests.insert(requests.end(), shard.requests.begin(),
-                    shard.requests.end());
-  apply_with_admission(state, requests, counters);
+  merge_shard_requests(shards, merge_scratch_);
+  apply_with_admission(state, merge_scratch_, counters);
 }
 
 }  // namespace qoslb

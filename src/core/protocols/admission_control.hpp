@@ -34,6 +34,9 @@ class AdmissionControl : public Protocol {
 
  private:
   int probes_;
+  /// Commit-phase merge scratch, capacity reused across rounds (commit is
+  /// always sequential, so a member is race-free).
+  std::vector<MigrationRequest> merge_scratch_;
 };
 
 }  // namespace qoslb

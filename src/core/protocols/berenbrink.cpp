@@ -14,9 +14,13 @@ void BerenbrinkBalancing::step_users(const State& state,
                                      const RoundRng& streams,
                                      Counters& counters) {
   const Instance& instance = state.instance();
+  // QoS-oblivious: every user probes every round (no unsatisfied prefilter —
+  // the protocol is not active_set_compatible), so the loop streams the raw
+  // assignment array directly.
+  const ResourceId* assignment = state.assignment().data();
   for (std::size_t i = 0; i < count; ++i) {
     const UserId u = users[i];
-    const ResourceId current = state.resource_of(u);
+    const ResourceId current = assignment[u];
     PhiloxEngine rng = streams.user_stream(u);
     const ResourceId r = sample_reachable(state, u, rng);
     ++counters.probes;

@@ -2,7 +2,34 @@
 
 #include <algorithm>
 
+#include "core/satisfaction_scan.hpp"
+
 namespace qoslb {
+
+std::span<const UserId> unsatisfied_prefilter(
+    const State& state, const std::vector<int>& load_snapshot,
+    const UserId* users, std::size_t count) {
+  thread_local std::vector<UserId> scratch;
+  if (scratch.size() < count) scratch.resize(count);
+  const std::size_t written = collect_unsatisfied(
+      state.assignment().data(), state.current_thresholds().data(),
+      load_snapshot.data(), users, count, scratch.data());
+  return {scratch.data(), written};
+}
+
+void merge_shard_requests(const std::vector<MigrationBuffer>& shards,
+                          std::vector<MigrationRequest>& out) {
+  std::size_t total = 0;
+  for (const MigrationBuffer& shard : shards) total += shard.requests.size();
+  out.clear();
+  out.resize(total);
+  std::size_t offset = 0;  // exclusive prefix sum of shard sizes
+  for (const MigrationBuffer& shard : shards) {
+    std::copy(shard.requests.begin(), shard.requests.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(offset));
+    offset += shard.requests.size();
+  }
+}
 
 void apply_all(State& state, const std::vector<MigrationRequest>& requests,
                Counters& counters) {

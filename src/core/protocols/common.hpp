@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -39,6 +40,28 @@ inline bool reachable_target(const State& state, UserId u, ResourceId r) {
   if (!state.resource_live(r)) return false;
   return !state.instance().restricted() || state.instance().rate(u, r) > 0.0;
 }
+
+/// Filters `users[0..count)` down to the users unsatisfied against the
+/// round-boundary `load_snapshot`, preserving ascending input order, via the
+/// branchless SoA scan (core/satisfaction_scan.hpp). This hoists the
+/// per-user "satisfied -> neither act nor draw" branch out of the decision
+/// loop: the survivors are exactly the users the historical
+///     if (snapshot[current] <= threshold(u, current)) continue;
+/// prefilter would have reached, so draws and request-append order are
+/// bit-identical. Returns a view into thread-local scratch — valid until the
+/// calling thread's next prefilter (each engine shard runs on one thread, so
+/// shard-concurrent rounds are safe).
+std::span<const UserId> unsatisfied_prefilter(
+    const State& state, const std::vector<int>& load_snapshot,
+    const UserId* users, std::size_t count);
+
+/// Merges one round's shard buffers into `out` in shard order — bit-identical
+/// to sequential concatenation, hence independent of which worker ran which
+/// shard. Two passes: size the destination by an exclusive prefix sum of the
+/// shard sizes, then copy each shard into its slot. `out` is caller-owned
+/// scratch (cleared here, capacity reused across rounds).
+void merge_shard_requests(const std::vector<MigrationBuffer>& shards,
+                          std::vector<MigrationRequest>& out);
 
 /// Applies optimistic (ungated) migrations; every request is executed.
 void apply_all(State& state, const std::vector<MigrationRequest>& requests,

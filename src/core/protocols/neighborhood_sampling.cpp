@@ -34,10 +34,9 @@ void NeighborhoodSampling::step_users(const State& state,
   const Instance& instance = state.instance();
   QOSLB_REQUIRE(graph_->num_vertices() == state.num_resources(),
                 "resource graph size mismatch");
-  for (std::size_t i = 0; i < count; ++i) {
-    const UserId u = users[i];
-    const ResourceId current = state.resource_of(u);
-    if (snapshot[current] <= instance.threshold(u, current)) continue;
+  const ResourceId* assignment = state.assignment().data();
+  for (const UserId u : unsatisfied_prefilter(state, snapshot, users, count)) {
+    const ResourceId current = assignment[u];
     const auto neighbors = graph_->neighbors(current);
     if (neighbors.empty()) continue;
 
@@ -68,14 +67,8 @@ void NeighborhoodSampling::commit_round(State& state,
                                         std::vector<MigrationBuffer>& shards,
                                         Counters& counters) {
   if (commit_ == Commit::kAdmission) {
-    std::size_t total = 0;
-    for (const MigrationBuffer& shard : shards) total += shard.requests.size();
-    std::vector<MigrationRequest> requests;
-    requests.reserve(total);
-    for (const MigrationBuffer& shard : shards)
-      requests.insert(requests.end(), shard.requests.begin(),
-                      shard.requests.end());
-    apply_with_admission(state, requests, counters);
+    merge_shard_requests(shards, merge_scratch_);
+    apply_with_admission(state, merge_scratch_, counters);
     return;
   }
   for (MigrationBuffer& shard : shards) apply_all(state, shard.requests, counters);

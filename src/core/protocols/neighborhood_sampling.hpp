@@ -43,6 +43,8 @@ class NeighborhoodSampling : public Protocol {
   Commit commit_;
   double migrate_prob_;
   int probes_;
+  /// Commit-phase merge scratch (admission variant), reused across rounds.
+  std::vector<MigrationRequest> merge_scratch_;
 };
 
 }  // namespace qoslb

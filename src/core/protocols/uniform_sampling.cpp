@@ -28,11 +28,12 @@ void UniformSampling::step_users(const State& state,
                                  MigrationBuffer& out, const RoundRng& streams,
                                  Counters& counters) {
   const Instance& instance = state.instance();
-  for (std::size_t i = 0; i < count; ++i) {
-    const UserId u = users[i];
-    const ResourceId current = state.resource_of(u);
-    if (snapshot[current] <= instance.threshold(u, current)) continue;  // satisfied
-
+  const ResourceId* assignment = state.assignment().data();
+  // Branchless SoA pass first, probe loop only over the survivors — the
+  // per-user draws and append order match the historical inline prefilter
+  // bit-for-bit (unsatisfied_prefilter contract).
+  for (const UserId u : unsatisfied_prefilter(state, snapshot, users, count)) {
+    const ResourceId current = assignment[u];
     PhiloxEngine rng = streams.user_stream(u);
     ResourceId best = kNoResource;
     double best_quality = 0.0;

@@ -50,6 +50,20 @@ class SatisfactionIndex {
     }
   }
 
+  /// Structure-of-arrays rebuild: the host state hands its contiguous
+  /// assignment / cached-threshold / load arrays directly (State's SoA
+  /// layout, docs/performance.md), so the build streams three flat arrays
+  /// instead of bouncing through per-user callbacks. Equivalent to the
+  /// callback overload by construction.
+  void rebuild(std::size_t num_users, std::size_t num_resources,
+               const ResourceId* resource_of, const Load* threshold_of,
+               const Load* load_of) {
+    rebuild(
+        num_users, num_resources, [&](UserId u) { return resource_of[u]; },
+        [&](UserId u) { return threshold_of[u]; },
+        [&](ResourceId r) { return load_of[r]; });
+  }
+
   /// Reflects a committed move of `u` from `src` to `dst` (src != dst) —
   /// call *after* the host state updated its loads. `*_load_after` are the
   /// post-move loads and `delta` the load shift (1 in the unit model, u's

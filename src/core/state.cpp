@@ -1,7 +1,9 @@
 #include "core/state.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "core/satisfaction_scan.hpp"
 #include "rng/distributions.hpp"
 #include "util/check.hpp"
 
@@ -19,6 +21,9 @@ State::State(const Instance& instance, std::vector<ResourceId> assignment)
                   "assignment places a user on an unreachable resource");
     ++loads_[r];
   }
+  current_thresholds_.resize(assignment_.size());
+  for (UserId u = 0; u < assignment_.size(); ++u)
+    current_thresholds_[u] = instance.threshold(u, assignment_[u]);
   live_.assign(instance.num_resources(), 1);
   live_list_.resize(instance.num_resources());
   for (ResourceId r = 0; r < live_list_.size(); ++r) live_list_[r] = r;
@@ -118,19 +123,26 @@ void State::move(UserId u, ResourceId r) {
   --loads_[old];
   ++loads_[r];
   assignment_[u] = r;
+  // The cached source threshold is bit-identical to a recompute (it was
+  // produced by the same instance call when u arrived on `old`), so reusing
+  // it halves the threshold work per move.
+  const int threshold_on_old = current_thresholds_[u];
+  const int threshold_on_new = instance_->threshold(u, r);
+  current_thresholds_[u] = threshold_on_new;
   if (index_)
-    index_->on_move(u, old, instance_->threshold(u, old), r,
-                    instance_->threshold(u, r), loads_[old], loads_[r],
+    index_->on_move(u, old, threshold_on_old, r, threshold_on_new,
+                    loads_[old], loads_[r],
                     /*delta=*/1);
 }
 
 void State::enable_satisfaction_tracking() {
   if (index_) return;
   index_.emplace();
-  index_->rebuild(
-      num_users(), num_resources(), [&](UserId u) { return assignment_[u]; },
-      [&](UserId u) { return instance_->threshold(u, assignment_[u]); },
-      [&](ResourceId r) { return loads_[r]; });
+  // const pointers select the SoA (non-template) rebuild overload.
+  index_->rebuild(num_users(), num_resources(),
+                  std::as_const(assignment_).data(),
+                  std::as_const(current_thresholds_).data(),
+                  std::as_const(loads_).data());
 }
 
 const std::vector<UserId>& State::unsatisfied_view() const {
@@ -145,16 +157,14 @@ double State::quality_of(UserId u) const {
 }
 
 bool State::satisfied(UserId u) const {
-  const ResourceId r = resource_of(u);
-  return loads_[r] <= instance_->threshold(u, r);
+  QOSLB_REQUIRE(u < assignment_.size(), "user out of range");
+  return loads_[assignment_[u]] <= current_thresholds_[u];
 }
 
 std::size_t State::count_satisfied() const {
   if (index_) return index_->satisfied_count();
-  std::size_t count = 0;
-  for (UserId u = 0; u < assignment_.size(); ++u)
-    if (satisfied(u)) ++count;
-  return count;
+  return count_satisfied_dense(assignment_.data(), current_thresholds_.data(),
+                               loads_.data(), assignment_.size());
 }
 
 int State::max_load() const {
@@ -172,6 +182,10 @@ void State::check_invariants() const {
     ++expected[r];
   }
   QOSLB_CHECK(expected == loads_, "cached loads diverged from assignment");
+  for (UserId u = 0; u < assignment_.size(); ++u)
+    QOSLB_CHECK(current_thresholds_[u] ==
+                    instance_->threshold(u, assignment_[u]),
+                "cached current-resource threshold diverged from recompute");
   std::vector<ResourceId> live_expected;
   for (ResourceId r = 0; r < live_.size(); ++r)
     if (live_[r] != 0) live_expected.push_back(r);

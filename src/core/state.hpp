@@ -13,6 +13,18 @@ namespace qoslb {
 /// A complete assignment of users to resources plus the derived load vector.
 /// Holds a non-owning reference to its Instance (which must outlive it).
 /// move() maintains the loads incrementally in O(1).
+///
+/// The storage is structure-of-arrays (docs/performance.md): three parallel
+/// contiguous arrays — `assignment_[u]`, `loads_[r]`, and
+/// `current_thresholds_[u]` (user u's threshold on its *current* resource,
+/// maintained by move()) — so the satisfaction predicate is one branchless
+/// comparison over streamed memory,
+///
+///     satisfied(u)  <=>  loads_[assignment_[u]] <= current_thresholds_[u],
+///
+/// and whole-population checks vectorize (core/satisfaction_scan.hpp). The
+/// raw views below hand these arrays to the round hot path; they are
+/// read-only and valid until the next mutating call.
 class State {
  public:
   State(const Instance& instance, std::vector<ResourceId> assignment);
@@ -38,6 +50,16 @@ class State {
   ResourceId resource_of(UserId u) const;
   int load(ResourceId r) const;
   const std::vector<int>& loads() const { return loads_; }
+
+  /// SoA views for the round hot path: the full assignment array and the
+  /// per-user cached threshold-on-current-resource array (always equal to
+  /// instance().threshold(u, resource_of(u)); check_invariants() audits the
+  /// cache). Unlike resource_of(), reads through these views skip the
+  /// per-call range check — callers iterate [0, num_users()).
+  const std::vector<ResourceId>& assignment() const { return assignment_; }
+  const std::vector<int>& current_thresholds() const {
+    return current_thresholds_;
+  }
 
   /// Resource liveness (mid-run churn, docs/faults.md). Every resource
   /// starts live; a dead resource stays in the load vector (id-stable) but
@@ -91,6 +113,7 @@ class State {
   const Instance* instance_;
   std::vector<ResourceId> assignment_;
   std::vector<int> loads_;
+  std::vector<int> current_thresholds_;  // threshold(u, assignment_[u])
   std::vector<std::uint8_t> live_;
   std::vector<ResourceId> live_list_;  // live ids, ascending
   std::optional<SatisfactionIndex<int>> index_;

@@ -11,7 +11,7 @@ namespace qoslb {
 ParallelRoundEngine::ParallelRoundEngine(Options options) : options_(options) {
   QOSLB_REQUIRE(options_.shard_size >= 1, "shard_size must be positive");
   if (options_.threads != 1)
-    pool_ = std::make_unique<ThreadPool>(options_.threads);
+    pool_ = std::make_unique<RoundWorkerPool>(options_.threads);
 }
 
 ParallelRoundEngine::~ParallelRoundEngine() = default;
@@ -38,7 +38,7 @@ void ParallelRoundEngine::round(ShardedRoundTask& task, std::size_t num_items,
     task.decide(s, begin, end, rng);
   };
   if (pool_) {
-    pool_->parallel_for(shards, run_shard);
+    pool_->run(shards, run_shard);
   } else {
     for (std::size_t s = 0; s < shards; ++s) run_shard(s);
   }
@@ -56,7 +56,7 @@ std::uint64_t ParallelRoundEngine::map_reduce(
     partial[s] = body(begin, end);
   };
   if (pool_) {
-    pool_->parallel_for(shards, run_shard);
+    pool_->run(shards, run_shard);
   } else {
     for (std::size_t s = 0; s < shards; ++s) run_shard(s);
   }

@@ -6,7 +6,7 @@
 #include <memory>
 
 #include "rng/philox.hpp"
-#include "util/thread_pool.hpp"
+#include "sim/worker_pool.hpp"
 
 namespace qoslb {
 
@@ -49,14 +49,24 @@ class ShardedRoundTask {
 /// execute shards; since no shard reads another shard's output and commit()
 /// consumes the buffers in shard order, the results are bit-identical for
 /// every thread count, including the inline serial path.
+///
+/// The fan-out runs on a persistent RoundWorkerPool (sim/worker_pool.hpp):
+/// workers are spawned once and parked on a condition variable between
+/// rounds, so a round's dispatch cost is one mutex-protected publication
+/// plus lock-free shard claims — not a per-round thread spawn or a
+/// per-shard queue transaction (docs/performance.md).
 class ParallelRoundEngine {
  public:
   struct Options {
     /// Worker threads: 0 = hardware concurrency, 1 = inline serial (no pool).
     std::size_t threads = 0;
     /// Items per shard. Fixed so the RNG substream assignment — and hence
-    /// the result — is invariant under the thread count.
-    std::size_t shard_size = 16384;
+    /// the result — is invariant under the thread count. The default keeps
+    /// a shard's working set (assignment + threshold arrays plus its slice
+    /// of the load snapshot) comfortably inside a per-core L2 while leaving
+    /// >= 8 shards of claimable work per million users; results do not
+    /// depend on it (per-user substreams), so it is a pure tuning knob.
+    std::size_t shard_size = 8192;
     /// Master seed the per-(round, shard) substream keys derive from.
     std::uint64_t seed = 1;
   };
@@ -67,7 +77,7 @@ class ParallelRoundEngine {
   ParallelRoundEngine(const ParallelRoundEngine&) = delete;
   ParallelRoundEngine& operator=(const ParallelRoundEngine&) = delete;
 
-  std::size_t threads() const { return pool_ ? pool_->size() : 1; }
+  std::size_t threads() const { return pool_ ? pool_->participants() : 1; }
   std::size_t num_shards(std::size_t num_items) const;
 
   /// Executes one round of `task` over `num_items` items: begin_round, the
@@ -90,7 +100,7 @@ class ParallelRoundEngine {
 
  private:
   Options options_;
-  std::unique_ptr<ThreadPool> pool_;  // null for the inline serial path
+  std::unique_ptr<RoundWorkerPool> pool_;  // null for the inline serial path
 };
 
 }  // namespace qoslb

@@ -1,0 +1,77 @@
+#include "sim/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace qoslb {
+
+RoundWorkerPool::RoundWorkerPool(std::size_t participants) {
+  if (participants == 0)
+    participants = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(participants - 1);
+  for (std::size_t i = 0; i + 1 < participants; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+RoundWorkerPool::~RoundWorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void RoundWorkerPool::run(std::size_t count,
+                          const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    count_ = count;
+    first_error_ = nullptr;
+    working_ = participants();
+    next_.store(0, std::memory_order_relaxed);
+    ++epoch_;
+  }
+  start_.notify_all();
+  work_batch();  // the caller is a participant too
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return working_ == 0; });
+  body_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void RoundWorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_.wait(lock, [&] { return stopping_ || epoch_ != seen; });
+      if (stopping_) return;
+      seen = epoch_;
+    }
+    work_batch();
+  }
+}
+
+void RoundWorkerPool::work_batch() {
+  const std::function<void(std::size_t)>* body = body_;
+  const std::size_t count = count_;
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) break;
+    try {
+      (*body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+      // Abandon the rest of the batch: park the cursor past the end so no
+      // participant claims further indices.
+      next_.store(count, std::memory_order_relaxed);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (--working_ == 0) done_.notify_all();
+}
+
+}  // namespace qoslb

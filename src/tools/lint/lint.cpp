@@ -714,6 +714,36 @@ void rule_ql007(const SourceFile& f, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// QL010 — thread spawning inside the simulation core
+// ---------------------------------------------------------------------------
+
+void rule_ql010(const SourceFile& f, std::vector<Finding>& out) {
+  if (!starts_with(f.rel, "src/core/") && !starts_with(f.rel, "src/sim/"))
+    return;
+  // The persistent pool is the single sanctioned spawn site: it creates its
+  // workers once and parks them between rounds, which is exactly the
+  // per-round spawn cost this rule exists to keep out of the round loop.
+  const std::string base = fs::path(f.rel).filename().string();
+  if (starts_with(base, "worker_pool.")) return;
+  // `std::thread` followed by `::` is a static member access
+  // (std::thread::hardware_concurrency, std::thread::id) — reading those is
+  // fine; constructing a thread is not. `std::this_thread` never matches
+  // (the literal is `std::thread`).
+  static const std::vector<Pattern> kBanned = {
+      {std::regex(R"(\bstd::thread\b(?!\s*::))"), "std::thread construction"},
+      {std::regex(R"(\bstd::jthread\b)"), "std::jthread"},
+      {std::regex(R"(\bstd::async\b)"), "std::async"},
+      {std::regex(R"(\bpthread_create\b)"), "pthread_create"},
+  };
+  scan_patterns(f, kBanned, "QL010",
+                " in the simulation core — per-round code must hand work to "
+                "the persistent RoundWorkerPool (sim/worker_pool.hpp); "
+                "spawning threads per round is the dispatch overhead the "
+                "pool exists to eliminate",
+                out);
+}
+
+// ---------------------------------------------------------------------------
 // QL008 — snapshot serializer/deserializer field-list contract
 // ---------------------------------------------------------------------------
 
@@ -913,6 +943,10 @@ const std::vector<RuleInfo>& rules() {
        "classes whose restricted_assignment_compatible() returns true (and "
        "vice versa), and restricted step_users() protocols must sample via "
        "sample_reachable()/reachable_target()"},
+      {"QL010",
+       "thread spawning (std::thread construction, std::jthread, std::async, "
+       "pthread_create) in src/core/ or src/sim/ outside "
+       "sim/worker_pool.* — rounds must run on the persistent worker pool"},
   };
   return kRules;
 }
@@ -931,6 +965,7 @@ std::vector<Finding> run(const Options& options) {
     rule_ql005(f, findings);
     rule_ql007(f, findings);
     rule_ql008(f, findings);
+    rule_ql010(f, findings);
   }
   rule_ql004_registry(files, findings);
   rule_ql004_cmake(root, files, cmake_lists, findings);

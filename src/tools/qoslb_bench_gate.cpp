@@ -1,0 +1,187 @@
+// qoslb-bench-gate — the CI bench-smoke regression gate.
+//
+// Reads the checked-in floor table (bench/floors.json) and one or more
+// BENCH_*.json artifacts, and fails (exit 1) when any gated bench row
+// regresses below its floor — or when a floor's matching row is missing
+// entirely, so silently dropping a bench row can never pass CI.
+//
+// Usage:
+//   qoslb-bench-gate --floors bench/floors.json BENCH_parallel.json ...
+//
+// floors.json schema — one object with a "floors" array; each entry:
+//   {
+//     "file":  "BENCH_parallel.json",     // artifact basename it gates
+//     "match": {"mode": "sharded", "threads": 2},   // row selector (AND)
+//     "min":   {"users_per_sec": 2.0e6, "speedup_vs_t1": 1.0},  // floors
+//     "when_hardware_threads_at_least": 2  // optional: skip the check on
+//   }                                      // hosts with fewer cores
+//
+// Matching rows whose own hardware_threads field is below the
+// when_hardware_threads_at_least bound are reported as skipped, not failed —
+// a 1-core CI runner cannot demonstrate multithread speedup, but the floors
+// stay armed for hosts that can. A floor whose file was not supplied on the
+// command line is also a failure: the gate list and the CI invocation must
+// agree.
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace {
+
+using qoslb::json::Value;
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// True when the row's field equals the selector value (number or string).
+bool field_matches(const Value& row, const std::string& key,
+                   const Value& wanted) {
+  const Value* have = row.find(key);
+  if (have == nullptr) return false;
+  if (wanted.is_string())
+    return have->is_string() && have->as_string() == wanted.as_string();
+  if (wanted.is_number())
+    return have->is_number() && have->as_number() == wanted.as_number();
+  return false;
+}
+
+std::string describe_match(const Value& match) {
+  std::string out;
+  for (const auto& [key, value] : match.members()) {
+    if (!out.empty()) out += ", ";
+    out += key + "=";
+    out += value.is_string() ? value.as_string()
+                             : std::to_string(value.as_number());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string floors_path;
+  std::vector<std::string> bench_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--floors" && i + 1 < argc) {
+      floors_path = argv[++i];
+    } else if (arg.rfind("--floors=", 0) == 0) {
+      floors_path = arg.substr(9);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: qoslb-bench-gate --floors floors.json "
+                   "BENCH_a.json [BENCH_b.json ...]\n";
+      return 0;
+    } else {
+      bench_paths.push_back(arg);
+    }
+  }
+  if (floors_path.empty() || bench_paths.empty()) {
+    std::cerr << "usage: qoslb-bench-gate --floors floors.json "
+                 "BENCH_a.json [BENCH_b.json ...]\n";
+    return 2;
+  }
+
+  int failures = 0;
+  try {
+    const Value floors_doc = qoslb::json::parse_file(floors_path);
+    const Value* floors = floors_doc.find("floors");
+    if (floors == nullptr || !floors->is_array()) {
+      std::cerr << floors_path << ": no \"floors\" array\n";
+      return 2;
+    }
+
+    // Artifact basename -> parsed rows array.
+    std::map<std::string, Value> artifacts;
+    for (const std::string& path : bench_paths) {
+      const Value doc = qoslb::json::parse_file(path);
+      const Value* rows = doc.find("rows");
+      if (rows == nullptr || !rows->is_array()) {
+        std::cerr << path << ": no \"rows\" array\n";
+        return 2;
+      }
+      artifacts.emplace(basename_of(path), *rows);
+    }
+
+    std::size_t checked = 0, skipped = 0;
+    for (const Value& floor : floors->items()) {
+      const Value* file = floor.find("file");
+      const Value* match = floor.find("match");
+      const Value* min = floor.find("min");
+      if (file == nullptr || match == nullptr || min == nullptr) {
+        std::cerr << floors_path
+                  << ": floor entry needs file/match/min fields\n";
+        return 2;
+      }
+      const auto artifact = artifacts.find(file->as_string());
+      if (artifact == artifacts.end()) {
+        std::cerr << "FAIL: floor for " << file->as_string() << " ("
+                  << describe_match(*match)
+                  << ") — artifact not supplied to the gate\n";
+        ++failures;
+        continue;
+      }
+
+      double hw_bound = 0.0;
+      if (const Value* bound = floor.find("when_hardware_threads_at_least"))
+        hw_bound = bound->as_number();
+
+      bool found_row = false;
+      for (const Value& row : artifact->second.items()) {
+        bool selected = true;
+        for (const auto& [key, wanted] : match->members())
+          selected = selected && field_matches(row, key, wanted);
+        if (!selected) continue;
+        found_row = true;
+
+        if (hw_bound > 0.0) {
+          const Value* hw = row.find("hardware_threads");
+          if (hw != nullptr && hw->as_number() < hw_bound) {
+            std::cout << "skip: " << file->as_string() << " ("
+                      << describe_match(*match) << ") — host has "
+                      << hw->as_number() << " hardware threads, floor needs "
+                      << hw_bound << "\n";
+            ++skipped;
+            continue;
+          }
+        }
+
+        for (const auto& [metric, floor_value] : min->members()) {
+          const Value* have = row.find(metric);
+          if (have == nullptr || !have->is_number()) {
+            std::cerr << "FAIL: " << file->as_string() << " ("
+                      << describe_match(*match) << ") row has no numeric \""
+                      << metric << "\" field\n";
+            ++failures;
+            continue;
+          }
+          ++checked;
+          if (have->as_number() < floor_value.as_number()) {
+            std::cerr << "FAIL: " << file->as_string() << " ("
+                      << describe_match(*match) << ") " << metric << " = "
+                      << have->as_number() << " < floor "
+                      << floor_value.as_number() << "\n";
+            ++failures;
+          }
+        }
+      }
+      if (!found_row) {
+        std::cerr << "FAIL: " << file->as_string() << " ("
+                  << describe_match(*match)
+                  << ") — no bench row matches this floor\n";
+        ++failures;
+      }
+    }
+    std::cout << "bench-gate: " << checked << " floor checks, " << skipped
+              << " skipped (hardware), " << failures << " failures\n";
+  } catch (const std::exception& error) {
+    std::cerr << "bench-gate: " << error.what() << "\n";
+    return 2;
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,26 @@
+// QL010 fixture: per-round thread spawning inside src/sim/ — a std::thread
+// construction, a std::jthread, a std::async dispatch, and a raw
+// pthread_create must each be flagged; the std::thread::hardware_concurrency
+// member read must not. Never compiled.
+#include <future>
+#include <pthread.h>
+#include <thread>
+
+namespace fx {
+
+unsigned probe_width() {
+  return std::thread::hardware_concurrency();
+}
+
+void run_round_with_fresh_threads() {
+  std::thread worker([] {});
+  std::jthread scoped([] {});
+  auto pending = std::async([] { return 1; });
+  pthread_t raw;
+  pthread_create(&raw, nullptr, nullptr, nullptr);
+  worker.join();
+  (void)pending;
+  (void)raw;
+}
+
+}  // namespace fx

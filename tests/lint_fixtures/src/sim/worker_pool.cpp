@@ -1,0 +1,13 @@
+// QL010 exemption fixture: sim/worker_pool.* is the single sanctioned spawn
+// site — the same std::thread construction that is banned everywhere else in
+// the simulation core yields no findings here. Never compiled.
+#include <thread>
+
+namespace fx {
+
+void spawn_persistent_worker() {
+  std::thread worker([] {});
+  worker.detach();
+}
+
+}  // namespace fx

@@ -50,7 +50,7 @@ TEST(LintRules, RuleTableIsStable) {
     ids.push_back(r.id);
   EXPECT_EQ(ids, (std::vector<std::string>{"QL001", "QL002", "QL003", "QL004",
                                            "QL005", "QL006", "QL007", "QL008",
-                                           "QL009"}));
+                                           "QL009", "QL010"}));
 }
 
 TEST(LintRules, ExactFixtureHitCounts) {
@@ -68,6 +68,7 @@ TEST(LintRules, ExactFixtureHitCounts) {
       {{"src/core/wall_clock.cpp", "QL003"}, 3},
       {{"src/orphan.cpp", "QL004"}, 1},
       {{"src/sim/steady_clock_bad.cpp", "QL007"}, 2},
+      {{"src/sim/thread_spawn_bad.cpp", "QL010"}, 4},
   };
   EXPECT_EQ(counts, expected);
 }
@@ -153,6 +154,25 @@ TEST(LintRules, Ql008FlagsBothContractDirections) {
   EXPECT_EQ(fs[1].line, 21);
   EXPECT_NE(fs[1].message.find("'gamma'"), std::string::npos);
   EXPECT_NE(fs[1].message.find("never written"), std::string::npos);
+}
+
+TEST(LintRules, Ql010FlagsEverySpawnPrimitiveButNotMemberReads) {
+  const std::vector<Finding> fs = findings_for("src/sim/thread_spawn_bad.cpp");
+  // One hit per spawn line; the std::thread::hardware_concurrency() read on
+  // line 12 must not appear.
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{16, 17, 18, 20}));
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "QL010");
+  EXPECT_NE(fs[0].message.find("std::thread construction"), std::string::npos);
+  EXPECT_NE(fs[1].message.find("std::jthread"), std::string::npos);
+  EXPECT_NE(fs[2].message.find("std::async"), std::string::npos);
+  EXPECT_NE(fs[3].message.find("pthread_create"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("RoundWorkerPool"), std::string::npos);
+}
+
+TEST(LintScope, Ql010ExemptsTheWorkerPoolItself) {
+  // sim/worker_pool.* is the sanctioned spawn site: the same construction
+  // that fires four findings above yields none here.
+  EXPECT_TRUE(findings_for("src/sim/worker_pool.cpp").empty());
 }
 
 TEST(LintSuppressions, SameLineAllowSilencesTheFinding) {

@@ -10,7 +10,7 @@
 #include "bench_common.hpp"
 #include "bench_json.hpp"
 #include "core/async/async_protocols.hpp"
-#include "util/timer.hpp"
+#include "obs/clock.hpp"
 
 using namespace qoslb;
 using namespace qoslb::bench;
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
       const auto protocol = make_protocol(spec);
       EngineConfig config;
       config.max_rounds = 1u << 16;
-      Stopwatch watch;
+      obs::Stopwatch watch;
       const EngineResult result = Engine(config).run(*protocol, state, rng);
       const double seconds = watch.seconds();
       units = result.rounds * static_cast<std::uint64_t>(n);
@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
       EngineConfig config;
       config.seed = common.seed + rep;
       config.random_start = false;
-      Stopwatch watch;
+      obs::Stopwatch watch;
       const EngineResult result = Engine(config).run_async_admission(instance);
       const double seconds = watch.seconds();
       units = result.events;

@@ -10,7 +10,7 @@
 
 #include "bench_common.hpp"
 #include "core/parallel/parallel_sampling.hpp"
-#include "util/timer.hpp"
+#include "obs/clock.hpp"
 
 using namespace qoslb;
 using namespace qoslb::bench;
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
       Xoshiro256 unused(1);
       EngineConfig config;
       config.max_rounds = 100000;
-      Stopwatch watch;
+      obs::Stopwatch watch;
       const EngineResult result = Engine(config).run(protocol, state, unused);
       best_seconds = std::min(best_seconds, watch.seconds());
       rounds = result.rounds;

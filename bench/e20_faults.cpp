@@ -28,7 +28,7 @@
 #include "core/engine.hpp"
 #include "core/protocols/registry.hpp"
 #include "rng/splitmix64.hpp"
-#include "util/timer.hpp"
+#include "obs/clock.hpp"
 
 using namespace qoslb;
 using namespace qoslb::bench;
@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
     for (const int crashes : crash_counts) {
       RunningStat satisfied, quiesced, vtime, events, messages, retries,
           timeouts, faults;
-      Stopwatch cell_watch;
+      obs::Stopwatch cell_watch;
       for (std::size_t rep = 0; rep < common.reps; ++rep) {
         Xoshiro256 rng(derive_seed(common.seed, rep));
         const Instance instance =
@@ -134,7 +134,7 @@ int main(int argc, char** argv) {
             << ", recover@" << recover_round << ")\n";
   for (const auto& [kind, lambda] : churn_protocols) {
     RunningStat evicted, dip_depth, recovery_rounds, rounds, converged;
-    Stopwatch cell_watch;
+    obs::Stopwatch cell_watch;
     for (std::size_t rep = 0; rep < common.reps; ++rep) {
       Xoshiro256 rng(derive_seed(common.seed, 2000 + rep));
       const Instance instance =

@@ -28,7 +28,7 @@
 
 #include "bench_common.hpp"
 #include "bench_json.hpp"
-#include "util/timer.hpp"
+#include "obs/clock.hpp"
 
 using namespace qoslb;
 using namespace qoslb::bench;
@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
     config.execution = execution;
     config.threads = threads;
     Xoshiro256 rng(common.seed);
-    Stopwatch watch;
+    obs::Stopwatch watch;
     const EngineResult result = Engine(config).run(*protocol, state, rng);
     seconds = watch.seconds();
     rounds = result.rounds;

@@ -37,7 +37,7 @@
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_sink.hpp"
-#include "util/timer.hpp"
+#include "obs/clock.hpp"
 
 using namespace qoslb;
 using namespace qoslb::bench;
@@ -184,7 +184,7 @@ int main(int argc, char** argv) {
       config.threads = threads;
       config.mode = mode;
       config.max_rounds = tail_start;
-      Stopwatch head_watch;
+      obs::Stopwatch head_watch;
       const EngineResult head = Engine(config).run(*protocol, state, rng);
       const double head_seconds = head_watch.seconds();
       config.max_rounds = rounds_cap;
@@ -193,7 +193,7 @@ int main(int argc, char** argv) {
         config.telemetry.sink = trace_sink ? &*trace_sink : nullptr;
         config.telemetry.clock = &telemetry_clock;
       }
-      Stopwatch tail_watch;
+      obs::Stopwatch tail_watch;
       const EngineResult tail = Engine(config).run(*protocol, state, rng);
       const double tail_wall = tail_watch.seconds();
       const double tail_sink = tail.telemetry.sink_seconds();

@@ -44,7 +44,7 @@
 
 #include "bench_common.hpp"
 #include "bench_json.hpp"
-#include "util/timer.hpp"
+#include "obs/clock.hpp"
 
 using namespace qoslb;
 using namespace qoslb::bench;
@@ -127,7 +127,7 @@ int main(int argc, char** argv) {
       config.threads = threads;
       config.mode = mode;
       Xoshiro256 rng(common.seed);
-      Stopwatch watch;
+      obs::Stopwatch watch;
       const EngineResult result = Engine(config).run(*protocol, state, rng);
       seconds = watch.seconds();
       rounds = result.rounds;

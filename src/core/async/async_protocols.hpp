@@ -5,7 +5,7 @@
 
 #include "core/engine.hpp"
 #include "core/instance.hpp"
-#include "sim/accounting.hpp"
+#include "core/accounting.hpp"
 #include "sim/faults.hpp"
 #include "util/backoff.hpp"
 

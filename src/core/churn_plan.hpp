@@ -64,7 +64,8 @@ struct ChurnStats {
 /// checkpoint can serialize mid-dip progress (core/snapshot.hpp) and a
 /// resumed run reports the same metrics as the uninterrupted one.
 struct ChurnTracker {
-  ChurnStats stats;
+  // Serialized field-by-field under the checkpoint's "churn" block header.
+  ChurnStats stats;  // qoslb-snapshot: as(churn)
   bool in_dip = false;
   std::uint64_t dip_start_round = 0;
   std::uint64_t baseline_satisfied = 0;

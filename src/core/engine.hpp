@@ -9,7 +9,7 @@
 #include "core/snapshot.hpp"
 #include "core/state.hpp"
 #include "obs/telemetry.hpp"
-#include "sim/accounting.hpp"
+#include "core/accounting.hpp"
 #include "sim/faults.hpp"
 #include "util/backoff.hpp"
 
@@ -54,46 +54,47 @@ enum class EngineMode : std::uint8_t {
 /// don't apply to a given entry point are simply ignored by it.
 struct EngineConfig {
   // --- synchronous rounds ---
-  std::uint64_t max_rounds = 1u << 20;
+  std::uint64_t max_rounds = 1u << 20;  // qoslb-snapshot: transient
   /// The (possibly O(n·m)) protocol stability check runs every this many
   /// rounds; the all-satisfied fast path is checked every round, so feasible
   /// runs report exact round counts.
-  std::uint32_t stability_check_period = 4;
-  bool record_trajectory = false;
+  std::uint32_t stability_check_period = 4;  // qoslb-snapshot: transient
+  bool record_trajectory = false;  // qoslb-snapshot: transient
 
   // --- sharded execution (see docs/engine.md, docs/performance.md) ---
-  RoundExecution execution = RoundExecution::kAuto;
+  RoundExecution execution = RoundExecution::kAuto;  // qoslb-snapshot: transient
   /// Dense or active-set round iteration (see EngineMode).
-  EngineMode mode = EngineMode::kDense;
+  EngineMode mode = EngineMode::kDense;  // qoslb-snapshot: transient
   /// Worker threads for the sharded path: 0 = hardware concurrency,
   /// 1 = single worker. With kAuto, threads == 1 keeps the sequential path.
-  std::size_t threads = 1;
+  std::size_t threads = 1;  // qoslb-snapshot: transient
   /// Users per shard. The shard partition is fixed (independent of the
   /// thread count), which is what makes sharded results thread-invariant —
   /// and per-user substreams make the realization independent of this value
   /// altogether, so it is purely a performance knob. The default keeps a
   /// shard's SoA working set inside a per-core L2 (see
   /// ParallelRoundEngine::Options::shard_size).
-  std::size_t shard_size = 8192;
+  std::size_t shard_size = 8192;  // qoslb-snapshot: transient
 
   /// Master seed for the sharded path's counter-based substreams and for
   /// async runs. The sharded path additionally folds in one draw from the
   /// caller's RNG, so replications seeded through that RNG stay distinct.
-  std::uint64_t seed = 1;
+  std::uint64_t seed = 1;  // qoslb-snapshot: as(master_seed)
 
   // --- asynchronous (DES) runs ---
-  double latency_jitter = 0.5;
-  std::uint64_t max_events = 5'000'000;
-  bool random_start = true;  // false: all users start on resource 0
+  double latency_jitter = 0.5;  // qoslb-snapshot: transient
+  std::uint64_t max_events = 5'000'000;  // qoslb-snapshot: transient
+  // false: all users start on resource 0
+  bool random_start = true;  // qoslb-snapshot: transient
   /// Non-empty: user u starts on initial_assignment[u] (overrides
   /// random_start). Used to chain churn transforms with an async re-run.
-  std::vector<ResourceId> initial_assignment;
+  std::vector<ResourceId> initial_assignment;  // qoslb-snapshot: transient
   /// Message/crash fault plan; inert by default (see sim/faults.hpp).
-  FaultPlan faults;
+  FaultPlan faults;  // qoslb-snapshot: transient
   /// Timeout/retry policy for loss-tolerant mode.
-  ExponentialBackoff backoff;
+  ExponentialBackoff backoff;  // qoslb-snapshot: transient
   /// Arm timeouts/sequence numbers even with an inert fault plan (testing).
-  bool force_timeouts = false;
+  bool force_timeouts = false;  // qoslb-snapshot: transient
 
   // --- robustness (docs/faults.md) ---
   /// Scheduled mid-run resource churn, applied at round boundaries by the
@@ -104,13 +105,13 @@ struct EngineConfig {
   /// O(n + m) State::check_invariants() audit (assignment/load/index/
   /// liveness cross-checks). 0 = off (the default; audits are for the chaos
   /// harness and CI, not the hot path).
-  std::uint32_t invariant_check_period = 0;
+  std::uint32_t invariant_check_period = 0;  // qoslb-snapshot: transient
   /// Round boundaries at which the sharded path hands a checkpoint to
   /// snapshot_sink (strictly increasing; each fires before that round's
   /// churn events and decisions). Requires snapshot_sink.
-  std::vector<std::uint64_t> snapshot_rounds;
+  std::vector<std::uint64_t> snapshot_rounds;  // qoslb-snapshot: transient
   /// Receives each captured checkpoint. Borrowed for the run's duration.
-  std::function<void(const SnapshotV1&)> snapshot_sink;
+  std::function<void(const SnapshotV1&)> snapshot_sink;  // qoslb-snapshot: transient
 
   // --- observability (see docs/observability.md) ---
   /// Optional metrics registry / trace sink / phase clock. All borrowed, all
@@ -118,7 +119,7 @@ struct EngineConfig {
   /// any combination attached, the realization (assignments, counters,
   /// round counts) is bit-identical to the all-null configuration — a
   /// contract tested across thread counts and engine modes.
-  obs::Telemetry telemetry;
+  obs::Telemetry telemetry;  // qoslb-snapshot: transient
 };
 
 /// The one run result. Supersedes RunResult / AsyncRunResult /

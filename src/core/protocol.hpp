@@ -10,7 +10,7 @@
 #include "core/types.hpp"
 #include "rng/round_rng.hpp"
 #include "rng/xoshiro256.hpp"
-#include "sim/accounting.hpp"
+#include "core/accounting.hpp"
 
 namespace qoslb {
 

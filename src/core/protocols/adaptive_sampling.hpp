@@ -55,7 +55,9 @@ class AdaptiveSampling : public Protocol {
   void snapshot_read(std::istream& in) override;
 
  private:
-  int probes_;
+  // Construction constant, encoded in name() ("adaptive(k=N)"): restore
+  // rebuilds it through the registry, not the snapshot payload.
+  int probes_;  // qoslb-snapshot: transient
   std::vector<std::uint32_t> last_intents_;  // per-resource intents, round t-1
   std::vector<std::uint32_t> prev_intents_;  // per-resource intents, round t-2
 };

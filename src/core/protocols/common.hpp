@@ -8,7 +8,7 @@
 #include "core/state.hpp"
 #include "core/types.hpp"
 #include "rng/distributions.hpp"
-#include "sim/accounting.hpp"
+#include "core/accounting.hpp"
 
 namespace qoslb {
 

@@ -9,7 +9,7 @@
 #include "core/instance.hpp"
 #include "core/state.hpp"
 #include "core/types.hpp"
-#include "sim/accounting.hpp"
+#include "core/accounting.hpp"
 
 namespace qoslb {
 
@@ -33,8 +33,9 @@ struct SnapshotV1 {
   /// The *effective* master seed after the engine folded its caller-RNG
   /// draw — resume reuses it verbatim and must never re-fold.
   std::uint64_t master_seed = 0;
-  std::vector<double> capacities;
-  std::vector<double> requirements;
+  // On disk the count lines are named for what they count, not the member.
+  std::vector<double> capacities;    // qoslb-snapshot: as(resources)
+  std::vector<double> requirements;  // qoslb-snapshot: as(users)
   /// Per-(user, resource) service rates (v2; a v1 checkpoint reads back as
   /// the uniform model).
   RateModel rate_model;

@@ -110,13 +110,18 @@ class State {
   void check_invariants() const;
 
  private:
-  const Instance* instance_;
+  // Only assignment_ and live_ reach the checkpoint; everything else is
+  // derived from them (SnapshotV1::make_state reconstructs via rebind +
+  // set_resource_live), which QL014 requires us to say explicitly.
+  const Instance* instance_;  // qoslb-snapshot: transient
   std::vector<ResourceId> assignment_;
-  std::vector<int> loads_;
-  std::vector<int> current_thresholds_;  // threshold(u, assignment_[u])
+  std::vector<int> loads_;  // qoslb-snapshot: transient
+  // threshold(u, assignment_[u])
+  std::vector<int> current_thresholds_;  // qoslb-snapshot: transient
   std::vector<std::uint8_t> live_;
-  std::vector<ResourceId> live_list_;  // live ids, ascending
-  std::optional<SatisfactionIndex<int>> index_;
+  // live ids, ascending
+  std::vector<ResourceId> live_list_;  // qoslb-snapshot: transient
+  std::optional<SatisfactionIndex<int>> index_;  // qoslb-snapshot: transient
 };
 
 }  // namespace qoslb

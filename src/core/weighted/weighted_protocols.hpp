@@ -7,7 +7,7 @@
 #include "core/engine.hpp"
 #include "core/weighted/weighted_state.hpp"
 #include "rng/xoshiro256.hpp"
-#include "sim/accounting.hpp"
+#include "core/accounting.hpp"
 
 namespace qoslb {
 

@@ -40,8 +40,9 @@ class VirtualClock final : public Clock {
   double time_ = 0.0;
 };
 
-/// Monotonic stopwatch for experiment timing (moved here from
-/// util/timer.hpp, which remains as a deprecated shim).
+/// Monotonic stopwatch for experiment timing. Lives in obs/ so every
+/// steady-clock read in src/ stays in the observability layer (QL007);
+/// the old util/timer.hpp shim is gone and QL003 keeps its path rejected.
 class Stopwatch {
  public:
   Stopwatch() : start_(clock::now()) {}

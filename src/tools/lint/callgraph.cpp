@@ -1,0 +1,131 @@
+#include "tools/lint/callgraph.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace qoslb::lint {
+
+namespace {
+
+/// Call-site candidates share the definition scanner's shape: an optional
+/// qualifier, a name, an opening paren.
+const std::regex& candidate_regex() {
+  static const std::regex kCandidate(
+      R"((?:([A-Za-z_]\w*)\s*::\s*)?([A-Za-z_]\w*)\s*\()");
+  return kCandidate;
+}
+
+/// Member calls spelled like the std container vocabulary (`events.size()`,
+/// `buckets_.find(k)`) are overwhelmingly std calls, not calls into project
+/// functions that happen to share the name (Value::find and friends). Edges
+/// for them would stitch unrelated subsystems into every hot-path walk, so
+/// the builder drops member-style calls to these names. The cost is a missed
+/// edge if a hot path ever invokes a project method through one of them —
+/// acceptable for rules whose findings a human reviews with --why.
+bool is_std_container_method(const std::string& name) {
+  static const std::set<std::string> kNames = {
+      "assign", "at",     "back",    "begin",        "c_str",  "capacity",
+      "cbegin", "cend",   "clear",   "count",        "data",   "emplace",
+      "emplace_back",     "empty",   "end",          "erase",  "fill",
+      "find",   "front",  "insert",  "length",       "load",   "pop",
+      "pop_back",         "push",    "push_back",    "rbegin", "rend",
+      "reserve", "reset", "resize",  "size",         "store",  "str",
+      "substr", "swap",   "top",     "value"};
+  return kNames.count(name) != 0;
+}
+
+/// True when the candidate at `pos` is written as a member access
+/// (`recv.name(` or `recv->name(`).
+bool is_member_call(const std::string& text, std::size_t pos) {
+  std::size_t i = pos;
+  while (i > 0 && std::isspace(static_cast<unsigned char>(text[i - 1]))) --i;
+  if (i == 0) return false;
+  if (text[i - 1] == '.') return true;
+  return i >= 2 && text[i - 1] == '>' && text[i - 2] == '-';
+}
+
+}  // namespace
+
+CallGraph CallGraph::build(const Tree& tree, const SymbolIndex& index) {
+  (void)tree;
+  CallGraph graph;
+  graph.edges_.resize(index.functions().size());
+  for (std::size_t caller = 0; caller < index.functions().size(); ++caller) {
+    const FunctionDef& fn = index.functions()[caller];
+    const std::string text = index.body(fn);
+    std::set<std::size_t> callees;
+    const std::regex& re = candidate_regex();
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), re);
+         it != std::sregex_iterator(); ++it) {
+      if ((*it)[1].matched && (*it)[1].str() == "std") continue;
+      const std::string name = (*it)[2].str();
+      if (name == fn.name) continue;  // self-recursion adds nothing to BFS
+      if (is_std_container_method(name) &&
+          is_member_call(text, static_cast<std::size_t>(it->position())))
+        continue;
+      for (const std::size_t callee : index.functions_named(name))
+        callees.insert(callee);
+    }
+    graph.edges_[caller].assign(callees.begin(), callees.end());
+  }
+  return graph;
+}
+
+std::vector<std::size_t> CallGraph::reachable_from(
+    const SymbolIndex& index, const std::vector<std::string>& root_names) const {
+  std::vector<std::size_t> parents(index.functions().size(), npos);
+  std::deque<std::size_t> queue;
+  for (const std::string& root : root_names) {
+    for (const std::size_t fn : index.functions_named(root)) {
+      if (parents[fn] != npos) continue;
+      parents[fn] = fn;
+      queue.push_back(fn);
+    }
+  }
+  while (!queue.empty()) {
+    const std::size_t fn = queue.front();
+    queue.pop_front();
+    for (const std::size_t callee : edges_[fn]) {
+      if (parents[callee] != npos) continue;
+      parents[callee] = fn;
+      queue.push_back(callee);
+    }
+  }
+  return parents;
+}
+
+std::vector<std::size_t> CallGraph::path_to(
+    const std::vector<std::size_t>& parents, std::size_t fn) {
+  std::vector<std::size_t> path;
+  if (fn >= parents.size() || parents[fn] == npos) return path;
+  std::size_t cur = fn;
+  while (true) {
+    path.push_back(cur);
+    if (parents[cur] == cur) break;
+    cur = parents[cur];
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string CallGraph::dump(const Tree& tree, const SymbolIndex& index) const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const FunctionDef& fn = index.functions()[i];
+    for (const std::size_t callee : edges_[i]) {
+      const FunctionDef& to = index.functions()[callee];
+      out << tree.files[fn.file].rel << ":" << fn.begin_line << " "
+          << (fn.qualifier.empty() ? "" : fn.qualifier + "::") << fn.name
+          << " -> " << (to.qualifier.empty() ? "" : to.qualifier + "::")
+          << to.name << " [" << tree.files[to.file].rel << ":" << to.begin_line
+          << "]\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace qoslb::lint

@@ -1,0 +1,50 @@
+#include "tools/lint/include_graph.hpp"
+
+#include <map>
+#include <regex>
+#include <sstream>
+
+namespace qoslb::lint {
+
+IncludeGraph IncludeGraph::build(const Tree& tree) {
+  // Quoted includes only: angle brackets are system headers, which carry no
+  // layering information. The path is read from the raw view — include
+  // directives never span lines, and the code view blanks string contents.
+  static const std::regex kInclude(R"re(^\s*#\s*include\s*"([^"]+)")re");
+  std::map<std::string, std::size_t> by_rel;
+  for (std::size_t i = 0; i < tree.files.size(); ++i)
+    by_rel.emplace(tree.files[i].rel, i);
+
+  IncludeGraph graph;
+  graph.edges_.resize(tree.files.size());
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    const SourceFile& f = tree.files[i];
+    for (std::size_t line = 0; line < f.raw.size(); ++line) {
+      std::smatch m;
+      if (!std::regex_search(f.raw[line], m, kInclude)) continue;
+      IncludeEdge edge;
+      edge.line = static_cast<int>(line) + 1;
+      edge.target = m[1].str();
+      // Resolve against the source root (the repo compiles with src/ as the
+      // one include dir, so "core/state.hpp" means src/core/state.hpp).
+      const auto it = by_rel.find("src/" + edge.target);
+      if (it != by_rel.end()) edge.resolved = it->second;
+      graph.edges_[i].push_back(std::move(edge));
+    }
+  }
+  return graph;
+}
+
+std::string IncludeGraph::dump(const Tree& tree) const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    for (const IncludeEdge& e : edges_[i]) {
+      out << tree.files[i].rel << " -> " << e.target << " [line " << e.line
+          << (e.resolved == static_cast<std::size_t>(-1) ? ", external" : "")
+          << "]\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace qoslb::lint

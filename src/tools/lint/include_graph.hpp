@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lexer.hpp"
+
+// Pass 2 of the analyzer: the quoted-include graph over the scanned tree.
+// Built from the same Tree the file-discovery pass produced (so it can
+// never disagree with QL004's CMake reachability scan about which files
+// exist), it feeds the QL011 layering rule and the --graph-dump explainer.
+namespace qoslb::lint {
+
+/// One `#include "..."` directive. `target` is the include path verbatim
+/// (e.g. "core/state.hpp"); `resolved` is the index of the matching
+/// SourceFile in the tree (npos when the include names a file outside the
+/// scanned tree, e.g. a system header spelled with quotes).
+struct IncludeEdge {
+  int line = 0;
+  std::string target;
+  std::size_t resolved = static_cast<std::size_t>(-1);
+};
+
+/// Per-file quoted-include edges, indexed parallel to Tree::files.
+class IncludeGraph {
+ public:
+  static IncludeGraph build(const Tree& tree);
+
+  const std::vector<IncludeEdge>& edges_of(std::size_t file) const {
+    return edges_[file];
+  }
+  std::size_t num_files() const { return edges_.size(); }
+
+  /// Human-readable edge list: one `file -> target [line N]` row per edge,
+  /// sorted by file then line (the --graph-dump output).
+  std::string dump(const Tree& tree) const;
+
+ private:
+  std::vector<std::vector<IncludeEdge>> edges_;
+};
+
+}  // namespace qoslb::lint

@@ -1,917 +1,21 @@
 #include "tools/lint/lint.hpp"
 
 #include <algorithm>
-#include <cstddef>
 #include <filesystem>
-#include <fstream>
-#include <map>
-#include <optional>
-#include <regex>
-#include <set>
 #include <sstream>
-#include <string>
+#include <tuple>
 #include <utility>
-#include <vector>
 
+#include "tools/lint/callgraph.hpp"
+#include "tools/lint/include_graph.hpp"
+#include "tools/lint/rules.hpp"
+#include "tools/lint/symbols.hpp"
+
+// The orchestrator: one file-discovery pass builds the Tree, the three
+// derived passes (include graph, symbol index, call graph) build on it, and
+// every rule group runs over the shared Context. Suppression filtering and
+// canonical ordering happen here, once, for all rules.
 namespace qoslb::lint {
-
-namespace fs = std::filesystem;
-
-namespace {
-
-// ---------------------------------------------------------------------------
-// Scanning and lexing
-// ---------------------------------------------------------------------------
-
-/// A scanned source file. `code` is the file with comments and string/char
-/// literal contents blanked (delimiters kept), so token rules never fire on
-/// prose or on a pattern quoted inside a string; `comments` holds the
-/// comment text per line, which is where suppression directives live; `raw`
-/// is the file verbatim, used by rules that must see `#include` paths and by
-/// the registry parser (which needs the `/*active_set=*/` marker comments).
-struct SourceFile {
-  std::string rel;
-  std::vector<std::string> raw;
-  std::vector<std::string> code;
-  std::vector<std::string> comments;
-  std::set<std::string> allow_file;              // rules allowed file-wide
-  std::vector<std::set<std::string>> allow;      // rules allowed per line
-};
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (char c : text) {
-    if (c == '\n') {
-      lines.push_back(current);
-      current.clear();
-    } else if (c != '\r') {
-      current += c;
-    }
-  }
-  lines.push_back(current);
-  return lines;
-}
-
-/// Single-pass lexer producing the code/comment views. Handles //, /* */,
-/// "..." and '...' with escapes, and R"delim(...)delim" raw strings.
-void lex(const std::string& text, std::string& code_out,
-         std::string& comments_out) {
-  enum class Mode { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
-  Mode mode = Mode::kCode;
-  std::string raw_delim;  // for kRaw: the ")delim\"" terminator
-  code_out.clear();
-  comments_out.clear();
-  code_out.reserve(text.size());
-  comments_out.reserve(text.size());
-  const std::size_t n = text.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const char c = text[i];
-    const char next = i + 1 < n ? text[i + 1] : '\0';
-    if (c == '\n') {  // newlines survive in both views, in every mode
-      code_out += '\n';
-      comments_out += '\n';
-      if (mode == Mode::kLineComment) mode = Mode::kCode;
-      continue;
-    }
-    switch (mode) {
-      case Mode::kCode:
-        if (c == '/' && next == '/') {
-          mode = Mode::kLineComment;
-          ++i;
-        } else if (c == '/' && next == '*') {
-          mode = Mode::kBlockComment;
-          ++i;
-        } else if (c == 'R' && next == '"') {
-          // R"delim( ... )delim" — find the delimiter.
-          std::size_t open = text.find('(', i + 2);
-          if (open == std::string::npos) {
-            code_out += c;
-            break;
-          }
-          raw_delim = ")" + text.substr(i + 2, open - (i + 2)) + "\"";
-          code_out += "R\"\"";
-          mode = Mode::kRaw;
-          i = open;  // consume through the opening '('
-        } else if (c == '"') {
-          code_out += c;
-          mode = Mode::kString;
-        } else if (c == '\'') {
-          code_out += c;
-          mode = Mode::kChar;
-        } else {
-          code_out += c;
-        }
-        break;
-      case Mode::kLineComment:
-        comments_out += c;
-        break;
-      case Mode::kBlockComment:
-        if (c == '*' && next == '/') {
-          mode = Mode::kCode;
-          ++i;
-        } else {
-          comments_out += c;
-        }
-        break;
-      case Mode::kString:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '"') {
-          code_out += c;
-          mode = Mode::kCode;
-        }
-        break;
-      case Mode::kChar:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          code_out += c;
-          mode = Mode::kCode;
-        }
-        break;
-      case Mode::kRaw:
-        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
-          i += raw_delim.size() - 1;
-          mode = Mode::kCode;
-        }
-        break;
-    }
-  }
-}
-
-/// Parses `qoslb-lint: allow(QL001, QL002)` / `allow-file(QLxxx)` directives
-/// out of the per-line comment text.
-void parse_suppressions(SourceFile& f) {
-  static const std::regex kDirective(
-      R"(qoslb-lint:\s*allow(-file)?\(([^)]*)\))");
-  static const std::regex kRuleId(R"(QL\d{3})");
-  f.allow.assign(f.comments.size(), {});
-  for (std::size_t i = 0; i < f.comments.size(); ++i) {
-    auto begin = std::sregex_iterator(f.comments[i].begin(),
-                                      f.comments[i].end(), kDirective);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      const bool file_wide = (*it)[1].matched;
-      const std::string ids = (*it)[2].str();
-      auto id_begin = std::sregex_iterator(ids.begin(), ids.end(), kRuleId);
-      for (auto id = id_begin; id != std::sregex_iterator(); ++id) {
-        if (file_wide)
-          f.allow_file.insert(id->str());
-        else
-          f.allow[i].insert(id->str());
-      }
-    }
-  }
-}
-
-bool is_blank(const std::string& s) {
-  return std::all_of(s.begin(), s.end(),
-                     [](unsigned char c) { return std::isspace(c) != 0; });
-}
-
-/// True when the finding at 1-based `line` is suppressed: the rule is allowed
-/// file-wide, on the line itself, or on a directly preceding run of
-/// comment-only lines (so a suppression comment can sit above the flagged
-/// statement).
-bool suppressed(const SourceFile& f, int line, const std::string& rule) {
-  if (f.allow_file.count(rule)) return true;
-  if (line < 1 || static_cast<std::size_t>(line) > f.allow.size()) return false;
-  std::size_t i = static_cast<std::size_t>(line) - 1;
-  if (f.allow[i].count(rule)) return true;
-  while (i > 0 && is_blank(f.code[i - 1])) {
-    --i;
-    if (f.allow[i].count(rule)) return true;
-  }
-  return false;
-}
-
-bool has_extension(const fs::path& p) {
-  static const std::set<std::string> kExts = {".cpp", ".hpp", ".h", ".cc",
-                                              ".cxx", ".hh"};
-  return kExts.count(p.extension().string()) != 0;
-}
-
-bool skipped_dir(const std::string& name) {
-  return name == ".git" || name == "CMakeFiles" || name == "_deps" ||
-         name == "bench-build" || name.rfind("build", 0) == 0;
-}
-
-std::string to_rel(const fs::path& p, const fs::path& root) {
-  return p.lexically_relative(root).generic_string();
-}
-
-std::string read_file(const fs::path& p) {
-  std::ifstream in(p, std::ios::binary);
-  std::ostringstream out;
-  out << in.rdbuf();
-  return out.str();
-}
-
-/// Walks the tree collecting lexed source files plus the paths of every
-/// CMakeLists.txt (for the reachability half of QL004).
-void collect(const fs::path& root, std::vector<SourceFile>& files,
-             std::vector<fs::path>& cmake_lists) {
-  std::vector<fs::path> stack = {root};
-  while (!stack.empty()) {
-    const fs::path dir = stack.back();
-    stack.pop_back();
-    for (const auto& entry : fs::directory_iterator(dir)) {
-      const fs::path& p = entry.path();
-      if (entry.is_directory()) {
-        if (skipped_dir(p.filename().string())) continue;
-        if (to_rel(p, root) == "tests/lint_fixtures") continue;
-        stack.push_back(p);
-      } else if (entry.is_regular_file()) {
-        if (p.filename() == "CMakeLists.txt") {
-          cmake_lists.push_back(p);
-        } else if (has_extension(p)) {
-          SourceFile f;
-          f.rel = to_rel(p, root);
-          const std::string text = read_file(p);
-          std::string code;
-          std::string comments;
-          lex(text, code, comments);
-          f.raw = split_lines(text);
-          f.code = split_lines(code);
-          f.comments = split_lines(comments);
-          parse_suppressions(f);
-          files.push_back(std::move(f));
-        }
-      }
-    }
-  }
-  std::sort(files.begin(), files.end(),
-            [](const SourceFile& a, const SourceFile& b) { return a.rel < b.rel; });
-  std::sort(cmake_lists.begin(), cmake_lists.end());
-}
-
-// ---------------------------------------------------------------------------
-// Rule helpers
-// ---------------------------------------------------------------------------
-
-bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-struct Pattern {
-  std::regex re;
-  std::string what;  // human name of the banned construct
-};
-
-void scan_patterns(const SourceFile& f, const std::vector<Pattern>& patterns,
-                   const char* rule, const std::string& message_suffix,
-                   std::vector<Finding>& out) {
-  for (std::size_t i = 0; i < f.code.size(); ++i) {
-    for (const Pattern& p : patterns) {
-      if (std::regex_search(f.code[i], p.re)) {
-        out.push_back({rule, f.rel, static_cast<int>(i) + 1,
-                       p.what + message_suffix});
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// QL001 — unkeyed randomness outside src/rng/
-// ---------------------------------------------------------------------------
-
-void rule_ql001(const SourceFile& f, std::vector<Finding>& out) {
-  if (starts_with(f.rel, "src/rng/")) return;
-  static const std::vector<Pattern> kBanned = {
-      {std::regex(R"(\bstd::mt19937)"), "std::mt19937"},
-      {std::regex(R"(\bstd::random_device\b)"), "std::random_device"},
-      {std::regex(R"(\bstd::default_random_engine\b)"),
-       "std::default_random_engine"},
-      {std::regex(R"(\bstd::minstd_rand)"), "std::minstd_rand"},
-      {std::regex(R"(\bstd::shuffle\b)"), "std::shuffle"},
-      {std::regex(R"(\bstd::sample\b)"), "std::sample"},
-      {std::regex(R"((^|[^:\w])s?rand\s*\()"), "rand()/srand()"},
-  };
-  scan_patterns(f, kBanned, "QL001",
-                " outside src/rng/ — draw from the per-(seed, round, user) "
-                "Philox substreams (rng/round_rng.hpp) instead",
-                out);
-}
-
-// ---------------------------------------------------------------------------
-// QL002 — unordered-container iteration in determinism-critical files
-// ---------------------------------------------------------------------------
-
-bool ql002_applies(const std::string& rel) {
-  return starts_with(rel, "src/core/protocols/") ||
-         rel == "src/core/engine.cpp" || rel == "src/core/engine.hpp" ||
-         rel == "src/sim/parallel_round_engine.hpp" ||
-         rel == "src/sim/parallel_round_engine.cpp" ||
-         rel == "src/core/satisfaction_index.hpp";
-}
-
-void rule_ql002(const SourceFile& f, std::vector<Finding>& out) {
-  if (!ql002_applies(f.rel)) return;
-  // Pass 1: names declared (or bound) as unordered containers in this file.
-  static const std::regex kDecl(
-      R"((?:std::)?unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s+(\w+)\s*[;={(])");
-  std::set<std::string> unordered_names;
-  for (const std::string& line : f.code) {
-    auto begin = std::sregex_iterator(line.begin(), line.end(), kDecl);
-    for (auto it = begin; it != std::sregex_iterator(); ++it)
-      unordered_names.insert((*it)[1].str());
-  }
-  if (unordered_names.empty()) return;
-  // Pass 2: range-for over, or begin()/end() on, any of those names. Bucket
-  // order is implementation- and size-defined, so any walk is a
-  // platform-dependent result order in a file that must replay exactly.
-  static const std::regex kRangeFor(R"(for\s*\([^;:()]*:\s*(\w+)\s*\))");
-  static const std::regex kBegin(R"((\w+)\s*\.\s*c?(?:begin|end|rbegin)\s*\()");
-  const std::string suffix =
-      "' — hash-order walk in a determinism-critical file; use a sorted "
-      "container or an index-ordered vector";
-  const std::vector<std::pair<const std::regex*, const char*>> kIteration = {
-      {&kRangeFor, "range-for over unordered '"},
-      {&kBegin, "iterator walk of unordered '"},
-  };
-  for (std::size_t i = 0; i < f.code.size(); ++i) {
-    const std::string& line = f.code[i];
-    for (const auto& [re, what] : kIteration) {
-      auto begin = std::sregex_iterator(line.begin(), line.end(), *re);
-      for (auto it = begin; it != std::sregex_iterator(); ++it) {
-        const std::string name = (*it)[1].str();
-        if (unordered_names.count(name)) {
-          out.push_back({"QL002", f.rel, static_cast<int>(i) + 1,
-                         what + name + suffix});
-        }
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// QL003 — wall-clock and environment reads in src/core/ and src/sim/
-// ---------------------------------------------------------------------------
-
-void rule_ql003(const SourceFile& f, std::vector<Finding>& out) {
-  if (!starts_with(f.rel, "src/core/") && !starts_with(f.rel, "src/sim/"))
-    return;
-  static const std::vector<Pattern> kBanned = {
-      {std::regex(R"(\bsystem_clock\b)"), "std::chrono::system_clock"},
-      {std::regex(R"(\bhigh_resolution_clock\b)"),
-       "std::chrono::high_resolution_clock"},
-      {std::regex(R"((^|[^:\w])time\s*\()"), "time()"},
-      {std::regex(R"(\bgettimeofday\b)"), "gettimeofday()"},
-      {std::regex(R"(\bclock_gettime\b)"), "clock_gettime()"},
-      {std::regex(R"(\bgetenv\s*\()"), "getenv()"},
-  };
-  scan_patterns(f, kBanned, "QL003",
-                " in the simulation core — results must be a pure function "
-                "of (instance, seed, config); timing belongs in bench/",
-                out);
-  // The steady-clock Timer is bench-only for the same reason: a simulation
-  // path that reads any clock can branch on it.
-  static const std::regex kTimerInclude(
-      R"(#\s*include\s*[<"]util/timer\.hpp[>"])");
-  for (std::size_t i = 0; i < f.raw.size(); ++i) {
-    if (std::regex_search(f.raw[i], kTimerInclude)) {
-      out.push_back({"QL003", f.rel, static_cast<int>(i) + 1,
-                     "util/timer.hpp included in the simulation core — "
-                     "timing belongs in bench/"});
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// QL004 — cross-file contracts (registry <-> protocol classes, CMake
-// reachability)
-// ---------------------------------------------------------------------------
-
-int line_of(const std::string& text, std::size_t pos) {
-  return 1 + static_cast<int>(std::count(text.begin(), text.begin() + pos, '\n'));
-}
-
-std::string join(const std::vector<std::string>& lines) {
-  std::string out;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    if (i) out += '\n';
-    out += lines[i];
-  }
-  return out;
-}
-
-const SourceFile* find_file(const std::vector<SourceFile>& files,
-                            const std::string& rel) {
-  for (const SourceFile& f : files)
-    if (f.rel == rel) return &f;
-  return nullptr;
-}
-
-/// One row of the protocol registry as recovered from source text.
-struct RegistryEntry {
-  std::string name;         // spec kind, e.g. "uniform"
-  bool active_set = false;  // ProtocolInfo::active_set
-  bool restricted = false;  // ProtocolInfo::restricted
-  std::string class_name;   // protocol class the builder constructs
-  int line = 0;             // anchor in registry.cpp
-};
-
-/// Token-level parse of src/core/protocols/registry.cpp: each entry starts
-/// with `{{"kind"`; the ProtocolInfo flags are read off their
-/// `/*active_set=*/` / `/*restricted=*/` marker comments (an unmarked flag
-/// defaults to false, matching the aggregate initializer), and the builder
-/// either names `std::make_unique<Class>` directly or delegates to a free
-/// helper (`make_neighborhood`) that does.
-std::vector<RegistryEntry> parse_registry(const std::string& raw_text) {
-  std::vector<RegistryEntry> entries;
-  static const std::regex kEntryStart(R"(\{\{\s*"([^"]+)\")");
-  static const std::regex kMakeUnique(R"(make_unique\s*<\s*(\w+)\s*>)");
-  static const std::regex kBuilderRef(R"(\}\s*,\s*(\w+)\s*\}\s*,)");
-  static const std::regex kActiveMarker(R"(active_set=\*/\s*true)");
-  static const std::regex kRestrictedMarker(R"(restricted=\*/\s*true)");
-  std::vector<std::pair<std::size_t, std::string>> starts;
-  for (auto it = std::sregex_iterator(raw_text.begin(), raw_text.end(),
-                                      kEntryStart);
-       it != std::sregex_iterator(); ++it)
-    starts.emplace_back(it->position(), (*it)[1].str());
-  for (std::size_t i = 0; i < starts.size(); ++i) {
-    const std::size_t begin = starts[i].first;
-    const std::size_t end =
-        i + 1 < starts.size() ? starts[i + 1].first : raw_text.size();
-    const std::string chunk = raw_text.substr(begin, end - begin);
-    RegistryEntry entry;
-    entry.name = starts[i].second;
-    entry.line = line_of(raw_text, begin);
-    const std::size_t info_end = chunk.find('}');
-    const std::string info =
-        info_end == std::string::npos ? chunk : chunk.substr(0, info_end);
-    entry.active_set = std::regex_search(info, kActiveMarker);
-    entry.restricted = std::regex_search(info, kRestrictedMarker);
-    std::smatch m;
-    if (std::regex_search(chunk, m, kMakeUnique)) {
-      entry.class_name = m[1].str();
-    } else if (std::regex_search(chunk, m, kBuilderRef)) {
-      // Delegating builder: resolve through its definition elsewhere in the
-      // file — the first make_unique<> after the definition's signature.
-      const std::string builder = m[1].str();
-      const std::regex def(builder + R"(\s*\(\s*const\s+ProtocolSpec)");
-      std::smatch dm;
-      if (std::regex_search(raw_text, dm, def)) {
-        const std::string tail = raw_text.substr(dm.position());
-        std::smatch um;
-        if (std::regex_search(tail, um, kMakeUnique))
-          entry.class_name = um[1].str();
-      }
-    }
-    entries.push_back(std::move(entry));
-  }
-  return entries;
-}
-
-/// Joined code text of the files that define `class_name`: its class
-/// declaration plus any out-of-line `Class::method` definitions.
-std::string class_code(const std::vector<SourceFile>& files,
-                       const std::string& class_name) {
-  const std::regex decl(R"(\bclass\s+)" + class_name +
-                        R"(\b[^;{]*:\s*public\s+\w+)");
-  const std::regex methods("\\b" + class_name + "::");
-  std::string code;
-  for (const SourceFile& f : files) {
-    const std::string text = join(f.code);
-    if (std::regex_search(text, decl) || std::regex_search(text, methods))
-      code += text + '\n';
-  }
-  return code;
-}
-
-bool returns_true_near(const std::string& code, const std::string& token) {
-  std::size_t pos = code.find(token);
-  while (pos != std::string::npos) {
-    const std::string window = code.substr(pos, 160);
-    if (std::regex_search(window, std::regex(R"(return\s+true)"))) return true;
-    pos = code.find(token, pos + token.size());
-  }
-  return false;
-}
-
-void rule_ql004_registry(const std::vector<SourceFile>& files,
-                         std::vector<Finding>& out) {
-  const std::string kRegistry = "src/core/protocols/registry.cpp";
-  const SourceFile* reg = find_file(files, kRegistry);
-  if (reg == nullptr) return;
-  const std::string raw_text = join(reg->raw);
-  for (const RegistryEntry& e : parse_registry(raw_text)) {
-    if (e.class_name.empty()) {
-      out.push_back({"QL004", kRegistry, e.line,
-                     "registry entry '" + e.name +
-                         "': cannot resolve the protocol class its builder "
-                         "constructs"});
-      continue;
-    }
-    const std::string code = class_code(files, e.class_name);
-    if (code.empty()) {
-      out.push_back({"QL004", kRegistry, e.line,
-                     "registry entry '" + e.name + "' constructs " +
-                         e.class_name + " but no such protocol class is "
-                         "declared in the tree"});
-      continue;
-    }
-    const bool has_step_users =
-        std::regex_search(code, std::regex(R"(\bstep_users\s*\()"));
-    const bool class_active = returns_true_near(code, "active_set_compatible");
-    if (e.active_set && !has_step_users) {
-      out.push_back({"QL004", kRegistry, e.line,
-                     "registry entry '" + e.name + "' declares active_set "
-                     "but " + e.class_name + " does not define step_users()"});
-    }
-    if (e.active_set && !class_active) {
-      out.push_back({"QL004", kRegistry, e.line,
-                     "registry entry '" + e.name + "' declares active_set "
-                     "but " + e.class_name +
-                         "::active_set_compatible() does not return true"});
-    }
-    if (!e.active_set && class_active) {
-      out.push_back({"QL004", kRegistry, e.line,
-                     "registry entry '" + e.name + "' declares active_set = "
-                     "false but " + e.class_name +
-                         "::active_set_compatible() returns true — the "
-                         "engine would silently run it densely"});
-    }
-  }
-}
-
-void rule_ql004_cmake(const fs::path& root,
-                      const std::vector<SourceFile>& files,
-                      const std::vector<fs::path>& cmake_lists,
-                      std::vector<Finding>& out) {
-  if (cmake_lists.empty()) return;
-  // Every `foo.cpp` token in a CMakeLists.txt, resolved against that file's
-  // directory. `#` comments are stripped first — a commented-out source is
-  // exactly the dead-translation-unit case this check exists for. Tokens
-  // with unexpanded ${...} variables are skipped.
-  static const std::regex kCppToken(R"(([\w./-]+\.cpp)\b)");
-  std::set<std::string> reachable;
-  for (const fs::path& cml : cmake_lists) {
-    std::string text;
-    for (const std::string& line : split_lines(read_file(cml))) {
-      const std::size_t hash = line.find('#');
-      text += hash == std::string::npos ? line : line.substr(0, hash);
-      text += '\n';
-    }
-    for (auto it = std::sregex_iterator(text.begin(), text.end(), kCppToken);
-         it != std::sregex_iterator(); ++it) {
-      const std::string token = (*it)[1].str();
-      const fs::path resolved =
-          (cml.parent_path() / token).lexically_normal();
-      reachable.insert(to_rel(resolved, root));
-    }
-  }
-  for (const SourceFile& f : files) {
-    if (!starts_with(f.rel, "src/")) continue;
-    if (f.rel.size() < 4 || f.rel.substr(f.rel.size() - 4) != ".cpp") continue;
-    if (reachable.count(f.rel) == 0) {
-      out.push_back({"QL004", f.rel, 1,
-                     "not reachable from any CMakeLists.txt — dead "
-                     "translation units drift out of sync with the contract "
-                     "the build enforces"});
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// QL009 — restricted-assignment contract (registry <-> protocol classes)
-// ---------------------------------------------------------------------------
-
-/// Cross-file check mirroring QL004, for the restricted-assignment flag:
-/// a `/*restricted=*/true` registry entry must construct a class whose
-/// restricted_assignment_compatible() returns true, a class that returns
-/// true must be marked in the registry, and a restricted class with a
-/// step_users() hook must sample through the reachable-set helpers
-/// (sample_reachable / reachable_target) — a raw live-list or modulo draw
-/// can target resources the user cannot reach.
-void rule_ql009_registry(const std::vector<SourceFile>& files,
-                         std::vector<Finding>& out) {
-  const std::string kRegistry = "src/core/protocols/registry.cpp";
-  const SourceFile* reg = find_file(files, kRegistry);
-  if (reg == nullptr) return;
-  const std::string raw_text = join(reg->raw);
-  for (const RegistryEntry& e : parse_registry(raw_text)) {
-    if (e.class_name.empty()) continue;  // QL004 reports the unresolved build
-    const std::string code = class_code(files, e.class_name);
-    if (code.empty()) continue;  // QL004 reports the missing class
-    const bool class_restricted =
-        returns_true_near(code, "restricted_assignment_compatible");
-    if (e.restricted && !class_restricted) {
-      out.push_back({"QL009", kRegistry, e.line,
-                     "registry entry '" + e.name + "' declares restricted "
-                     "but " + e.class_name +
-                         "::restricted_assignment_compatible() does not "
-                         "return true — the engine would reject instances "
-                         "the registry advertises"});
-    }
-    if (!e.restricted && class_restricted) {
-      out.push_back({"QL009", kRegistry, e.line,
-                     "registry entry '" + e.name + "' declares restricted = "
-                     "false but " + e.class_name +
-                         "::restricted_assignment_compatible() returns true "
-                         "— the listing would hide a capability the class "
-                         "implements"});
-    }
-    const bool has_step_users =
-        std::regex_search(code, std::regex(R"(\bstep_users\s*\()"));
-    const bool uses_helper =
-        std::regex_search(code,
-                          std::regex(R"(\bsample_reachable\s*\()")) ||
-        std::regex_search(code, std::regex(R"(\breachable_target\s*\()"));
-    if (e.restricted && class_restricted && has_step_users && !uses_helper) {
-      out.push_back({"QL009", kRegistry, e.line,
-                     "registry entry '" + e.name +
-                         "' is restricted-assignment-compatible but " +
-                         e.class_name +
-                         "::step_users() never samples through "
-                         "sample_reachable()/reachable_target() — raw draws "
-                         "can target unreachable resources"});
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// QL005 — float accumulation in the potential / satisfaction accounting
-// ---------------------------------------------------------------------------
-
-bool ql005_applies(const std::string& rel) {
-  if (!starts_with(rel, "src/")) return false;
-  const std::string base = fs::path(rel).filename().string();
-  return starts_with(base, "potential.") || starts_with(base, "satisfaction");
-}
-
-void rule_ql005(const SourceFile& f, std::vector<Finding>& out) {
-  if (!ql005_applies(f.rel)) return;
-  static const std::vector<Pattern> kBanned = {
-      {std::regex(R"(\bfloat\b)"), "float"},
-  };
-  scan_patterns(f, kBanned, "QL005",
-                " in potential/satisfaction accounting — 24-bit mantissas "
-                "drift under reordering; use double or std::int64_t",
-                out);
-}
-
-// ---------------------------------------------------------------------------
-// QL006 — .clang-format-allowlist hygiene
-// ---------------------------------------------------------------------------
-
-void rule_ql006(const fs::path& root, std::vector<Finding>& out) {
-  const fs::path allowlist = root / ".clang-format-allowlist";
-  if (!fs::exists(allowlist)) return;
-  const std::vector<std::string> lines = split_lines(read_file(allowlist));
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    std::string entry = lines[i];
-    const std::size_t hash = entry.find('#');
-    if (hash != std::string::npos) entry = entry.substr(0, hash);
-    while (!entry.empty() && std::isspace(static_cast<unsigned char>(
-                                 entry.back())) != 0)
-      entry.pop_back();
-    while (!entry.empty() && std::isspace(static_cast<unsigned char>(
-                                 entry.front())) != 0)
-      entry.erase(entry.begin());
-    if (entry.empty()) continue;
-    if (!fs::is_regular_file(root / entry)) {
-      out.push_back({"QL006", ".clang-format-allowlist",
-                     static_cast<int>(i) + 1,
-                     "stale entry '" + entry +
-                         "': no such file — the format gate would silently "
-                         "check nothing"});
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// QL007 — steady-clock reads outside src/obs/
-// ---------------------------------------------------------------------------
-
-void rule_ql007(const SourceFile& f, std::vector<Finding>& out) {
-  if (!starts_with(f.rel, "src/")) return;
-  if (starts_with(f.rel, "src/obs/")) return;
-  // obs::SteadyClock::now() is the single sanctioned steady-clock read in
-  // src/; every other layer takes an injected obs::Clock* so telemetry can
-  // be timed without the simulation path ever touching a real clock.
-  static const std::vector<Pattern> kBanned = {
-      {std::regex(R"(\bsteady_clock\b)"), "std::chrono::steady_clock"},
-  };
-  scan_patterns(f, kBanned, "QL007",
-                " outside src/obs/ — read time through an injected "
-                "obs::Clock (obs/clock.hpp) so telemetry stays off the "
-                "simulation path",
-                out);
-  // Stricter inside the deterministic core: even the obs wrapper may not be
-  // *constructed* there — the core receives its Clock via
-  // EngineConfig::telemetry, injected by a tool or bench.
-  if (!starts_with(f.rel, "src/core/") && !starts_with(f.rel, "src/sim/"))
-    return;
-  static const std::vector<Pattern> kBannedCore = {
-      {std::regex(R"(\bSteadyClock\b)"), "obs::SteadyClock"},
-  };
-  scan_patterns(f, kBannedCore, "QL007",
-                " named in the simulation core — the core must receive its "
-                "Clock through EngineConfig::telemetry, never instantiate a "
-                "wall clock itself",
-                out);
-}
-
-// ---------------------------------------------------------------------------
-// QL010 — thread spawning inside the simulation core
-// ---------------------------------------------------------------------------
-
-void rule_ql010(const SourceFile& f, std::vector<Finding>& out) {
-  if (!starts_with(f.rel, "src/core/") && !starts_with(f.rel, "src/sim/"))
-    return;
-  // The persistent pool is the single sanctioned spawn site: it creates its
-  // workers once and parks them between rounds, which is exactly the
-  // per-round spawn cost this rule exists to keep out of the round loop.
-  const std::string base = fs::path(f.rel).filename().string();
-  if (starts_with(base, "worker_pool.")) return;
-  // `std::thread` followed by `::` is a static member access
-  // (std::thread::hardware_concurrency, std::thread::id) — reading those is
-  // fine; constructing a thread is not. `std::this_thread` never matches
-  // (the literal is `std::thread`).
-  static const std::vector<Pattern> kBanned = {
-      {std::regex(R"(\bstd::thread\b(?!\s*::))"), "std::thread construction"},
-      {std::regex(R"(\bstd::jthread\b)"), "std::jthread"},
-      {std::regex(R"(\bstd::async\b)"), "std::async"},
-      {std::regex(R"(\bpthread_create\b)"), "pthread_create"},
-  };
-  scan_patterns(f, kBanned, "QL010",
-                " in the simulation core — per-round code must hand work to "
-                "the persistent RoundWorkerPool (sim/worker_pool.hpp); "
-                "spawning threads per round is the dispatch overhead the "
-                "pool exists to eliminate",
-                out);
-}
-
-// ---------------------------------------------------------------------------
-// QL008 — snapshot serializer/deserializer field-list contract
-// ---------------------------------------------------------------------------
-
-/// 1-based inclusive line range of a function definition's full text.
-struct DefRange {
-  int begin_line = 0;
-  int end_line = 0;
-};
-
-/// Locates the first *definition* (not declaration or call) of `fn_name` in
-/// the blanked code text: the name, a balanced parameter list, then a `{`
-/// before any `;`. String contents are already blanked, so brace matching
-/// cannot be confused by quoted braces.
-std::optional<DefRange> find_definition(const std::string& code_text,
-                                        const std::string& fn_name) {
-  const std::regex sig("\\b" + fn_name + R"(\s*\()");
-  for (auto it = std::sregex_iterator(code_text.begin(), code_text.end(), sig);
-       it != std::sregex_iterator(); ++it) {
-    std::size_t i = static_cast<std::size_t>(it->position()) + it->length() - 1;
-    int depth = 0;
-    for (; i < code_text.size(); ++i) {
-      if (code_text[i] == '(') ++depth;
-      if (code_text[i] == ')' && --depth == 0) break;
-    }
-    if (i >= code_text.size()) continue;
-    bool body = false;
-    for (++i; i < code_text.size(); ++i) {
-      if (code_text[i] == '{') {
-        body = true;
-        break;
-      }
-      if (code_text[i] == ';') break;  // declaration or call statement
-    }
-    if (!body) continue;
-    int braces = 0;
-    std::size_t j = i;
-    for (; j < code_text.size(); ++j) {
-      if (code_text[j] == '{') ++braces;
-      if (code_text[j] == '}' && --braces == 0) break;
-    }
-    if (j >= code_text.size()) continue;
-    return DefRange{line_of(code_text, it->position()), line_of(code_text, j)};
-  }
-  return std::nullopt;
-}
-
-/// Serialized field names mentioned in a raw text span: every string literal
-/// (comments and char literals skipped) whose content — after trimming
-/// spaces — is a single lowercase identifier. `"assignment "` names the
-/// field `assignment`; prose like `"bad number on ..."` never matches.
-std::set<std::string> ql008_fields(const std::string& raw_span) {
-  static const std::regex kField(R"(^[a-z_][a-z0-9_]*$)");
-  std::set<std::string> fields;
-  enum class Mode { kCode, kLineComment, kBlockComment, kString, kChar };
-  Mode mode = Mode::kCode;
-  std::string literal;
-  const std::size_t n = raw_span.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const char c = raw_span[i];
-    const char next = i + 1 < n ? raw_span[i + 1] : '\0';
-    switch (mode) {
-      case Mode::kCode:
-        if (c == '/' && next == '/') {
-          mode = Mode::kLineComment;
-          ++i;
-        } else if (c == '/' && next == '*') {
-          mode = Mode::kBlockComment;
-          ++i;
-        } else if (c == '"') {
-          mode = Mode::kString;
-          literal.clear();
-        } else if (c == '\'') {
-          mode = Mode::kChar;
-        }
-        break;
-      case Mode::kLineComment:
-        if (c == '\n') mode = Mode::kCode;
-        break;
-      case Mode::kBlockComment:
-        if (c == '*' && next == '/') {
-          mode = Mode::kCode;
-          ++i;
-        }
-        break;
-      case Mode::kString:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '"') {
-          mode = Mode::kCode;
-          // Field keywords start at the beginning of the literal (a trailing
-          // separator space is fine: `"assignment "`). A leading space marks
-          // a connector fragment inside a spliced message (`" of "`), never
-          // a field name.
-          std::size_t end = literal.size();
-          while (end > 0 && literal[end - 1] == ' ') --end;
-          const std::string trimmed = literal.substr(0, end);
-          if (std::regex_match(trimmed, kField)) fields.insert(trimmed);
-        } else {
-          literal += c;
-        }
-        break;
-      case Mode::kChar:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          mode = Mode::kCode;
-        }
-        break;
-    }
-  }
-  return fields;
-}
-
-std::string join_range(const std::vector<std::string>& lines,
-                       const DefRange& range) {
-  std::string out;
-  for (int i = range.begin_line; i <= range.end_line; ++i) {
-    if (i < 1 || static_cast<std::size_t>(i) > lines.size()) continue;
-    out += lines[static_cast<std::size_t>(i) - 1];
-    out += '\n';
-  }
-  return out;
-}
-
-void rule_ql008(const SourceFile& f, std::vector<Finding>& out) {
-  if (!starts_with(f.rel, "src/")) return;
-  // The serializer pairs under contract: the member hooks
-  // (Protocol::snapshot_write/snapshot_read overrides) and the free
-  // checkpoint functions (write_snapshot/read_snapshot). Both halves of a
-  // pair must be defined in the same file for the check to fire — which is
-  // itself the layout the contract wants.
-  static const std::pair<const char*, const char*> kPairs[] = {
-      {"snapshot_write", "snapshot_read"},
-      {"write_snapshot", "read_snapshot"},
-  };
-  const std::string code_text = join(f.code);
-  for (const auto& [writer, reader] : kPairs) {
-    const std::optional<DefRange> wdef = find_definition(code_text, writer);
-    const std::optional<DefRange> rdef = find_definition(code_text, reader);
-    if (!wdef.has_value() || !rdef.has_value()) continue;
-    const std::set<std::string> written =
-        ql008_fields(join_range(f.raw, *wdef));
-    const std::set<std::string> read = ql008_fields(join_range(f.raw, *rdef));
-    for (const std::string& field : written) {
-      if (read.count(field) == 0) {
-        out.push_back({"QL008", f.rel, wdef->begin_line,
-                       "snapshot field '" + field + "' written in " + writer +
-                           " but never read in " + reader +
-                           " — a checkpoint round-trip would drop it"});
-      }
-    }
-    for (const std::string& field : read) {
-      if (written.count(field) == 0) {
-        out.push_back({"QL008", f.rel, rdef->begin_line,
-                       "snapshot field '" + field + "' read in " + reader +
-                           " but never written in " + writer +
-                           " — deserialization expects a field the writer "
-                           "never emits"});
-      }
-    }
-  }
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// Public API
-// ---------------------------------------------------------------------------
 
 const std::vector<RuleInfo>& rules() {
   static const std::vector<RuleInfo> kRules = {
@@ -947,42 +51,70 @@ const std::vector<RuleInfo>& rules() {
        "thread spawning (std::thread construction, std::jthread, std::async, "
        "pthread_create) in src/core/ or src/sim/ outside "
        "sim/worker_pool.* — rounds must run on the persistent worker pool"},
+      {"QL011",
+       "include-graph layering: each src/ layer may include only the layers "
+       "below it in the declared map (engine.{hpp,cpp} and core/async/ are "
+       "the sanctioned core->sim/obs orchestration seam)"},
+      {"QL012",
+       "shared-state write reachable from the parallel step path "
+       "(step_users/step_range) — migrations must stage in MigrationBuffer "
+       "and apply in commit_round()"},
+      {"QL013",
+       "PhiloxEngine construction outside src/rng/ whose key does not flow "
+       "through derive_seed()/user_stream()/substream_key()/mix64()"},
+      {"QL014",
+       "snapshot coverage: every persistent member of a serialized struct "
+       "must be written by its serializer or annotated "
+       "'// qoslb-snapshot: transient' / 'as(name)'"},
+      {"QL015",
+       "hot-path hygiene: no locks, heap allocation, or throw reachable from "
+       "step_users/step_range/commit_round (suppress per call site with "
+       "allow(QL015))"},
   };
   return kRules;
 }
 
-std::vector<Finding> run(const Options& options) {
-  const fs::path root = fs::path(options.root).lexically_normal();
-  std::vector<SourceFile> files;
-  std::vector<fs::path> cmake_lists;
-  collect(root, files, cmake_lists);
+Analysis analyze(const Options& options) {
+  const std::filesystem::path root =
+      std::filesystem::path(options.root).lexically_normal();
+  const Tree tree = collect_tree(root);
+  const IncludeGraph includes = IncludeGraph::build(tree);
+  const SymbolIndex symbols = SymbolIndex::build(tree);
+  const CallGraph calls = CallGraph::build(tree, symbols);
+  const Context ctx{tree, includes, symbols, calls};
 
   std::vector<Finding> findings;
-  for (const SourceFile& f : files) {
-    rule_ql001(f, findings);
-    rule_ql002(f, findings);
-    rule_ql003(f, findings);
-    rule_ql005(f, findings);
-    rule_ql007(f, findings);
-    rule_ql008(f, findings);
-    rule_ql010(f, findings);
-  }
-  rule_ql004_registry(files, findings);
-  rule_ql004_cmake(root, files, cmake_lists, findings);
-  rule_ql006(root, findings);
-  rule_ql009_registry(files, findings);
+  rules_tokens(ctx, findings);
+  rules_contracts(ctx, findings);
+  rules_layering(ctx, findings);
+  rules_callgraph(ctx, findings);
+  rules_snapshot(ctx, findings);
 
-  std::vector<Finding> kept;
+  Analysis analysis;
   for (Finding& fd : findings) {
-    const SourceFile* f = find_file(files, fd.file);
+    const SourceFile* f = find_file(tree.files, fd.file);
     if (f != nullptr && suppressed(*f, fd.line, fd.rule)) continue;
-    kept.push_back(std::move(fd));
+    analysis.findings.push_back(std::move(fd));
   }
-  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
-    return std::tie(a.file, a.line, a.rule, a.message) <
-           std::tie(b.file, b.line, b.rule, b.message);
-  });
-  return kept;
+  std::sort(analysis.findings.begin(), analysis.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  analysis.findings.erase(
+      std::unique(analysis.findings.begin(), analysis.findings.end(),
+                  [](const Finding& a, const Finding& b) {
+                    return std::tie(a.file, a.line, a.rule, a.message) ==
+                           std::tie(b.file, b.line, b.rule, b.message);
+                  }),
+      analysis.findings.end());
+  analysis.include_graph_dump = includes.dump(tree);
+  analysis.call_graph_dump = calls.dump(tree, symbols);
+  return analysis;
+}
+
+std::vector<Finding> run(const Options& options) {
+  return std::move(analyze(options).findings);
 }
 
 std::string format(const std::vector<Finding>& findings, bool fix_list) {

@@ -1,0 +1,99 @@
+#include <map>
+#include <set>
+#include <string>
+
+#include "tools/lint/rules.hpp"
+
+namespace qoslb::lint {
+
+namespace {
+
+/// First path segment after src/ — the file's layer ("core", "sim", ...).
+/// Empty for files directly under src/ (the umbrella header) and for files
+/// outside src/ entirely.
+std::string layer_of(const std::string& rel) {
+  if (!starts_with(rel, "src/")) return {};
+  const std::size_t begin = 4;
+  const std::size_t slash = rel.find('/', begin);
+  if (slash == std::string::npos) return {};
+  return rel.substr(begin, slash - begin);
+}
+
+/// Layer of an include target ("core/state.hpp" -> "core"). Targets with no
+/// directory component carry no layer information.
+std::string target_layer(const std::string& target) {
+  const std::size_t slash = target.find('/');
+  if (slash == std::string::npos) return {};
+  return target.substr(0, slash);
+}
+
+/// The declared layer map: which layers each layer may include. The
+/// direction encodes the dependency architecture docs/engine.md describes —
+/// the deterministic core sits above the leaf utilities and below the
+/// drivers; observation (obs) and the simulation harness (sim) wrap the
+/// core from outside, so the core must not reach back into them.
+const std::map<std::string, std::set<std::string>>& layer_map() {
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"util", {"util", "rng"}},
+      {"rng", {"rng", "util"}},
+      {"stats", {"stats", "rng", "util"}},
+      {"net", {"net", "rng", "util"}},
+      {"opt", {"opt", "util"}},
+      {"obs", {"obs", "stats", "util"}},
+      {"sim", {"sim", "obs", "rng", "util"}},
+      {"core", {"core", "net", "rng", "stats", "util"}},
+      // tools are drivers: they may include anything.
+  };
+  return kAllowed;
+}
+
+/// The one sanctioned hole in the map: the engine is the orchestration
+/// seam where the deterministic core meets the fault/churn harness (sim)
+/// and telemetry (obs). Only the engine TU pair and the async engine
+/// variants get the wider allowance — core algorithm files do not.
+bool engine_exception(const std::string& rel) {
+  return rel == "src/core/engine.hpp" || rel == "src/core/engine.cpp" ||
+         starts_with(rel, "src/core/async/");
+}
+
+std::string format_allowed(const std::set<std::string>& allowed) {
+  std::string out;
+  for (const std::string& a : allowed) {
+    if (!out.empty()) out += ", ";
+    out += a;
+  }
+  return out;
+}
+
+}  // namespace
+
+void rules_layering(const Context& ctx, std::vector<Finding>& out) {
+  const auto& map = layer_map();
+  for (std::size_t i = 0; i < ctx.tree.files.size(); ++i) {
+    const SourceFile& f = ctx.tree.files[i];
+    const std::string layer = layer_of(f.rel);
+    if (layer.empty() || layer == "tools") continue;
+    const auto it = map.find(layer);
+    if (it == map.end()) continue;  // unmapped layer: no contract declared
+    for (const IncludeEdge& e : ctx.includes.edges_of(i)) {
+      const std::string to = target_layer(e.target);
+      // Only src-relative include paths whose first segment is a known
+      // layer participate; quoted system or third-party includes don't.
+      if (to.empty() || (map.find(to) == map.end() && to != "tools")) continue;
+      std::set<std::string> allowed = it->second;
+      if (engine_exception(f.rel)) {
+        allowed.insert("sim");
+        allowed.insert("obs");
+      }
+      if (allowed.count(to) != 0) continue;
+      out.push_back({"QL011", f.rel, e.line,
+                     "include of \"" + e.target + "\" breaks the layer map — " +
+                         layer + "/ may include only {" +
+                         format_allowed(allowed) +
+                         "}; inverted edges let harness state leak into the "
+                         "deterministic core (docs/static-analysis.md)"});
+    }
+  }
+}
+
+}  // namespace qoslb::lint

@@ -1,0 +1,101 @@
+#include <map>
+#include <set>
+#include <string>
+
+#include "tools/lint/rules.hpp"
+
+namespace qoslb::lint {
+
+namespace {
+
+/// Structs serialized by the free checkpoint functions
+/// (write_snapshot/read_snapshot in core/snapshot.cpp) rather than by member
+/// hooks of their own. Their field vocabulary is the union of every field
+/// keyword those functions emit.
+const std::set<std::string>& table_audited() {
+  static const std::set<std::string> kStructs = {
+      "State",      "EngineConfig", "ChurnTracker",
+      "SnapshotV1", "Counters",     "ChurnStats",
+  };
+  return kStructs;
+}
+
+/// Field keywords written/read inside one function definition, off the raw
+/// view (string literals carry the on-disk field names).
+std::set<std::string> def_fields(const Context& ctx, const FunctionDef& fn) {
+  const SourceFile& f = ctx.tree.files[fn.file];
+  return string_literal_fields(
+      join_range(f.raw, DefRange{fn.begin_line, fn.end_line}));
+}
+
+/// The serialized name a member maps to: the as(...) annotation if present,
+/// else the member name with one trailing underscore stripped.
+std::string serialized_key(const FieldDef& field) {
+  if (!field.serialized_as.empty()) return field.serialized_as;
+  std::string key = field.name;
+  if (!key.empty() && key.back() == '_') key.pop_back();
+  return key;
+}
+
+void audit_struct(const Context& ctx, const StructDef& s,
+                  const std::set<std::string>& vocabulary,
+                  const std::string& serializer_desc,
+                  std::vector<Finding>& out) {
+  for (const FieldDef& field : s.fields) {
+    if (field.transient) continue;
+    const std::string key = serialized_key(field);
+    if (vocabulary.count(key) != 0) continue;
+    out.push_back(
+        {"QL014", ctx.tree.files[s.file].rel, field.line,
+         "member '" + field.name + "' of " + s.name + " is not written by " +
+             serializer_desc + " (no '" + key +
+             "' field) and not annotated '// qoslb-snapshot: transient' — a "
+             "checkpoint restore would silently lose it (use "
+             "'// qoslb-snapshot: as(name)' when the on-disk field is named "
+             "differently)"});
+  }
+}
+
+}  // namespace
+
+void rules_snapshot(const Context& ctx, std::vector<Finding>& out) {
+  // Member-hook serializers: struct S is audited against its own
+  // S::snapshot_write/snapshot_read pair (out-of-line via the qualifier, or
+  // inline via line containment).
+  std::map<std::string, std::set<std::string>> member_vocab;
+  std::set<std::string> member_audited;
+  for (const FunctionDef& fn : ctx.symbols.functions()) {
+    if (fn.name != "snapshot_write" && fn.name != "snapshot_read") continue;
+    std::string owner = fn.qualifier;
+    if (owner.empty()) {
+      const StructDef* s =
+          ctx.symbols.enclosing_struct(fn.file, fn.begin_line);
+      if (s == nullptr) continue;
+      owner = s->name;
+    }
+    member_audited.insert(owner);
+    const std::set<std::string> fields = def_fields(ctx, fn);
+    member_vocab[owner].insert(fields.begin(), fields.end());
+  }
+
+  // Free-function vocabulary for the table-audited structs.
+  std::set<std::string> free_vocab;
+  bool free_serializer_seen = false;
+  for (const FunctionDef& fn : ctx.symbols.functions()) {
+    if (fn.name != "write_snapshot" && fn.name != "read_snapshot") continue;
+    free_serializer_seen = true;
+    const std::set<std::string> fields = def_fields(ctx, fn);
+    free_vocab.insert(fields.begin(), fields.end());
+  }
+
+  for (const StructDef& s : ctx.symbols.structs()) {
+    if (member_audited.count(s.name) != 0) {
+      audit_struct(ctx, s, member_vocab[s.name],
+                   s.name + "::snapshot_write/snapshot_read", out);
+    } else if (free_serializer_seen && table_audited().count(s.name) != 0) {
+      audit_struct(ctx, s, free_vocab, "write_snapshot/read_snapshot", out);
+    }
+  }
+}
+
+}  // namespace qoslb::lint

@@ -1,0 +1,7 @@
+// QL011 exception fixture: src/core/engine.cpp is the sanctioned
+// orchestration seam, so the very includes that fire in layering_bad.hpp
+// are allowed here.
+#include "sim/accounting.hpp"
+#include "obs/telemetry.hpp"
+
+int fixture_engine_marker() { return 0; }

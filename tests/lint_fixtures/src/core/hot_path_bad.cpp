@@ -1,0 +1,21 @@
+// QL015 fixture: a lock taken inside a step hook and an allocation in a
+// helper the hook calls — the second hit requires the reachability walk.
+#include <mutex>
+#include <vector>
+
+namespace hotfix {
+
+int* grow_scratch(std::vector<int>& scratch) {
+  scratch.reserve(64);
+  return new int[16];
+}
+
+struct NoisyProtocol {
+  void step_users(std::vector<int>& scratch) {
+    std::lock_guard<std::mutex> hold(gate_);
+    scratch.push_back(*grow_scratch(scratch));
+  }
+  std::mutex gate_;
+};
+
+}  // namespace hotfix

@@ -1,0 +1,14 @@
+// QL015 exception fixture: a deliberate one-shot arena grab on first entry,
+// accepted per call site with the allow() suppression.
+#include <vector>
+
+namespace hotfix {
+
+struct WarmupProtocol {
+  void step_users(std::vector<int*>& slabs) {
+    if (!slabs.empty()) return;
+    slabs.push_back(new int[64]);  // qoslb-lint: allow(QL015)
+  }
+};
+
+}  // namespace hotfix

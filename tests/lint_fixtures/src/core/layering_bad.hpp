@@ -1,0 +1,12 @@
+#pragma once
+
+// QL011 fixture: a core algorithm header reaching up into the simulation
+// harness and telemetry layers. Both edges invert the layer map; the rng
+// include is the control — core may depend on the layers below it.
+#include "sim/accounting.hpp"
+#include "obs/telemetry.hpp"
+#include "rng/philox.hpp"
+
+struct LayeredThing {
+  int depth = 0;
+};

@@ -1,0 +1,13 @@
+// QL013 fixture: a counter-based engine keyed with a raw seed. Nothing in
+// the key expression — or in any caller, because there are none — flows
+// through the keyed-stream helpers, so the construction must be flagged.
+#include "rng/philox.hpp"
+
+namespace keyfix {
+
+unsigned long long resample(unsigned long long raw_seed) {
+  PhiloxEngine rng(raw_seed, 0);
+  return rng.next();
+}
+
+}  // namespace keyfix

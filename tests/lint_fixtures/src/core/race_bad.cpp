@@ -1,0 +1,22 @@
+// QL012 fixture: a protocol step hook mutating the shared state directly —
+// once inline, once through a helper, so the rule must walk the call graph.
+
+namespace racefix {
+
+struct ShardState {
+  void move(int user, int resource);
+  int loads[8];
+};
+
+void apply_now(ShardState& state, int user) {
+  state.loads[user] = 0;
+}
+
+struct RacyProtocol {
+  void step_users(ShardState& state) {
+    state.move(1, 2);
+    apply_now(state, 1);
+  }
+};
+
+}  // namespace racefix

@@ -1,0 +1,20 @@
+// QL012 exception fixture: the sanctioned shape. The step hook only stages
+// into a migration buffer; the State mutation happens in commit_round(),
+// which runs single-threaded between rounds.
+
+namespace racefix {
+
+struct BufferedState {
+  void move(int user, int resource);
+};
+
+struct MigrationLog {
+  int target[8];
+};
+
+struct BufferedProtocol {
+  void step_users(MigrationLog& log) { log.target[0] = 3; }
+  void commit_round(BufferedState& state) { state.move(0, 3); }
+};
+
+}  // namespace racefix

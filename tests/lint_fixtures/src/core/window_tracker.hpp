@@ -1,0 +1,23 @@
+#pragma once
+
+#include <iosfwd>
+
+// QL014 fixture: a member-hook serializer whose field list misses one
+// persistent member (omega_). span_rounds_ lives on disk under its
+// historical name and cached_best_ is derived state — both annotated, both
+// allowed.
+struct WindowTracker {
+  void snapshot_write(std::ostream& out) const {
+    out << "alpha " << alpha_ << '\n';
+    out << "window " << span_rounds_ << '\n';
+  }
+  void snapshot_read(std::istream& in) {
+    read_field(in, "alpha", alpha_);
+    read_field(in, "window", span_rounds_);
+  }
+
+  double alpha_ = 0.0;
+  long span_rounds_ = 0;  // qoslb-snapshot: as(window)
+  long omega_ = 0;
+  long cached_best_ = 0;  // qoslb-snapshot: transient
+};

@@ -2,7 +2,7 @@
 
 #include <vector>
 
-#include "sim/accounting.hpp"
+#include "core/accounting.hpp"
 #include "sim/des.hpp"
 #include "sim/round_engine.hpp"
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "tools/lint/lint.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -48,9 +49,10 @@ TEST(LintRules, RuleTableIsStable) {
   std::vector<std::string> ids;
   for (const qoslb::lint::RuleInfo& r : qoslb::lint::rules())
     ids.push_back(r.id);
-  EXPECT_EQ(ids, (std::vector<std::string>{"QL001", "QL002", "QL003", "QL004",
-                                           "QL005", "QL006", "QL007", "QL008",
-                                           "QL009", "QL010"}));
+  EXPECT_EQ(ids, (std::vector<std::string>{
+                     "QL001", "QL002", "QL003", "QL004", "QL005", "QL006",
+                     "QL007", "QL008", "QL009", "QL010", "QL011", "QL012",
+                     "QL013", "QL014", "QL015"}));
 }
 
 TEST(LintRules, ExactFixtureHitCounts) {
@@ -59,9 +61,14 @@ TEST(LintRules, ExactFixtureHitCounts) {
   const std::map<std::pair<std::string, std::string>, int> expected = {
       {{".clang-format-allowlist", "QL006"}, 1},
       {{"src/bad_rng.cpp", "QL001"}, 1},
+      {{"src/core/hot_path_bad.cpp", "QL015"}, 2},
+      {{"src/core/layering_bad.hpp", "QL011"}, 2},
+      {{"src/core/philox_bad.cpp", "QL013"}, 1},
       {{"src/core/potential.cpp", "QL005"}, 2},
       {{"src/core/protocols/iter_bad.cpp", "QL002"}, 3},
+      {{"src/core/race_bad.cpp", "QL012"}, 2},
       {{"src/core/snapshot_bad.cpp", "QL008"}, 2},
+      {{"src/core/window_tracker.hpp", "QL014"}, 1},
       {{"src/core/protocols/registry.cpp", "QL004"}, 2},
       {{"src/core/protocols/registry.cpp", "QL009"}, 3},
       {{"src/core/satisfaction_acc.hpp", "QL005"}, 2},
@@ -203,12 +210,138 @@ TEST(LintScope, CleanFileHasNoFindings) {
   EXPECT_TRUE(findings_for("src/clean.cpp").empty());
 }
 
+TEST(LintRules, Ql011FlagsInvertedLayerEdgesOnly) {
+  // Two upward includes fire; the core->rng include on the next line is the
+  // in-file control and must not.
+  const std::vector<Finding> fs = findings_for("src/core/layering_bad.hpp");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{6, 7}));
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "QL011");
+  EXPECT_NE(fs[0].message.find("sim/accounting.hpp"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("core/ may include only"), std::string::npos);
+  EXPECT_NE(fs[1].message.find("obs/telemetry.hpp"), std::string::npos);
+}
+
+TEST(LintScope, Ql011EngineSeamMayIncludeSimAndObs) {
+  // The same includes that fire in layering_bad.hpp are sanctioned in the
+  // engine TU — the declared core->sim/obs orchestration seam.
+  EXPECT_TRUE(findings_for("src/core/engine.cpp").empty());
+}
+
+TEST(LintRules, Ql012FlagsDirectAndCallGraphReachedMutations) {
+  const std::vector<Finding> fs = findings_for("src/core/race_bad.cpp");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{12, 17}));
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "QL012");
+  // Line 12 sits in apply_now(), one hop below step_users(): its why chain
+  // must carry both steps, root first.
+  EXPECT_NE(fs[0].message.find("loads array"), std::string::npos);
+  ASSERT_EQ(fs[0].why.size(), 2u);
+  EXPECT_NE(fs[0].why[0].find("step_users"), std::string::npos);
+  EXPECT_NE(fs[0].why[1].find("apply_now"), std::string::npos);
+  // Line 17 is in the root itself: a one-step chain.
+  EXPECT_NE(fs[1].message.find("State::move()"), std::string::npos);
+  ASSERT_EQ(fs[1].why.size(), 1u);
+  EXPECT_NE(fs[1].why[0].find("step_users"), std::string::npos);
+}
+
+TEST(LintScope, Ql012AllowsCommitRoundMutations) {
+  // Staging in step_users() plus mutating in commit_round() is the
+  // sanctioned migration shape.
+  EXPECT_TRUE(findings_for("src/core/race_ok.cpp").empty());
+}
+
+TEST(LintRules, Ql013FlagsRawKeyedPhiloxConstruction) {
+  const std::vector<Finding> fs = findings_for("src/core/philox_bad.cpp");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "QL013");
+  EXPECT_EQ(fs[0].line, 9);
+  EXPECT_NE(fs[0].message.find("'raw_seed'"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("mix64"), std::string::npos);
+}
+
+TEST(LintScope, Ql013ResolvesSanctionedKeysInterprocedurally) {
+  // draw()'s key parameter is clean only because every caller routes the
+  // argument through mix64(); the dataflow walk must chase it.
+  EXPECT_TRUE(findings_for("src/core/philox_ok.cpp").empty());
+}
+
+TEST(LintRules, Ql014FlagsTheUnserializedMemberOnly) {
+  // omega_ fires; alpha_ matches the field list, span_rounds_ is covered by
+  // its as(window) annotation and cached_best_ by transient.
+  const std::vector<Finding> fs = findings_for("src/core/window_tracker.hpp");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "QL014");
+  EXPECT_EQ(fs[0].line, 21);
+  EXPECT_NE(fs[0].message.find("'omega_'"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("WindowTracker"), std::string::npos);
+}
+
+TEST(LintRules, Ql015FlagsLocksAndReachableAllocations) {
+  const std::vector<Finding> fs = findings_for("src/core/hot_path_bad.cpp");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{10, 15}));
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "QL015");
+  EXPECT_NE(fs[0].message.find("heap allocation"), std::string::npos);
+  ASSERT_EQ(fs[0].why.size(), 2u);
+  EXPECT_NE(fs[0].why[1].find("grow_scratch"), std::string::npos);
+  EXPECT_NE(fs[1].message.find("lock acquisition"), std::string::npos);
+}
+
+TEST(LintSuppressions, Ql015PerCallSiteAllowWorks) {
+  EXPECT_TRUE(findings_for("src/core/hot_path_ok.cpp").empty());
+}
+
 TEST(LintFormat, HumanAndFixListRenderings) {
   const std::vector<Finding> one = {{"QL001", "src/x.cpp", 7, "boom"}};
   EXPECT_EQ(qoslb::lint::format(one, /*fix_list=*/false),
             "src/x.cpp:7: [QL001] boom\n");
   EXPECT_EQ(qoslb::lint::format(one, /*fix_list=*/true),
             "QL001\tsrc/x.cpp\t7\n");
+}
+
+// Golden test for the SARIF writer: the emitted log must round-trip through
+// the repo's own JSON reader and carry the 2.1.0 shape CI consumers (GitHub
+// code scanning, sarif-tools) rely on.
+TEST(LintSarif, EmitsWellFormedSarif210) {
+  const std::vector<Finding> two = {
+      {"QL012", "src/core/race_bad.cpp", 17, "State::move() reached",
+       {"src/core/race_bad.cpp:16 step_users"}},
+      {"QL001", "src/x.cpp", 7, "line says \"rand()\""},
+  };
+  const qoslb::json::Value log = qoslb::json::parse(qoslb::lint::sarif(two));
+
+  EXPECT_EQ(log.find("$schema")->as_string(),
+            "https://json.schemastore.org/sarif-2.1.0.json");
+  EXPECT_EQ(log.find("version")->as_string(), "2.1.0");
+  const qoslb::json::Value& run = log.find("runs")->items().at(0);
+  const qoslb::json::Value* driver = run.find("tool")->find("driver");
+  EXPECT_EQ(driver->find("name")->as_string(), "qoslb-lint");
+  // One rule descriptor per registered rule, in ID order.
+  const auto& rule_descs = driver->find("rules")->items();
+  ASSERT_EQ(rule_descs.size(), qoslb::lint::rules().size());
+  EXPECT_EQ(rule_descs.front().find("id")->as_string(), "QL001");
+  EXPECT_EQ(rule_descs.back().find("id")->as_string(), "QL015");
+
+  const auto& results = run.find("results")->items();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].find("ruleId")->as_string(), "QL012");
+  EXPECT_EQ(results[0].find("level")->as_string(), "error");
+  // The call chain rides inside the message text.
+  EXPECT_NE(results[0].find("message")->find("text")->as_string().find(
+                "[call path: src/core/race_bad.cpp:16 step_users]"),
+            std::string::npos);
+  const qoslb::json::Value* physical =
+      results[0].find("locations")->items().at(0).find("physicalLocation");
+  EXPECT_EQ(physical->find("artifactLocation")->find("uri")->as_string(),
+            "src/core/race_bad.cpp");
+  EXPECT_EQ(physical->find("region")->find("startLine")->as_number(), 17);
+  // Quotes in messages must come back intact through escaping.
+  EXPECT_EQ(results[1].find("message")->find("text")->as_string(),
+            "line says \"rand()\"");
+}
+
+TEST(LintSarif, EmptyFindingsStillProduceAValidLog) {
+  const qoslb::json::Value log = qoslb::json::parse(qoslb::lint::sarif({}));
+  EXPECT_TRUE(
+      log.find("runs")->items().at(0).find("results")->items().empty());
 }
 
 // The acceptance gate: the repository tree itself must be clean. Any

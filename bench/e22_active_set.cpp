@@ -20,9 +20,11 @@
 // Knobs: --n, --m, --protocol (an [active-set] kind), --lambda, --threads,
 // --rounds (safety cap), --tail-frac, --slack, --het (threshold spread),
 // --graph (nbr-* kinds), plus the common --reps/--seed/--csv. Telemetry:
-// --trace-out=FILE attaches a JSONL trace sink and --metrics-out=FILE a
-// metrics registry to the timed runs; sink time is measured separately and
-// subtracted, so the reported sim seconds stay comparable either way.
+// --trace-out=FILE attaches a JSONL trace sink, --metrics-out=FILE a
+// metrics registry, and --decisions-out=FILE a sampled decision sink
+// (--trace-sample=K, default 1024) to the timed runs; sink time is measured
+// separately and subtracted, so the reported sim seconds stay comparable
+// either way.
 
 #include <algorithm>
 #include <fstream>
@@ -35,9 +37,9 @@
 #include "bench_json.hpp"
 #include "net/generators.hpp"
 #include "obs/clock.hpp"
+#include "obs/decision_sink.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_sink.hpp"
-#include "obs/clock.hpp"
 
 using namespace qoslb;
 using namespace qoslb::bench;
@@ -88,6 +90,9 @@ int main(int argc, char** argv) {
   const std::string graph_kind = args.get_string("graph", "torus");
   const std::string trace_path = args.get_string("trace-out", "");
   const std::string metrics_path = args.get_string("metrics-out", "");
+  const std::string decisions_path = args.get_string("decisions-out", "");
+  const auto trace_sample =
+      static_cast<std::uint64_t>(args.get_int("trace-sample", 1024));
   args.finish();
 
   // Optional telemetry on the timed tail runs. Sinks are shared across reps
@@ -103,7 +108,16 @@ int main(int argc, char** argv) {
     if (!trace_file) throw std::runtime_error("cannot write " + trace_path);
     trace_sink.emplace(trace_file);
   }
-  const bool telemetry_on = !trace_path.empty() || !metrics_path.empty();
+  std::ofstream decisions_file;
+  std::optional<obs::JsonlDecisionSink> decisions_sink;
+  if (!decisions_path.empty()) {
+    decisions_file.open(decisions_path);
+    if (!decisions_file)
+      throw std::runtime_error("cannot write " + decisions_path);
+    decisions_sink.emplace(decisions_file);
+  }
+  const bool telemetry_on = !trace_path.empty() || !metrics_path.empty() ||
+                            !decisions_path.empty();
 
   Xoshiro256 gen_rng(common.seed);
   const Instance instance = make_uniform_feasible(n, m, slack, het, gen_rng);
@@ -191,6 +205,9 @@ int main(int argc, char** argv) {
       if (telemetry_on) {  // telemetry on the timed tail only
         config.telemetry.metrics = metrics_path.empty() ? nullptr : &metrics;
         config.telemetry.sink = trace_sink ? &*trace_sink : nullptr;
+        config.telemetry.decisions =
+            decisions_sink ? &*decisions_sink : nullptr;
+        config.telemetry.decision_sample = trace_sample;
         config.telemetry.clock = &telemetry_clock;
       }
       obs::Stopwatch tail_watch;

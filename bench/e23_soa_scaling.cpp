@@ -34,9 +34,13 @@
 //
 // Knobs: --n, --m (default n/100), --rounds (round cap), --threads=1,2,4,8,
 // plus the common --reps/--seed/--csv. Writes BENCH_soa.json. Timed cells
-// are best-of-reps after one untimed warmup.
+// are best-of-reps after one untimed warmup. --metrics-out=FILE attaches a
+// metrics registry (with phase timing) to the Part 1 scan runs and writes
+// the accumulated JSONL — the artifact the CI bench-smoke job feeds to
+// qoslb-report.
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -45,6 +49,7 @@
 #include "bench_common.hpp"
 #include "bench_json.hpp"
 #include "obs/clock.hpp"
+#include "obs/metrics.hpp"
 
 using namespace qoslb;
 using namespace qoslb::bench;
@@ -73,7 +78,10 @@ int main(int argc, char** argv) {
   const auto rounds_cap =
       static_cast<std::uint64_t>(args.get_int("rounds", 20));
   const auto thread_counts = args.get_int_list("threads", {1, 2, 4, 8});
+  const std::string metrics_path = args.get_string("metrics-out", "");
   args.finish();
+  obs::MetricsRegistry metrics;
+  obs::SteadyClock telemetry_clock;
   const std::size_t resources = m != 0 ? m : std::max<std::size_t>(1, n / 100);
   const unsigned hardware_threads =
       std::max(1u, std::thread::hardware_concurrency());
@@ -126,6 +134,10 @@ int main(int argc, char** argv) {
       config.stability_check_period = 1'000'000'000;
       config.threads = threads;
       config.mode = mode;
+      if (!metrics_path.empty()) {  // accumulates across cells and reps
+        config.telemetry.metrics = &metrics;
+        config.telemetry.clock = &telemetry_clock;
+      }
       Xoshiro256 rng(common.seed);
       obs::Stopwatch watch;
       const EngineResult result = Engine(config).run(*protocol, state, rng);
@@ -259,5 +271,13 @@ int main(int argc, char** argv) {
                     : "\ndeterminism: FAILED — assignment hash diverged "
                       "across the equivalence matrix\n");
   json.write("BENCH_soa.json");
+  if (!metrics_path.empty()) {
+    std::ofstream metrics_out(metrics_path);
+    if (!metrics_out) {
+      std::cerr << "warning: cannot write " << metrics_path << '\n';
+    } else {
+      metrics.write_jsonl(metrics_out);
+    }
+  }
   return deterministic ? 0 : 1;
 }

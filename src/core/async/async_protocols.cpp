@@ -7,6 +7,8 @@
 #include <optional>
 #include <vector>
 
+#include "core/protocol.hpp"
+#include "obs/decision_sink.hpp"
 #include "obs/phase_timer.hpp"
 #include "rng/distributions.hpp"
 #include "sim/des.hpp"
@@ -14,6 +16,19 @@
 
 namespace qoslb {
 namespace {
+
+/// Message-span emission state shared by the run's user agents (null when no
+/// DecisionSink is attached). Emission is purely observational — it reads
+/// the DES virtual clock and consumes no engine randomness — so spans on/off
+/// cannot change the realization. The DES loop is single-threaded, so the
+/// shared counter needs no synchronization.
+struct SpanTrace {
+  obs::DecisionSink* sink = nullptr;
+  const obs::Clock* clock = nullptr;
+  std::uint64_t sample_seed = 0;
+  std::uint64_t sample_every = 1;
+  std::uint64_t span_events = 0;
+};
 
 // Agent layout: resources occupy agent ids [0, m), users [m, m+n).
 //
@@ -220,9 +235,14 @@ class UserAgent : public DesAgent {
   /// runs; the gated protocol always requests and lets the resource decide).
   UserAgent(UserId uid, const Instance* instance, ResourceId start,
             Counters* counters, bool gated = true, double lambda = 1.0,
-            bool robust = false, ExponentialBackoff backoff = {})
+            bool robust = false, ExponentialBackoff backoff = {},
+            SpanTrace* spans = nullptr)
       : uid_(uid), instance_(instance), current_(start), counters_(counters),
-        gated_(gated), lambda_(lambda), robust_(robust), backoff_(backoff) {}
+        gated_(gated), lambda_(lambda), robust_(robust), backoff_(backoff),
+        spans_(spans),
+        traced_(spans != nullptr &&
+                decision_sampled(spans->sample_seed, uid, spans->sample_every)) {
+  }
 
   ResourceId current_resource() const { return current_; }
 
@@ -238,6 +258,8 @@ class UserAgent : public DesAgent {
           handle_grant_robust(msg, engine);
           break;
         }
+        emit_span(op_span_, "ack", "grant", static_cast<ResourceId>(msg.src),
+                  0);
         // Leave the old resource, adopt the new one.
         Message leave;
         leave.type = MsgType::kLeave;
@@ -262,20 +284,27 @@ class UserAgent : public DesAgent {
             ++counters_->stale_drops;
             break;
           }
+          emit_span(op_span_, "ack", "reject",
+                    static_cast<ResourceId>(msg.src), op_retries_);
           clear_op();
           if (searching_) probe_own(engine, /*delay=*/2.0);
           break;
         }
+        emit_span(op_span_, "ack", "reject", static_cast<ResourceId>(msg.src),
+                  0);
         pending_request_ = false;
         if (searching_) probe_own(engine, /*delay=*/2.0);
         break;
       case MsgType::kLeaveAck:
         if (robust_) {
           const auto it = pending_leaves_.find(msg.seq);
-          if (it != pending_leaves_.end())
+          if (it != pending_leaves_.end()) {
+            emit_span(it->second.span, "ack", "leave_ack",
+                      it->second.resource, it->second.retries);
             pending_leaves_.erase(it);
-          else
+          } else {
             ++counters_->stale_drops;  // ack for a retransmitted/cancelled leave
+          }
         }
         break;
       case MsgType::kTimer:
@@ -299,7 +328,36 @@ class UserAgent : public DesAgent {
   struct PendingLeave {
     ResourceId resource;
     unsigned retries;
+    std::uint64_t span = 0;
   };
+
+  /// Emits one span event for this (sampled) user. `span` groups every
+  /// send/retry/timeout/ack of one operation attempt chain.
+  void emit_span(std::uint64_t span, const char* op, const char* msg,
+                 ResourceId target, std::uint64_t seq) {
+    if (!traced_) return;
+    obs::SpanEvent event;
+    event.span = span;
+    event.user = uid_;
+    event.op = op;
+    event.msg = msg;
+    event.target = static_cast<std::int64_t>(target);
+    event.seq = seq;
+    event.time = spans_->clock->now();
+    spans_->sink->span(event);
+    ++spans_->span_events;
+  }
+
+  /// A fresh span id: user id in the high bits, per-user operation counter
+  /// in the low — globally unique and deterministic, no RNG involved.
+  std::uint64_t new_span() {
+    return (static_cast<std::uint64_t>(uid_) << 20) |
+           (++span_counter_ & 0xFFFFFULL);
+  }
+
+  const char* op_msg() const {
+    return op_kind_ == Op::kRequest ? "request" : "probe";
+  }
 
   AgentId agent_id(DesEngine& engine) const {
     (void)engine;
@@ -344,6 +402,8 @@ class UserAgent : public DesAgent {
       op_seq_ = next_seq();
       op_retries_ = 0;
     }
+    op_span_ = new_span();
+    emit_span(op_span_, "send", "probe", target, 0);
     send_probe(engine, target, delay);
   }
 
@@ -363,6 +423,8 @@ class UserAgent : public DesAgent {
     op_target_ = target;
     op_seq_ = next_seq();
     op_retries_ = 0;
+    op_span_ = new_span();
+    emit_span(op_span_, "send", "request", target, 0);
     send_request(engine);
   }
 
@@ -392,6 +454,7 @@ class UserAgent : public DesAgent {
     ++op_retries_;
     ++counters_->retries;
     op_seq_ = next_seq();
+    emit_span(op_span_, "retry", op_msg(), op_target_, op_retries_);
     if (op_kind_ == Op::kRequest)
       send_request(engine);
     else
@@ -405,7 +468,8 @@ class UserAgent : public DesAgent {
     for (const auto& [seq, leave] : pending_leaves_)
       if (leave.resource == resource) return;  // already departing
     const std::uint32_t seq = next_seq();
-    pending_leaves_.emplace(seq, PendingLeave{resource, 0});
+    pending_leaves_.emplace(seq, PendingLeave{resource, 0, new_span()});
+    emit_span(pending_leaves_.at(seq).span, "send", "leave", resource, 0);
     send_leave(engine, resource, seq);
   }
 
@@ -449,6 +513,7 @@ class UserAgent : public DesAgent {
       if (from != current_ && !still_requesting_it) begin_leave(engine, from);
       return;
     }
+    emit_span(op_span_, "ack", "grant", from, op_retries_);
     clear_op();
     begin_leave(engine, current_);
     cancel_leave(from);
@@ -465,6 +530,8 @@ class UserAgent : public DesAgent {
     const auto seq = static_cast<std::uint32_t>(msg.a);
     if (const auto it = pending_leaves_.find(seq); it != pending_leaves_.end()) {
       ++counters_->timeouts;
+      emit_span(it->second.span, "timeout", "leave", it->second.resource,
+                it->second.retries);
       if (backoff_.exhausted(it->second.retries)) {
         // Give up: if the resource comes back it will reconcile through the
         // idempotent re-grant / sequence-guard paths.
@@ -473,11 +540,14 @@ class UserAgent : public DesAgent {
       }
       ++it->second.retries;
       ++counters_->retries;
+      emit_span(it->second.span, "retry", "leave", it->second.resource,
+                it->second.retries);
       send_leave(engine, it->second.resource, seq);
       return;
     }
     if (op_active() && seq == op_seq_) {
       ++counters_->timeouts;
+      emit_span(op_span_, "timeout", op_msg(), op_target_, op_retries_);
       if (backoff_.exhausted(op_retries_)) {
         const Op timed_out = op_kind_;
         clear_op();
@@ -521,7 +591,12 @@ class UserAgent : public DesAgent {
         ++counters_->stale_drops;
         return;
       }
+      emit_span(op_span_, "ack", "load_reply", from, op_retries_);
       clear_op();
+    } else if (!robust_) {
+      // Trusting mode has no operation matching; attribute the reply
+      // (solicited or an unsolicited notification) to the latest probe span.
+      emit_span(op_span_, "ack", "load_reply", from, 0);
     }
     if (from == current_) {
       if (load <= threshold_on(current_)) {
@@ -543,6 +618,8 @@ class UserAgent : public DesAgent {
         begin_request(engine, from);
         return;
       }
+      op_span_ = new_span();
+      emit_span(op_span_, "send", "request", from, 0);
       Message request;
       request.type = MsgType::kMigrateRequest;
       request.src = agent_id(engine);
@@ -574,6 +651,12 @@ class UserAgent : public DesAgent {
   std::uint32_t op_seq_ = 0;
   unsigned op_retries_ = 0;
   std::map<std::uint32_t, PendingLeave> pending_leaves_;
+
+  // Span tracing (observational; see SpanTrace).
+  SpanTrace* spans_;
+  bool traced_;
+  std::uint64_t span_counter_ = 0;
+  std::uint64_t op_span_ = 0;
 };
 
 }  // namespace
@@ -598,6 +681,25 @@ AsyncRunResult run_async(const Instance& instance, const EngineConfig& config,
   obs::VirtualClock virtual_clock;
   const bool telemetry_on = config.telemetry.any();
   if (telemetry_on) engine.set_clock(&virtual_clock);
+  // Message-span tracing: same sink / sampling key as the sync decision
+  // stream; emission reads the virtual clock and draws nothing.
+  SpanTrace span_trace;
+  SpanTrace* spans = nullptr;
+  if (config.telemetry.decisions != nullptr) {
+    span_trace.sink = config.telemetry.decisions;
+    span_trace.clock = &virtual_clock;
+    span_trace.sample_seed = config.seed;
+    span_trace.sample_every = config.telemetry.decision_sample;
+    spans = &span_trace;
+    obs::TraceRunInfo info;
+    info.protocol = gated ? "async-admission" : "async-optimistic";
+    info.users = n;
+    info.resources = m;
+    info.seed = config.seed;
+    info.threads = 1;
+    info.mode = "async";
+    span_trace.sink->begin_run(info, span_trace.sample_every);
+  }
   // Each user keeps O(1) requests in flight and resources answer one-for-one,
   // so the pending set stays near 2n + m; pre-sizing it keeps the scheduling
   // path reallocation-free.
@@ -637,7 +739,7 @@ AsyncRunResult run_async(const Instance& instance, const EngineConfig& config,
     users.push_back(std::make_unique<UserAgent>(u, &instance, start,
                                                 &result.counters, gated,
                                                 lambda, robust,
-                                                config.backoff));
+                                                config.backoff, spans));
     const AgentId id = engine.add_agent(users.back().get());
     QOSLB_CHECK(id == m + u, "user agent ids must follow resource ids");
     resources[start]->seed_resident(id, instance.threshold(u, start));
@@ -654,6 +756,10 @@ AsyncRunResult run_async(const Instance& instance, const EngineConfig& config,
     // One ScopedPhase interval, but the natural "count" for the dispatch
     // bucket is deliveries, not run() calls.
     result.telemetry.phases[obs::Phase::kEventDispatch].count = result.events;
+  }
+  if (spans != nullptr) {
+    result.telemetry.span_events = span_trace.span_events;
+    span_trace.sink->end_run();
   }
   result.virtual_time = engine.now();
   result.counters.events = result.events;

@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <optional>
 #include <sstream>
@@ -9,7 +10,9 @@
 #include "core/potential.hpp"
 #include "core/weighted/weighted_protocols.hpp"
 #include "core/weighted/weighted_state.hpp"
+#include "obs/decision_sink.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/trace_sink.hpp"
 #include "rng/splitmix64.hpp"
 #include "sim/parallel_round_engine.hpp"
@@ -72,7 +75,94 @@ void export_metrics(const obs::Telemetry& options, EngineResult& result,
                   "_seconds"),
           stat.seconds);
   }
+  if (options.decisions != nullptr) {
+    m.add(m.counter("decisions/events"), result.telemetry.decision_events);
+    m.add(m.counter("decisions/spans"), result.telemetry.span_events);
+    m.add(m.counter("diag/herding_findings"),
+          result.telemetry.herding_findings);
+    m.set(m.gauge("diag/max_herding_ratio"),
+          result.telemetry.max_herding_ratio);
+  }
+  if (options.perf != nullptr) {
+    m.set(m.gauge("perf/available"),
+          result.telemetry.perf_available ? 1.0 : 0.0);
+    for (std::size_t i = 0; i < obs::kNumPhases; ++i) {
+      const obs::PerfSample& sample = result.telemetry.perf.totals[i];
+      if (sample.cycles == 0 && sample.instructions == 0) continue;
+      const auto phase = static_cast<obs::Phase>(i);
+      const std::string prefix = std::string("perf/") + obs::phase_name(phase);
+      m.set(m.gauge(prefix + "_cycles"), static_cast<double>(sample.cycles));
+      m.set(m.gauge(prefix + "_instructions"),
+            static_cast<double>(sample.instructions));
+      m.set(m.gauge(prefix + "_cache_misses"),
+            static_cast<double>(sample.cache_misses));
+      m.set(m.gauge(prefix + "_branch_misses"),
+            static_cast<double>(sample.branch_misses));
+    }
+  }
 }
+
+/// RAII per-phase hardware-counter attribution, mirroring ScopedPhase: an
+/// unattached or unavailable wrapper costs one branch, and reads happen on
+/// the driving thread only (perf fds are per-thread; see
+/// obs/perf_counters.hpp on what that misses at threads > 1).
+class ScopedPerf {
+ public:
+  ScopedPerf(obs::PerfCounters* perf, obs::PhasePerf* totals, obs::Phase phase)
+      : perf_(perf != nullptr && perf->available() ? perf : nullptr),
+        totals_(totals), phase_(phase),
+        start_(perf_ != nullptr ? perf_->read() : obs::PerfSample{}) {}
+
+  ScopedPerf(const ScopedPerf&) = delete;
+  ScopedPerf& operator=(const ScopedPerf&) = delete;
+
+  ~ScopedPerf() {
+    if (perf_ != nullptr) totals_->add(phase_, start_, perf_->read());
+  }
+
+ private:
+  obs::PerfCounters* perf_;
+  obs::PhasePerf* totals_;
+  obs::Phase phase_;
+  obs::PerfSample start_;
+};
+
+/// (after - before) - (claimed1 - claimed0), per counter, saturating at
+/// zero: the step share of a whole-round reading net of what the commit
+/// phase already attributed — the hardware-counter twin of the round-wall
+/// minus commit-bucket clock subtraction in drive_step_users.
+obs::PerfSample perf_step_share(const obs::PerfSample& before,
+                                const obs::PerfSample& after,
+                                const obs::PerfSample& claimed0,
+                                const obs::PerfSample& claimed1) {
+  const auto share = [](std::uint64_t b, std::uint64_t a, std::uint64_t c0,
+                        std::uint64_t c1) -> std::uint64_t {
+    const std::uint64_t total = a > b ? a - b : 0;
+    const std::uint64_t claimed = c1 > c0 ? c1 - c0 : 0;
+    return total > claimed ? total - claimed : 0;
+  };
+  obs::PerfSample out;
+  out.cycles = share(before.cycles, after.cycles, claimed0.cycles,
+                     claimed1.cycles);
+  out.instructions = share(before.instructions, after.instructions,
+                           claimed0.instructions, claimed1.instructions);
+  out.cache_misses = share(before.cache_misses, after.cache_misses,
+                           claimed0.cache_misses, claimed1.cache_misses);
+  out.branch_misses = share(before.branch_misses, after.branch_misses,
+                            claimed0.branch_misses, claimed1.branch_misses);
+  return out;
+}
+
+/// Per-round migration-flow aggregates, tallied by UserSetRoundTask::commit
+/// from the shard-ordered request list (so every field is
+/// thread/mode/layout-invariant) and turned into a DiagRow + detector
+/// verdict by TelemetryDriver::decision_round.
+struct RoundDiagData {
+  std::uint64_t migrations = 0;  // granted moves this round
+  std::uint64_t inflow_max = 0;
+  ResourceId inflow_argmax = kNoResource;
+  std::uint64_t outflow_at_argmax = 0;
+};
 
 /// Per-run driver for config.telemetry. Every hook reads simulation state
 /// from the driving thread, strictly between rounds, and feeds nothing back
@@ -86,7 +176,9 @@ class TelemetryDriver {
       : options_(options), result_(&result) {
     if (!options_.any()) return;
     result_->telemetry.enabled = true;
-    if (options_.sink != nullptr) {
+    result_->telemetry.perf_available =
+        options_.perf != nullptr && options_.perf->available();
+    if (options_.sink != nullptr || options_.decisions != nullptr) {
       obs::TraceRunInfo info;
       info.protocol = protocol.name();
       info.users = state.num_users();
@@ -94,7 +186,9 @@ class TelemetryDriver {
       info.seed = seed;
       info.threads = threads;
       info.mode = mode;
-      options_.sink->begin_run(info);
+      if (options_.sink != nullptr) options_.sink->begin_run(info);
+      if (options_.decisions != nullptr)
+        options_.decisions->begin_run(info, options_.decision_sample);
     }
     if (options_.metrics != nullptr) {
       const auto hi =
@@ -106,6 +200,10 @@ class TelemetryDriver {
 
   const obs::Clock* clock() const { return options_.clock; }
   obs::PhaseTimers* timers() { return &result_->telemetry.phases; }
+  obs::PerfCounters* perf() const { return options_.perf; }
+  obs::PhasePerf* phase_perf() { return &result_->telemetry.perf; }
+  bool decisions_on() const { return options_.decisions != nullptr; }
+  std::uint64_t decision_sample() const { return options_.decision_sample; }
 
   /// Round-boundary hook (round 0 = the pre-run snapshot): samples the
   /// active-set-size histogram for executed rounds and emits the trace row,
@@ -129,13 +227,85 @@ class TelemetryDriver {
     emit(round, state, active_size);
   }
 
-  /// Flushes a held-back final row, closes the sink, exports the metrics.
+  /// Post-commit hook for one executed round (driving thread, decisions
+  /// sink attached): drains the per-shard decision records in shard order —
+  /// resolving `to`/`granted`/`satisfied_after` against the committed state,
+  /// which is what captures admission rejects — then emits the round's
+  /// diagnostics row and runs the herding detector.
+  void decision_round(std::uint64_t round, const State& state,
+                      const std::vector<DecisionScratch>& shards,
+                      const RoundDiagData& diag) {
+    obs::ScopedPhase phase(options_.clock, timers(), obs::Phase::kTrace);
+    ScopedPerf perf(options_.perf, phase_perf(), obs::Phase::kTrace);
+    obs::DecisionSink& sink = *options_.decisions;
+    const auto to_field = [](ResourceId r) {
+      return r == kNoResource ? obs::kNoDecisionTarget
+                              : static_cast<std::int64_t>(r);
+    };
+    for (const DecisionScratch& shard : shards) {
+      for (const DecisionRecord& rec : shard.records) {
+        obs::DecisionEvent event;
+        event.round = round;
+        event.user = rec.user;
+        event.from = to_field(rec.from);
+        event.probe = to_field(rec.probe);
+        event.target = to_field(rec.target);
+        const ResourceId now = state.resource_of(rec.user);
+        event.to = to_field(now);
+        event.threshold = rec.threshold;
+        event.requested = rec.target != kNoResource;
+        event.granted = event.requested && now == rec.target;
+        event.satisfied_before = rec.satisfied_before;
+        event.satisfied_after = state.satisfied(rec.user);
+        sink.decision(event);
+        ++result_->telemetry.decision_events;
+      }
+    }
+    obs::DiagRow row;
+    row.round = round;
+    row.migrations = diag.migrations;
+    row.inflow_max = diag.inflow_max;
+    row.inflow_argmax = to_field(diag.inflow_argmax);
+    row.outflow_at_argmax = diag.outflow_at_argmax;
+    row.herding_ratio =
+        static_cast<double>(diag.inflow_max) /
+        static_cast<double>(std::max<std::uint64_t>(1, diag.outflow_at_argmax));
+    const auto& loads = state.loads();
+    const auto& live = state.live_resources();
+    double mean = 0.0;
+    for (const ResourceId r : live) mean += loads[r];
+    mean /= static_cast<double>(live.size());
+    double sq = 0.0;
+    for (const ResourceId r : live) {
+      const double dev = loads[r] - mean;
+      row.l_inf = std::max(row.l_inf, std::abs(dev));
+      sq += dev * dev;
+    }
+    row.l2 = std::sqrt(sq / static_cast<double>(live.size()));
+    sink.diag(row);
+    result_->telemetry.max_herding_ratio =
+        std::max(result_->telemetry.max_herding_ratio, row.herding_ratio);
+    if (row.inflow_max > 1 && row.herding_ratio > options_.herding_factor) {
+      obs::DecisionFinding finding;
+      finding.detector = "herding";
+      finding.round = round;
+      finding.resource = row.inflow_argmax;
+      finding.inflow = row.inflow_max;
+      finding.outflow = row.outflow_at_argmax;
+      finding.ratio = row.herding_ratio;
+      sink.finding(finding);
+      ++result_->telemetry.herding_findings;
+    }
+  }
+
+  /// Flushes a held-back final row, closes the sinks, exports the metrics.
   void finish(const State& state) {
     if (!options_.any()) return;
     if (options_.sink != nullptr) {
       if (pending_) emit(pending_round_, state, pending_active_);
       options_.sink->end_run();
     }
+    if (options_.decisions != nullptr) options_.decisions->end_run();
     export_metrics(options_, *result_, &state);
   }
 
@@ -183,6 +353,8 @@ class SequentialTask : public RoundTask {
     {
       obs::ScopedPhase phase(telemetry_->clock(), telemetry_->timers(),
                              obs::Phase::kStep);
+      ScopedPerf perf(telemetry_->perf(), telemetry_->phase_perf(),
+                      obs::Phase::kStep);
       protocol_->step(*state_, *rng_, result_->counters);
     }
     ++result_->counters.rounds;
@@ -200,6 +372,8 @@ class SequentialTask : public RoundTask {
   bool converged() const override {
     obs::ScopedPhase phase(telemetry_->clock(), telemetry_->timers(),
                            obs::Phase::kSatisfactionCheck);
+    ScopedPerf perf(telemetry_->perf(), telemetry_->phase_perf(),
+                    obs::Phase::kSatisfactionCheck);
     // Fast path: full satisfaction implies stability for the satisfaction
     // protocols and is cheap to confirm for the others.
     if (state_->count_satisfied() == state_->num_users())
@@ -242,9 +416,20 @@ class UserSetRoundTask : public ShardedRoundTask {
     // in place instead of destroying them, so steady-state rounds allocate
     // nothing in the fan-out path.
     shards_.resize(num_shards);
-    for (MigrationBuffer& shard : shards_) {
+    if (decisions_on_) decision_shards_.resize(num_shards);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      MigrationBuffer& shard = shards_[i];
       shard.requests.clear();
       shard.resource_tallies.clear();
+      if (decisions_on_) {
+        DecisionScratch& scratch = decision_shards_[i];
+        scratch.sample_seed = sample_seed_;
+        scratch.sample_every = sample_every_;
+        scratch.records.clear();
+        shard.decisions = &scratch;
+      } else {
+        shard.decisions = nullptr;
+      }
     }
     shard_counters_.assign(num_shards, Counters{});
   }
@@ -257,31 +442,94 @@ class UserSetRoundTask : public ShardedRoundTask {
                           shard_counters_[shard]);
   }
 
-  /// Phase-timer hookup (driving thread only; null clock = no reads).
-  void set_telemetry(const obs::Clock* clock, obs::PhaseTimers* timers) {
+  /// Phase-timer and perf-counter hookup (driving thread only; null clock
+  /// and null perf = no reads).
+  void set_telemetry(const obs::Clock* clock, obs::PhaseTimers* timers,
+                     obs::PerfCounters* perf, obs::PhasePerf* phase_perf) {
     clock_ = clock;
     timers_ = timers;
+    perf_ = perf;
+    phase_perf_ = phase_perf;
   }
+
+  /// Turns on per-shard decision recording and round-flow diagnostics.
+  void enable_decisions(std::uint64_t sample_seed, std::uint64_t sample_every) {
+    decisions_on_ = true;
+    sample_seed_ = sample_seed;
+    sample_every_ = sample_every;
+  }
+
+  const std::vector<DecisionScratch>& decision_shards() const {
+    return decision_shards_;
+  }
+  const RoundDiagData& round_diag() const { return diag_; }
 
   void commit() override {
     // commit() runs on the caller thread after the decide fan-out joined,
     // so timing it here races with nothing.
     obs::ScopedPhase phase(clock_, timers_, obs::Phase::kCommit);
+    ScopedPerf perf(perf_, phase_perf_, obs::Phase::kCommit);
     for (const Counters& shard : shard_counters_) *counters_ += shard;
+    if (!decisions_on_) {
+      protocol_->commit_round(*state_, shards_, *counters_);
+      return;
+    }
+    // Pre-commit: remember every request's source resource (shard order —
+    // one request per user per round), then let the protocol commit, then
+    // tally the granted flows. All reads, so the realization is untouched.
+    round_moves_.clear();
+    for (const MigrationBuffer& shard : shards_)
+      for (const MigrationRequest& req : shard.requests)
+        round_moves_.push_back(
+            PendingMove{req.user, req.target, state_->resource_of(req.user)});
     protocol_->commit_round(*state_, shards_, *counters_);
+    inflow_.assign(state_->num_resources(), 0);
+    outflow_.assign(state_->num_resources(), 0);
+    diag_ = RoundDiagData{};
+    for (const PendingMove& mv : round_moves_) {
+      if (state_->resource_of(mv.user) != mv.target || mv.target == mv.from)
+        continue;
+      ++inflow_[mv.target];
+      ++outflow_[mv.from];
+      ++diag_.migrations;
+    }
+    for (ResourceId r = 0; r < inflow_.size(); ++r) {
+      if (inflow_[r] > diag_.inflow_max) {
+        diag_.inflow_max = inflow_[r];
+        diag_.inflow_argmax = r;
+      }
+    }
+    if (diag_.inflow_argmax != kNoResource)
+      diag_.outflow_at_argmax = outflow_[diag_.inflow_argmax];
   }
 
  private:
+  struct PendingMove {
+    UserId user;
+    ResourceId target;
+    ResourceId from;
+  };
+
   Protocol* protocol_;
   State* state_;
   Counters* counters_;
   const obs::Clock* clock_ = nullptr;
   obs::PhaseTimers* timers_ = nullptr;
+  obs::PerfCounters* perf_ = nullptr;
+  obs::PhasePerf* phase_perf_ = nullptr;
   const std::vector<UserId>* users_ = nullptr;
   RoundRng streams_;
   std::vector<int> snapshot_;
   std::vector<MigrationBuffer> shards_;
   std::vector<Counters> shard_counters_;
+  bool decisions_on_ = false;
+  std::uint64_t sample_seed_ = 0;
+  std::uint64_t sample_every_ = 1;
+  std::vector<DecisionScratch> decision_shards_;
+  std::vector<PendingMove> round_moves_;
+  std::vector<std::uint64_t> inflow_;
+  std::vector<std::uint64_t> outflow_;
+  RoundDiagData diag_;
 };
 
 EngineResult from_async(const AsyncRunResult& async) {
@@ -448,7 +696,14 @@ EngineResult Engine::drive_step_users(Protocol& protocol, State& state,
                             active ? "active" : "dense");
   const obs::Clock* clock = config_.telemetry.clock;
   obs::PhaseTimers* timers = &result.telemetry.phases;
-  task.set_telemetry(clock, timers);
+  obs::PerfCounters* perf =
+      result.telemetry.perf_available ? config_.telemetry.perf : nullptr;
+  obs::PhasePerf* phase_perf = &result.telemetry.perf;
+  task.set_telemetry(clock, timers, perf, phase_perf);
+  // The decision sample key is the run's master seed — the same value a
+  // checkpoint stores — so a resumed run samples the same users.
+  if (telemetry.decisions_on())
+    task.enable_decisions(master_seed, telemetry.decision_sample());
   telemetry.round_row(0, state, 0);
 
   // Already-applied schedule entries (rounds before start_round) are part of
@@ -469,6 +724,7 @@ EngineResult Engine::drive_step_users(Protocol& protocol, State& state,
     // play out (and the system re-converge) first.
     if (pending_churn()) return false;
     obs::ScopedPhase phase(clock, timers, obs::Phase::kSatisfactionCheck);
+    ScopedPerf perf_scope(perf, phase_perf, obs::Phase::kSatisfactionCheck);
     if (state.count_satisfied() == n) return protocol.is_stable(state);
     if (rounds_done % config_.stability_check_period == 0)
       return protocol.is_stable(state);
@@ -501,6 +757,13 @@ EngineResult Engine::drive_step_users(Protocol& protocol, State& state,
         std::sort(iteration.begin(), iteration.end());
       }
       task.set_round(iteration, RoundRng(options.seed, r));
+      // Mirror the clock's subtraction for the hardware counters: whole-
+      // round reading minus what commit() already claimed is the step share.
+      const obs::PerfSample perf_commit0 =
+          perf != nullptr ? (*phase_perf)[obs::Phase::kCommit]
+                          : obs::PerfSample{};
+      const obs::PerfSample perf_before =
+          perf != nullptr ? perf->read() : obs::PerfSample{};
       if (clock != nullptr) {
         // The decide fan-out joins inside round() and commit() runs on this
         // thread, so round-wall minus the commit's own bucket delta is the
@@ -516,9 +779,21 @@ EngineResult Engine::drive_step_users(Protocol& protocol, State& state,
       } else {
         engine.round(task, iteration.size(), r);
       }
+      if (perf != nullptr) {
+        const obs::PerfSample share = perf_step_share(
+            perf_before, perf->read(), perf_commit0,
+            (*phase_perf)[obs::Phase::kCommit]);
+        (*phase_perf)[obs::Phase::kStep].cycles += share.cycles;
+        (*phase_perf)[obs::Phase::kStep].instructions += share.instructions;
+        (*phase_perf)[obs::Phase::kStep].cache_misses += share.cache_misses;
+        (*phase_perf)[obs::Phase::kStep].branch_misses += share.branch_misses;
+      }
       ++result.counters.rounds;
       ++result.rounds;
       ++rounds_done;
+      if (telemetry.decisions_on())
+        telemetry.decision_round(rounds_done, state, task.decision_shards(),
+                                 task.round_diag());
       tracker.on_round_end(rounds_done, state.count_satisfied(), n);
       if (config_.record_trajectory)
         result.unsatisfied_trajectory.push_back(

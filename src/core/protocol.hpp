@@ -9,6 +9,7 @@
 #include "core/state.hpp"
 #include "core/types.hpp"
 #include "rng/round_rng.hpp"
+#include "rng/splitmix64.hpp"
 #include "rng/xoshiro256.hpp"
 #include "core/accounting.hpp"
 
@@ -18,6 +19,43 @@ namespace qoslb {
 struct MigrationRequest {
   UserId user;
   ResourceId target;
+};
+
+/// Decision-trace sampling predicate: a pure hash of (seed, user), never of
+/// protocol randomness, so attaching a trace — or changing k — cannot
+/// perturb any Philox draw and the sampled set is identical across thread
+/// counts, execution modes, and shard layouts (docs/observability.md
+/// "Sampling key"). every <= 1 samples every user.
+inline bool decision_sampled(std::uint64_t seed, UserId u,
+                             std::uint64_t every) {
+  if (every <= 1) return true;
+  return mix64(seed ^ (0x9E3779B97F4A7C15ULL * (u + 0x5EEDULL))) % every == 0;
+}
+
+/// One sampled per-user decision, recorded by step_users() when tracing is
+/// attached. The protocol fills the pre-commit half (what it saw and asked
+/// for); the engine resolves the post-commit half from the committed state.
+struct DecisionRecord {
+  UserId user = 0;
+  ResourceId from = kNoResource;    // resource at the round boundary
+  ResourceId probe = kNoResource;   // best candidate probed, if any
+  ResourceId target = kNoResource;  // requested target (kNoResource: stayed)
+  int threshold = 0;                // threshold(user, probe) when probed
+  bool satisfied_before = false;
+};
+
+/// Per-shard decision-trace scratch. The engine attaches one per shard only
+/// when a DecisionSink is configured (MigrationBuffer::decisions is null
+/// otherwise) and drains them in shard order after commit, so the emitted
+/// stream is thread/mode/layout-invariant.
+struct DecisionScratch {
+  std::uint64_t sample_seed = 0;
+  std::uint64_t sample_every = 1;
+  std::vector<DecisionRecord> records;
+
+  bool sampled(UserId u) const {
+    return decision_sampled(sample_seed, u, sample_every);
+  }
 };
 
 /// Per-shard output of a sharded decision phase (docs/engine.md). Each shard
@@ -30,6 +68,10 @@ struct MigrationBuffer {
   /// (e.g. AdaptiveSampling's migration-intent counts). Sized lazily by the
   /// protocol; summed across shards in commit_round().
   std::vector<std::uint32_t> resource_tallies;
+  /// Non-null only while decision tracing is attached (engine-owned, one
+  /// per shard). Protocols append a DecisionRecord for every *sampled*
+  /// acting user, after all of that user's draws.
+  DecisionScratch* decisions = nullptr;
 };
 
 /// A distributed (or sequential-baseline) QoS load-balancing dynamic.

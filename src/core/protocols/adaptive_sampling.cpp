@@ -76,14 +76,24 @@ void AdaptiveSampling::step_users(const State& state,
         best_quality = quality;
       }
     }
-    if (best == kNoResource) continue;
+    if (best == kNoResource) {
+      if (out.decisions != nullptr && out.decisions->sampled(u))
+        out.decisions->records.push_back(
+            DecisionRecord{u, current, kNoResource, kNoResource, 0, false});
+      continue;
+    }
     ++out.resource_tallies[best];
     const int slack = instance.threshold(u, best) - snapshot[best];
     const std::uint32_t contention =
         std::max(intent_at(last_intents_, best), intent_at(prev_intents_, best));
     const double p = std::min(
         1.0, static_cast<double>(slack) / std::max<std::uint32_t>(1, contention));
-    if (bernoulli(rng, p)) out.requests.push_back(MigrationRequest{u, best});
+    const bool requested = bernoulli(rng, p);
+    if (requested) out.requests.push_back(MigrationRequest{u, best});
+    if (out.decisions != nullptr && out.decisions->sampled(u))
+      out.decisions->records.push_back(DecisionRecord{
+          u, current, best, requested ? best : kNoResource,
+          instance.threshold(u, best), false});
   }
 }
 

@@ -38,6 +38,12 @@ void AdmissionControl::step_users(const State& state,
       }
     }
     if (best != kNoResource) out.requests.push_back(MigrationRequest{u, best});
+    // Decision tracing last, after every draw for u; whether the request is
+    // granted is resolved by the engine after the admission commit.
+    if (out.decisions != nullptr && out.decisions->sampled(u))
+      out.decisions->records.push_back(DecisionRecord{
+          u, current, best, best,
+          best != kNoResource ? instance.threshold(u, best) : 0, false});
   }
 }
 

@@ -18,20 +18,34 @@ void BerenbrinkBalancing::step_users(const State& state,
   // the protocol is not active_set_compatible), so the loop streams the raw
   // assignment array directly.
   const ResourceId* assignment = state.assignment().data();
+  const int* thresholds = state.current_thresholds().data();
   for (std::size_t i = 0; i < count; ++i) {
     const UserId u = users[i];
     const ResourceId current = assignment[u];
     PhiloxEngine rng = streams.user_stream(u);
     const ResourceId r = sample_reachable(state, u, rng);
     ++counters.probes;
-    if (r == kNoResource || r == current) continue;
     // Normalized (capacity-relative) loads handle related resources; for
     // identical capacities this reduces to the original integer rule.
-    const double src = static_cast<double>(snapshot[current]) / instance.capacity(current);
-    const double dst = static_cast<double>(snapshot[r] + 1) / instance.capacity(r);
-    if (dst >= src) continue;
-    const double p = 1.0 - dst / src;
-    if (bernoulli(rng, p)) out.requests.push_back(MigrationRequest{u, r});
+    bool requested = false;
+    ResourceId probe = kNoResource;
+    if (r != kNoResource && r != current) {
+      probe = r;
+      const double src = static_cast<double>(snapshot[current]) / instance.capacity(current);
+      const double dst = static_cast<double>(snapshot[r] + 1) / instance.capacity(r);
+      if (dst < src && bernoulli(rng, 1.0 - dst / src)) {
+        requested = true;
+        out.requests.push_back(MigrationRequest{u, r});
+      }
+    }
+    // Decision tracing last, after every draw for u. The dynamic is
+    // QoS-oblivious, so — unlike the prefiltered protocols — sampled users
+    // can be satisfied at the round boundary; record which.
+    if (out.decisions != nullptr && out.decisions->sampled(u))
+      out.decisions->records.push_back(DecisionRecord{
+          u, current, probe, requested ? probe : kNoResource,
+          probe != kNoResource ? instance.threshold(u, probe) : 0,
+          snapshot[current] <= thresholds[u]});
   }
 }
 

@@ -38,7 +38,12 @@ void NeighborhoodSampling::step_users(const State& state,
   for (const UserId u : unsatisfied_prefilter(state, snapshot, users, count)) {
     const ResourceId current = assignment[u];
     const auto neighbors = graph_->neighbors(current);
-    if (neighbors.empty()) continue;
+    if (neighbors.empty()) {
+      if (out.decisions != nullptr && out.decisions->sampled(u))
+        out.decisions->records.push_back(
+            DecisionRecord{u, current, kNoResource, kNoResource, 0, false});
+      continue;
+    }
 
     PhiloxEngine rng = streams.user_stream(u);
     ResourceId best = kNoResource;
@@ -57,9 +62,18 @@ void NeighborhoodSampling::step_users(const State& state,
         best_quality = quality;
       }
     }
-    if (best == kNoResource) continue;
-    if (commit_ == Commit::kOptimistic && !bernoulli(rng, migrate_prob_)) continue;
-    out.requests.push_back(MigrationRequest{u, best});
+    bool requested = false;
+    if (best != kNoResource &&
+        (commit_ != Commit::kOptimistic || bernoulli(rng, migrate_prob_))) {
+      requested = true;
+      out.requests.push_back(MigrationRequest{u, best});
+    }
+    // Decision tracing last, after every draw for u (the kOptimistic
+    // bernoulli above draws exactly when the untraced path drew).
+    if (out.decisions != nullptr && out.decisions->sampled(u))
+      out.decisions->records.push_back(DecisionRecord{
+          u, current, best, requested ? best : kNoResource,
+          best != kNoResource ? instance.threshold(u, best) : 0, false});
   }
 }
 

@@ -48,8 +48,14 @@ void UniformSampling::step_users(const State& state,
         best_quality = quality;
       }
     }
-    if (best != kNoResource && bernoulli(rng, migrate_prob_))
-      out.requests.push_back(MigrationRequest{u, best});
+    const bool requested = best != kNoResource && bernoulli(rng, migrate_prob_);
+    if (requested) out.requests.push_back(MigrationRequest{u, best});
+    // Decision tracing last, after every draw for u, so attaching a sink
+    // cannot shift the stream (prefilter survivors are unsatisfied).
+    if (out.decisions != nullptr && out.decisions->sampled(u))
+      out.decisions->records.push_back(DecisionRecord{
+          u, current, best, requested ? best : kNoResource,
+          best != kNoResource ? instance.threshold(u, best) : 0, false});
   }
 }
 

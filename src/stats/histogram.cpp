@@ -56,6 +56,32 @@ void Histogram::merge(const Histogram& other) {
   overflow_ += other.overflow_;
 }
 
+double Histogram::quantile(double q) const {
+  QOSLB_REQUIRE(q >= 0.0 && q <= 1.0, "quantile order must be in [0,1]");
+  if (total_ == 0) return lo_;
+  // Sample order: the underflow mass sits exactly at lo, each bucket's
+  // in-range mass spreads uniformly over [bucket_lo, bucket_hi), the
+  // overflow mass sits exactly at hi. add() folds out-of-range samples into
+  // the edge buckets' counts, so subtract them back out here.
+  const double target = q * static_cast<double>(total_);
+  double cumulative = static_cast<double>(underflow_);
+  if (target <= cumulative) return lo_;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    std::size_t in_range = counts_[b];
+    if (b == 0) in_range -= underflow_;
+    if (b + 1 == counts_.size()) in_range -= overflow_;
+    if (in_range == 0) continue;
+    const double next = cumulative + static_cast<double>(in_range);
+    if (target <= next) {
+      const double fraction =
+          (target - cumulative) / static_cast<double>(in_range);
+      return bucket_lo(b) + fraction * width_;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
 std::string Histogram::render(std::size_t max_width) const {
   std::size_t peak = 1;
   for (const std::size_t c : counts_) peak = std::max(peak, c);

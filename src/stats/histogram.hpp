@@ -27,6 +27,13 @@ class Histogram {
   /// obs::MetricsRegistry::merge to fold per-shard histograms together.
   void merge(const Histogram& other);
 
+  /// The q-quantile (q in [0,1]) of the recorded samples, linearly
+  /// interpolated within the containing bucket. Out-of-range samples clamp
+  /// to the range edge they fell past (underflow reads as lo, overflow as
+  /// hi), so p999 of a saturated histogram is hi, not an extrapolation.
+  /// An empty histogram returns lo.
+  double quantile(double q) const;
+
   /// Simple ASCII rendering ("[0.0,0.5)  ####### 14").
   std::string render(std::size_t max_width = 50) const;
 

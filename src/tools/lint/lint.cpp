@@ -70,6 +70,10 @@ const std::vector<RuleInfo>& rules() {
        "hot-path hygiene: no locks, heap allocation, or throw reachable from "
        "step_users/step_range/commit_round (suppress per call site with "
        "allow(QL015))"},
+      {"QL016",
+       "telemetry schema catalog: every metric/gauge/histogram name "
+       "registered in src/** and every JSONL key emitted by src/obs/** must "
+       "appear backticked in docs/observability.md"},
   };
   return kRules;
 }

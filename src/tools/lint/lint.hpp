@@ -17,7 +17,7 @@
 //   pass 2  include_graph.hpp  quoted-include graph (QL011 layering)
 //   pass 3  symbols.hpp        function/struct index over src/**
 //   pass 4  callgraph.hpp      conservative name-based call graph
-//   rules   rules.hpp          QL001..QL015 over the four passes
+//   rules   rules.hpp          QL001..QL016 over the four passes
 // No libclang: the passes are deliberately simple enough to run anywhere the
 // repo builds. See docs/static-analysis.md for the full contract.
 namespace qoslb::lint {

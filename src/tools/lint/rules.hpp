@@ -24,8 +24,9 @@ struct Context {
 /// blanked code view.
 void rules_tokens(const Context& ctx, std::vector<Finding>& out);
 
-/// QL004/QL006/QL008/QL009 — cross-file contract checks (protocol registry,
-/// CMake reachability, allowlist staleness, snapshot field pairing).
+/// QL004/QL006/QL008/QL009/QL016 — cross-file contract checks (protocol
+/// registry, CMake reachability, allowlist staleness, snapshot field
+/// pairing, telemetry schema catalog).
 void rules_contracts(const Context& ctx, std::vector<Finding>& out);
 
 /// QL011 — include-graph layering over the declared layer map.

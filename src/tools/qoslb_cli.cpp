@@ -37,6 +37,17 @@
 // Telemetry (run/trace/async modes, docs/observability.md):
 //   --metrics-out=FILE   write the run's metrics registry as JSONL
 //   --trace-out=FILE     write per-round trace rows as JSONL
+//   --decisions-out=FILE write sampled decision/span/diag events as JSONL
+//   --trace-sample=K     keep 1-in-K users in the decision stream (hash of
+//                        (seed, user), so the sample is thread/mode
+//                        invariant; default 1 = every user)
+//   --herding-factor=X   flag rounds where one resource's in-migrations
+//                        exceed X times its drain (default 4)
+//   --perf               record hardware counters per engine phase into the
+//                        metrics registry (Linux perf_event_open; degrades
+//                        to a warning where unavailable)
+//   --report=FILE        after the run, analyze the written artifacts with
+//                        the qoslb-report passes and write Markdown here
 //   --progress[=...]     log progress through QOSLB_INFO every
 //                        --progress-every rounds (default 100)
 //   --log-level=LEVEL    debug|info|warn|error|off (global; default warn)
@@ -58,8 +69,11 @@
 #include "core/protocols/registry.hpp"
 #include "net/generators.hpp"
 #include "obs/clock.hpp"
+#include "obs/decision_sink.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/trace_sink.hpp"
+#include "tools/report/report.hpp"
 #include "util/args.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -74,6 +88,11 @@ namespace {
 /// this object, so it must not move).
 struct TelemetryOptions {
   std::string metrics_path;
+  std::string trace_path;
+  std::string decisions_path;
+  std::string report_path;
+  std::uint64_t trace_sample = 1;
+  double herding_factor = 4.0;
   bool enabled = false;
 
   obs::MetricsRegistry metrics;
@@ -82,23 +101,44 @@ struct TelemetryOptions {
   std::optional<obs::JsonlTraceSink> trace_sink;
   std::optional<obs::ProgressTraceSink> progress_sink;
   obs::TeeTraceSink tee;
+  std::ofstream decisions_file;
+  std::optional<obs::JsonlDecisionSink> decisions_sink;
+  std::optional<obs::PerfCounters> perf;
   bool has_rows = false;  // any row-consuming sink attached
 };
 
 void read_telemetry(ArgParser& args, TelemetryOptions& io) {
   io.metrics_path = args.get_string("metrics-out", "");
-  const std::string trace_path = args.get_string("trace-out", "");
+  io.trace_path = args.get_string("trace-out", "");
+  io.decisions_path = args.get_string("decisions-out", "");
+  io.report_path = args.get_string("report", "");
+  const long long trace_sample = args.get_int("trace-sample", 1);
+  if (trace_sample < 1)
+    throw std::runtime_error("--trace-sample must be at least 1");
+  io.trace_sample = static_cast<std::uint64_t>(trace_sample);
+  io.herding_factor = args.get_double("herding-factor", 4.0);
+  if (io.herding_factor <= 0.0)
+    throw std::runtime_error("--herding-factor must be positive");
   const bool progress = args.get_flag("progress");
   const auto progress_every =
       static_cast<std::uint64_t>(args.get_int("progress-every", 100));
-  if (!trace_path.empty()) {
-    io.trace_file.open(trace_path);
+  if (!io.trace_path.empty()) {
+    io.trace_file.open(io.trace_path);
     if (!io.trace_file)
-      throw std::runtime_error("cannot open --trace-out '" + trace_path + "'");
+      throw std::runtime_error("cannot open --trace-out '" + io.trace_path +
+                               "'");
     io.trace_sink.emplace(io.trace_file);
     io.tee.add(&*io.trace_sink);
     io.has_rows = true;
   }
+  if (!io.decisions_path.empty()) {
+    io.decisions_file.open(io.decisions_path);
+    if (!io.decisions_file)
+      throw std::runtime_error("cannot open --decisions-out '" +
+                               io.decisions_path + "'");
+    io.decisions_sink.emplace(io.decisions_file);
+  }
+  if (args.get_flag("perf")) io.perf.emplace();
   if (progress) {
     // --progress implies info verbosity (the reports go through QOSLB_INFO).
     if (Log::level() > LogLevel::kInfo) Log::set_level(LogLevel::kInfo);
@@ -106,7 +146,8 @@ void read_telemetry(ArgParser& args, TelemetryOptions& io) {
     io.tee.add(&*io.progress_sink);
     io.has_rows = true;
   }
-  io.enabled = io.has_rows || !io.metrics_path.empty();
+  io.enabled = io.has_rows || !io.metrics_path.empty() ||
+               io.decisions_sink.has_value() || io.perf.has_value();
 }
 
 /// Points config.telemetry at the wired-up sinks. The clock rides along
@@ -115,18 +156,46 @@ void apply_telemetry(TelemetryOptions& io, EngineConfig& config) {
   if (!io.enabled) return;
   if (!io.metrics_path.empty()) config.telemetry.metrics = &io.metrics;
   if (io.has_rows) config.telemetry.sink = &io.tee;
+  if (io.decisions_sink.has_value()) {
+    config.telemetry.decisions = &*io.decisions_sink;
+    config.telemetry.decision_sample = io.trace_sample;
+    config.telemetry.herding_factor = io.herding_factor;
+  }
+  if (io.perf.has_value()) config.telemetry.perf = &*io.perf;
   config.telemetry.clock = &io.clock;
 }
 
-void finish_telemetry(const TelemetryOptions& io) {
-  if (io.metrics_path.empty()) return;
-  std::ofstream out(io.metrics_path);
+void finish_telemetry(TelemetryOptions& io) {
+  if (!io.metrics_path.empty()) {
+    std::ofstream out(io.metrics_path);
+    if (!out)
+      throw std::runtime_error("cannot open --metrics-out '" +
+                               io.metrics_path + "'");
+    io.metrics.write_jsonl(out);
+    QOSLB_INFO << "wrote " << io.metrics.size() << " metrics to "
+               << io.metrics_path;
+  }
+  if (io.report_path.empty()) return;
+  // Close the artifact streams before the report passes re-read them.
+  if (io.trace_file.is_open()) io.trace_file.close();
+  if (io.decisions_file.is_open()) io.decisions_file.close();
+  report::Report analysis;
+  if (!io.metrics_path.empty()) report::ingest_file(io.metrics_path, analysis);
+  if (!io.trace_path.empty()) report::ingest_file(io.trace_path, analysis);
+  if (!io.decisions_path.empty())
+    report::ingest_file(io.decisions_path, analysis);
+  std::ofstream out(io.report_path);
   if (!out)
-    throw std::runtime_error("cannot open --metrics-out '" + io.metrics_path +
-                             "'");
-  io.metrics.write_jsonl(out);
-  QOSLB_INFO << "wrote " << io.metrics.size() << " metrics to "
-             << io.metrics_path;
+    throw std::runtime_error("cannot open --report '" + io.report_path + "'");
+  out << report::render_markdown(analysis);
+  QOSLB_INFO << "wrote report to " << io.report_path;
+  // The run itself stays usable when detectors fire — the standalone
+  // qoslb-report tool is the gating entry point; here we just surface it.
+  if (report::exit_code(analysis) != 0) {
+    QOSLB_WARN << "report: " << analysis.total_findings() << " findings, "
+               << analysis.schema_issues.size() << " schema issues — see "
+               << io.report_path;
+  }
 }
 
 Instance build_family(const std::string& family, std::size_t n, std::size_t m,

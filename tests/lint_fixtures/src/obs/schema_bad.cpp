@@ -1,0 +1,17 @@
+// QL016 fixture: one JSONL key and one metric name that the fixture catalog
+// (docs/observability.md) never documents — both must fire. The `kind` key
+// on the same line is documented and must not. Never compiled.
+#include <string>
+
+namespace fx {
+
+struct Registry {
+  int counter(const std::string& name);
+};
+
+int emit(Registry& m, std::string& out) {
+  out += "{\"kind\":\"row\",\"mystery\":1}\n";
+  return m.counter("engine/bogus_counter");
+}
+
+}  // namespace fx

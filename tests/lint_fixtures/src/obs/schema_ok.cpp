@@ -1,0 +1,21 @@
+// QL016 fixture (clean): a composed phase-gauge registration whose literal
+// fragments are covered by the catalog's `phase/<name>_seconds` entry, a
+// documented key, a dynamic (literal-free) registration, and a per-line
+// allow() suppression. Never compiled.
+#include <string>
+
+namespace fx {
+
+struct Registry {
+  int gauge(const std::string& name);
+};
+
+int emit(Registry& m, const std::string& phase, std::string& out) {
+  out += "{\"round\":2}\n";
+  // qoslb-lint: allow(QL016)
+  out += "{\"undocumented_but_allowed\":1}\n";
+  m.gauge(phase);  // dynamic name: owned by the registering caller's site
+  return m.gauge(std::string("phase/") + phase + "_seconds");
+}
+
+}  // namespace fx

@@ -139,6 +139,45 @@ TEST(MetricsRegistry, MergeOrderIsDeterministic) {
             "{\"metric\":\"gamma\",\"type\":\"counter\",\"value\":1}\n");
 }
 
+// merge is associative: (a ⊕ b) ⊕ c and a ⊕ (b ⊕ c) produce bit-identical
+// JSONL — counters sum, last-written gauges win, histograms fold bucket-wise
+// — which is what lets per-shard registries fold in any grouping as long as
+// the shard order itself is fixed.
+TEST(MetricsRegistry, MergeIsAssociative) {
+  const auto make_shard = [](std::uint64_t salt) {
+    MetricsRegistry m;
+    m.add(m.counter("engine/rounds"), 10 + salt);
+    if (salt != 1) m.set(m.gauge("state/potential"), 2.0 * salt);
+    const HistogramHandle h = m.histogram("engine/active_set_size", 0.0, 8.0, 4);
+    m.observe(h, static_cast<double>(salt));
+    m.observe(h, 100.0);  // overflow mass folds too
+    m.add(m.counter("shard/only_" + std::to_string(salt)), salt);
+    return m;
+  };
+
+  MetricsRegistry left_first;  // (a ⊕ b) ⊕ c
+  left_first.merge(make_shard(0));
+  left_first.merge(make_shard(1));
+  left_first.merge(make_shard(2));
+
+  MetricsRegistry right_first = make_shard(0);  // a ⊕ (b ⊕ c)
+  MetricsRegistry tail = make_shard(1);
+  tail.merge(make_shard(2));
+  right_first.merge(tail);
+
+  std::ostringstream left, right;
+  left_first.write_jsonl(left);
+  right_first.write_jsonl(right);
+  EXPECT_EQ(left.str(), right.str());
+  EXPECT_EQ(left_first.counter_value(left_first.find_counter("engine/rounds")),
+            33u);
+  EXPECT_EQ(
+      left_first.histogram_data(
+                    left_first.find_histogram("engine/active_set_size"))
+          .overflow(),
+      3u);
+}
+
 TEST(PhaseTimers, AddAndMergeAccumulate) {
   PhaseTimers a;
   a.add(Phase::kStep, 1.5);

@@ -143,6 +143,70 @@ TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
 }
 
+TEST(HistogramQuantile, EmptyReturnsLo) {
+  Histogram h(2.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.999), 2.0);
+}
+
+TEST(HistogramQuantile, SingleBucketInterpolatesLinearly) {
+  Histogram h(0.0, 1.0, 1);
+  for (int i = 0; i < 100; ++i) h.add(0.5);
+  // All mass in the one bucket: the quantile sweeps its width linearly.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.99);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+}
+
+TEST(HistogramQuantile, KnownPercentilesOnUniformFill) {
+  Histogram h(0.0, 100.0, 100);
+  // One sample per unit bucket: the empirical CDF is the identity, so
+  // p50/p99/p999 read straight off the axis (within one bucket width).
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.50), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.999), 99.9, 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(HistogramQuantile, SaturatedHistogramClampsToTheRangeEdges) {
+  Histogram h(0.0, 10.0, 5);
+  // Everything out of range: overflow reads as hi, underflow as lo — p999 of
+  // a saturated histogram is the range edge, not an extrapolation.
+  for (int i = 0; i < 90; ++i) h.add(1000.0);
+  for (int i = 0; i < 10; ++i) h.add(-1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.999), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.05), 0.0);
+  // The edge buckets' counts include the clamped mass, but an in-range
+  // sample still interpolates within its own bucket: rank 10.5 of 101 sits
+  // halfway through the single [8,10) sample.
+  h.add(9.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.09), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(10.5 / 101.0), 9.0);
+}
+
+TEST(HistogramQuantile, MixedInRangeAndOverflow) {
+  Histogram h(0.0, 8.0, 4);
+  h.add(1.0);   // bucket [0,2)
+  h.add(3.0);   // bucket [2,4)
+  h.add(5.0);   // bucket [4,6)
+  h.add(99.0);  // overflow -> reads as 8
+  // Rank 3 of 4 lands at the top of the third bucket; rank 4 is overflow.
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 6.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 2.0);
+}
+
+TEST(HistogramQuantile, RejectsOutOfRangeOrder) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.5);
+  EXPECT_THROW(h.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(h.quantile(1.1), std::invalid_argument);
+}
+
 TEST(Regression, ExactLine) {
   const std::vector<double> x = {1, 2, 3, 4};
   const std::vector<double> y = {3, 5, 7, 9};  // y = 1 + 2x

@@ -52,7 +52,7 @@ TEST(LintRules, RuleTableIsStable) {
   EXPECT_EQ(ids, (std::vector<std::string>{
                      "QL001", "QL002", "QL003", "QL004", "QL005", "QL006",
                      "QL007", "QL008", "QL009", "QL010", "QL011", "QL012",
-                     "QL013", "QL014", "QL015"}));
+                     "QL013", "QL014", "QL015", "QL016"}));
 }
 
 TEST(LintRules, ExactFixtureHitCounts) {
@@ -69,6 +69,7 @@ TEST(LintRules, ExactFixtureHitCounts) {
       {{"src/core/race_bad.cpp", "QL012"}, 2},
       {{"src/core/snapshot_bad.cpp", "QL008"}, 2},
       {{"src/core/window_tracker.hpp", "QL014"}, 1},
+      {{"src/obs/schema_bad.cpp", "QL016"}, 2},
       {{"src/core/protocols/registry.cpp", "QL004"}, 2},
       {{"src/core/protocols/registry.cpp", "QL009"}, 3},
       {{"src/core/satisfaction_acc.hpp", "QL005"}, 2},
@@ -289,6 +290,26 @@ TEST(LintSuppressions, Ql015PerCallSiteAllowWorks) {
   EXPECT_TRUE(findings_for("src/core/hot_path_ok.cpp").empty());
 }
 
+TEST(LintRules, Ql016FlagsUndocumentedKeyAndMetricName) {
+  const std::vector<Finding> fs = findings_for("src/obs/schema_bad.cpp");
+  ASSERT_EQ(fs.size(), 2u);
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "QL016");
+  // Sorted by line: the JSONL-key hit, then the registration hit. The
+  // documented 'kind' key on the same line must not fire.
+  EXPECT_EQ(fs[0].line, 13);
+  EXPECT_NE(fs[0].message.find("'mystery'"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("schema drift"), std::string::npos);
+  EXPECT_EQ(fs[1].line, 14);
+  EXPECT_NE(fs[1].message.find("'engine/bogus_counter'"), std::string::npos);
+}
+
+TEST(LintScope, Ql016AcceptsComposedWildcardNamesAndSuppression) {
+  // phase/<name>_seconds covers the std::string("phase/") + ... + "_seconds"
+  // concatenation; the undocumented key is silenced by allow(QL016); the
+  // literal-free gauge(phase) registration is out of scope.
+  EXPECT_TRUE(findings_for("src/obs/schema_ok.cpp").empty());
+}
+
 TEST(LintFormat, HumanAndFixListRenderings) {
   const std::vector<Finding> one = {{"QL001", "src/x.cpp", 7, "boom"}};
   EXPECT_EQ(qoslb::lint::format(one, /*fix_list=*/false),
@@ -318,7 +339,7 @@ TEST(LintSarif, EmitsWellFormedSarif210) {
   const auto& rule_descs = driver->find("rules")->items();
   ASSERT_EQ(rule_descs.size(), qoslb::lint::rules().size());
   EXPECT_EQ(rule_descs.front().find("id")->as_string(), "QL001");
-  EXPECT_EQ(rule_descs.back().find("id")->as_string(), "QL015");
+  EXPECT_EQ(rule_descs.back().find("id")->as_string(), "QL016");
 
   const auto& results = run.find("results")->items();
   ASSERT_EQ(results.size(), 2u);
